@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/tsne"
+	"sortsynth/internal/verify"
+	"sortsynth/internal/viz"
+)
+
+func init() {
+	register("figure1", "Figure 1: open states and solutions over time, n=4, k=1", false, func(c *ctx) error {
+		c.section("Figure 1 (n=4, cut k=1, all-solutions under a state budget)")
+		set := isa.NewCmov(4, 1)
+		o := enum.ConfigAllSolutions()
+		o.MaxLen = 20
+		o.Cut, o.CutK = enum.CutFactor, 1
+		o.StateBudget = 1_500_000
+		o.MaxSolutions = 1
+		tr := &enum.Trace{SampleEvery: 2048}
+		o.Trace = tr
+		res := enum.Run(set, o)
+		c.printf("states expanded: %d, solution paths so far: %d, elapsed %s\n",
+			res.Expanded, res.SolutionCount, ms(res.Elapsed))
+
+		open := viz.Series{Name: "open states", Color: "steelblue"}
+		sols := viz.Series{Name: "solutions found", Color: "darkorange"}
+		for _, s := range tr.Samples {
+			x := s.Elapsed.Seconds()
+			open.X = append(open.X, x)
+			open.Y = append(open.Y, float64(s.Open))
+			sols.X = append(sols.X, x)
+			sols.Y = append(sols.Y, float64(s.Solutions))
+		}
+		series := []viz.Series{open, sols}
+		if err := writeFigure(c, "figure1", "Open states and solutions over time (n=4, k=1)",
+			"time [s]", "count", series, false); err != nil {
+			return err
+		}
+		return nil
+	})
+
+	register("figure2", "Figure 2: t-SNE of the n=3 solution space under cuts", false, func(c *ctx) error {
+		c.section("Figure 2 (t-SNE of n=3 solutions; k=∞ blue, k=2 orange, k=1.5 green, k=1 red)")
+		set := isa.NewCmov(3, 1)
+
+		solutionsFor := func(cut enum.CutMode, k float64) []isa.Program {
+			o := enum.ConfigAllSolutions()
+			o.MaxLen = 11
+			o.Cut, o.CutK = cut, k
+			return enum.Run(set, o).Programs
+		}
+		all := solutionsFor(enum.CutNone, 0)
+		k2 := solutionsFor(enum.CutFactor, 2)
+		k15 := solutionsFor(enum.CutFactor, 1.5)
+		k1 := solutionsFor(enum.CutFactor, 1)
+		c.printf("solutions: all=%d k2=%d k1.5=%d k1=%d (paper: 5602/5602/838/222)\n",
+			len(all), len(k2), len(k15), len(k1))
+
+		// Membership by instruction-sequence key.
+		key := func(p isa.Program) string { return verify.InstructionMultisetKey(set, p) + "|" + p.FormatInline(set.N) }
+		in15 := map[string]bool{}
+		for _, p := range k15 {
+			in15[key(p)] = true
+		}
+		in1 := map[string]bool{}
+		for _, p := range k1 {
+			in1[key(p)] = true
+		}
+		in2 := map[string]bool{}
+		for _, p := range k2 {
+			in2[key(p)] = true
+		}
+
+		// Embed a deterministic sample (full set with -slow: O(N²·iters)).
+		sample := all
+		if !c.slow && len(sample) > 700 {
+			step := len(sample) / 700
+			var s []isa.Program
+			for i := 0; i < len(sample); i += step {
+				s = append(s, sample[i])
+			}
+			sample = s
+			c.printf("embedding a deterministic sample of %d solutions (use -slow for all %d)\n", len(sample), len(all))
+		}
+		ids := make([][]int, len(sample))
+		for i, p := range sample {
+			row := make([]int, len(p))
+			for t, in := range p {
+				row[t] = set.InstrID(in)
+			}
+			ids[i] = row
+		}
+		feats := tsne.ProgramFeatures(ids, set.NumInstrs())
+		emb := tsne.Embed(feats, tsne.Options{Perplexity: 50, Iterations: 300, Seed: 70})
+
+		series := []viz.Series{
+			{Name: "all solutions", Color: "steelblue"},
+			{Name: "cut k=2", Color: "darkorange"},
+			{Name: "cut k=1.5", Color: "forestgreen"},
+			{Name: "cut k=1", Color: "crimson"},
+		}
+		for i, p := range sample {
+			k := key(p)
+			si := 0
+			switch {
+			case in1[k]:
+				si = 3
+			case in15[k]:
+				si = 2
+			case in2[k]:
+				si = 1
+			}
+			series[si].X = append(series[si].X, emb[i][0])
+			series[si].Y = append(series[si].Y, emb[i][1])
+		}
+		return writeFigure(c, "figure2", "t-SNE of n=3 optimal kernels by surviving cut",
+			"tsne-x", "tsne-y", series, true)
+	})
+}
+
+func writeFigure(c *ctx, name, title, xl, yl string, series []viz.Series, scatter bool) error {
+	svgPath := filepath.Join(c.out, name+".svg")
+	csvPath := filepath.Join(c.out, name+".csv")
+	svg, err := os.Create(svgPath)
+	if err != nil {
+		return err
+	}
+	defer svg.Close()
+	if scatter {
+		viz.Scatter(svg, title, xl, yl, series)
+	} else {
+		viz.LineChart(svg, title, xl, yl, series)
+	}
+	csv, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	viz.CSV(csv, series)
+	c.printf("wrote %s and %s\n", svgPath, csvPath)
+	return nil
+}

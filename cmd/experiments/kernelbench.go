@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sortsynth/internal/bench"
+	"sortsynth/internal/kernels"
+	"sortsynth/internal/uarch"
+	"sortsynth/internal/verify"
+)
+
+// benchContender measures one kernel and renders its row.
+type contRow struct {
+	name   string
+	t      time.Duration
+	mix    string
+	model  string
+	isProg bool
+}
+
+func mixOf(k kernels.Kernel) string {
+	if k.Prog == nil {
+		return "—"
+	}
+	m := verify.Mix(k.Prog)
+	return fmt.Sprintf("cmp=%d mov=%d cmov=%d other=%d", m.Cmp, m.Mov, m.CMov, m.Other)
+}
+
+func modelOf(k kernels.Kernel) string {
+	if k.Prog == nil {
+		return "—"
+	}
+	a := uarch.Analyze(k.Set, k.Prog)
+	return fmt.Sprintf("tp=%.2f cp=%d score=%d", a.Throughput, a.CriticalPath, a.Score)
+}
+
+func renderRanked(c *ctx, rows []contRow) {
+	timings := make([]bench.Timing, len(rows))
+	for i, r := range rows {
+		timings[i] = bench.Timing{Name: r.name, Time: r.t}
+	}
+	ranks := bench.Rank(timings)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].t < rows[j].t })
+	var t tableWriter
+	t.row("algorithm", "time", "rank", "instruction mix (register core)", "cost model")
+	for _, r := range rows {
+		t.row(r.name, ms(r.t), fmt.Sprint(ranks[r.name]), r.mix, r.model)
+	}
+	t.flush(c.w)
+}
+
+func standalone(c *ctx, n int, paperNote string) {
+	c.section(fmt.Sprintf("Standalone kernels, n=%d (random values in ±10000)", n))
+	inputs := bench.RandomArrays(n, 4096, 10000, 42)
+	rounds := 400
+	var rows []contRow
+	for _, k := range kernels.Contenders(n) {
+		d := bench.Measure(k.Go, inputs, rounds)
+		rows = append(rows, contRow{name: k.Name, t: d, mix: mixOf(k), model: modelOf(k)})
+	}
+	renderRanked(c, rows)
+	c.printf("%s\n", paperNote)
+}
+
+func embedded(c *ctx, n int, merge bool) {
+	kind, fn := "quicksort", func(a []int, base int, k func([]int)) { bench.Quicksort(a, base, k) }
+	if merge {
+		kind, fn = "mergesort", func(a []int, base int, k func([]int)) { bench.Mergesort(a, base, k) }
+	}
+	c.section(fmt.Sprintf("Kernels embedded in %s, n=%d (random lists ≤ 20000)", kind, n))
+	lists := make([][]int, 12)
+	for i := range lists {
+		lists[i] = bench.RandomList(20000, int64(100+i))
+	}
+	var rows []contRow
+	for _, k := range kernels.Contenders(n) {
+		var total time.Duration
+		for _, l := range lists {
+			total += bench.MeasureSort(func(a []int) { fn(a, n, k.Go) }, l, 6)
+		}
+		rows = append(rows, contRow{name: k.Name, t: total, mix: mixOf(k), model: modelOf(k)})
+	}
+	renderRanked(c, rows)
+}
+
+func init() {
+	register("standalone3", "§5.3 standalone kernel comparison, n=3", false, func(c *ctx) error {
+		standalone(c, 3, "Paper n=3 ranking: enum best (5.8 ms), swap, alphadev, cassioneri/branchless, mimicry, enum_worst, default, std slowest.")
+		return nil
+	})
+	register("quick3", "§5.3 quicksort-embedded comparison, n=3", false, func(c *ctx) error {
+		embedded(c, 3, false)
+		c.printf("Paper: enum first; cassioneri, swap, mimicry close; default/std at the back.\n")
+		return nil
+	})
+	register("merge3", "§5.3 mergesort-embedded comparison, n=3", false, func(c *ctx) error {
+		embedded(c, 3, true)
+		c.printf("Paper: cassioneri and enum effectively tied at the top.\n")
+		return nil
+	})
+	register("n4", "§5.3 n=4 standalone + quicksort comparison", false, func(c *ctx) error {
+		standalone(c, 4, "Paper n=4 standalone: mimicry narrowly first, enum second, std last.")
+		embedded(c, 4, false)
+		c.printf("Paper n=4 quicksort: enum first.\n")
+		return nil
+	})
+	register("n5", "§5.3 n=5 standalone comparison", false, func(c *ctx) error {
+		standalone(c, 5, "Paper n=5: enum 14.84 ms < alphadev 16.20 ms < enum_worst 17.77 ms.")
+		return nil
+	})
+	register("minmax", "§5.4 min/max kernels: sizes, synthesis time, runtime", false, func(c *ctx) error {
+		c.section("Min/max kernels (paper §5.4)")
+		var t tableWriter
+		t.row("n", "#instr (synth)", "network instr", "paper synth time", "paper: min/max vs cmov vs network")
+		t.row("3", "8", "9", "3.8 ms", "4.57 / 5.80 / 5.29 ms")
+		t.row("4", "15", "15", "70.5 ms", "7.00 / 9.48 / 8.12 ms")
+		t.row("5", "26", "27", "32.5 s", "10.66 / 14.84 / 12.23 ms")
+		t.flush(c.w)
+		c.printf("\nMeasured runtimes of the frozen kernels (this machine):\n")
+		for _, n := range []int{3, 4, 5} {
+			inputs := bench.RandomArrays(n, 4096, 10000, 7)
+			var mmName string
+			switch n {
+			case 3:
+				mmName = "sort3_minmax"
+			case 4:
+				mmName = "sort4_minmax"
+			case 5:
+				mmName = "sort5_minmax"
+			}
+			var rows []contRow
+			for _, k := range kernels.Contenders(n) {
+				if k.Name != mmName && k.Name != "enum" && k.Name != "network" {
+					continue
+				}
+				rows = append(rows, contRow{name: k.Name, t: bench.Measure(k.Go, inputs, 300), mix: mixOf(k), model: modelOf(k)})
+			}
+			c.printf("n=%d:\n", n)
+			renderRanked(c, rows)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,161 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) from this repository's implementations, writing
+// human-readable tables to stdout and results/<name>.txt, and figures to
+// results/*.svg (+ .csv).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -table=ablation
+//	experiments -figure=1
+//	experiments -all            # every fast experiment
+//	experiments -all -slow      # include the multi-minute runs
+//
+// Paper-reported numbers are printed alongside measurements where they
+// exist; EXPERIMENTS.md records the comparison. Experiments marked slow
+// (n=5 synthesis, SMT n=3, exhaustive proofs, full-size t-SNE) only run
+// with -slow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name string
+	desc string
+	slow bool
+	run  func(ctx *ctx) error
+}
+
+type ctx struct {
+	out  string // results directory
+	slow bool
+	w    io.Writer // tee: stdout + file
+}
+
+func (c *ctx) printf(format string, args ...any) { fmt.Fprintf(c.w, format, args...) }
+
+func (c *ctx) section(title string) {
+	c.printf("\n== %s ==\n", title)
+}
+
+var experiments []experiment
+
+func register(name, desc string, slow bool, run func(*ctx) error) {
+	experiments = append(experiments, experiment{name: name, desc: desc, slow: slow, run: run})
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		table  = flag.String("table", "", "run one table experiment by name")
+		figure = flag.String("figure", "", "run one figure experiment (1 or 2)")
+		all    = flag.Bool("all", false, "run every experiment (fast ones unless -slow)")
+		slow   = flag.Bool("slow", false, "include multi-minute experiments")
+		outDir = flag.String("out", "results", "output directory")
+		list   = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
+
+	if *list {
+		for _, e := range experiments {
+			tag := ""
+			if e.slow {
+				tag = " [slow]"
+			}
+			fmt.Printf("%-14s %s%s\n", e.name, e.desc, tag)
+		}
+		return
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	want := map[string]bool{}
+	switch {
+	case *table != "":
+		want[*table] = true
+	case *figure != "":
+		want["figure"+*figure] = true
+	case *all:
+		for _, e := range experiments {
+			if !e.slow || *slow {
+				want[e.name] = true
+			}
+		}
+	default:
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "\nexperiments (use -list for descriptions):")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.name)
+		}
+		os.Exit(2)
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !want[e.name] {
+			continue
+		}
+		ran++
+		f, err := os.Create(filepath.Join(*outDir, e.name+".txt"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := &ctx{out: *outDir, slow: *slow, w: io.MultiWriter(os.Stdout, f)}
+		c.printf("# %s — %s\n", e.name, e.desc)
+		if err := e.run(c); err != nil {
+			log.Printf("%s: %v", e.name, err)
+		}
+		f.Close()
+	}
+	if ran == 0 {
+		log.Fatalf("no experiment matched %q/%q (use -list)", *table, *figure)
+	}
+}
+
+// tableWriter renders aligned columns.
+type tableWriter struct {
+	rows [][]string
+}
+
+func (t *tableWriter) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *tableWriter) flush(w io.Writer) {
+	if len(t.rows) == 0 {
+		return
+	}
+	width := make([]int, 0)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	for _, r := range t.rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c + strings.Repeat(" ", width[i]-len(c)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	t.rows = t.rows[:0]
+}

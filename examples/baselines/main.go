@@ -1,0 +1,90 @@
+// Baselines: run every synthesis technique of the paper's comparison on
+// the same tiny instance (n=2, length 4) and print a scoreboard — a
+// miniature of the §5.2 evaluation that finishes in seconds.
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sortsynth/internal/cp"
+	"sortsynth/internal/enum"
+	"sortsynth/internal/ilp"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/mcts"
+	"sortsynth/internal/plan"
+	"sortsynth/internal/smt"
+	"sortsynth/internal/stoke"
+	"sortsynth/internal/verify"
+)
+
+func main() {
+	set := isa.NewCmov(2, 1)
+	const length = 4
+
+	type outcome struct {
+		name    string
+		found   bool
+		correct bool
+		elapsed time.Duration
+	}
+	var results []outcome
+	record := func(name string, p isa.Program, d time.Duration) {
+		results = append(results, outcome{
+			name:    name,
+			found:   p != nil,
+			correct: p != nil && verify.Sorts(set, p),
+			elapsed: d,
+		})
+	}
+
+	{ // Enumerative (this paper's approach).
+		o := enum.ConfigBest()
+		o.MaxLen = length
+		r := enum.Run(set, o)
+		record("enumerative A* (paper)", r.Program, r.Elapsed)
+	}
+	{ // SMT-PERM on the SAT core.
+		r := smt.SynthPerm(set, smt.Options{Length: length, Goal: smt.GoalAscCounts0, Encoding: smt.EncodingDense})
+		record("SMT-PERM (SAT core)", r.Program, r.Elapsed)
+	}
+	{ // SMT-CEGIS.
+		r := smt.SynthCEGIS(set, smt.Options{Length: length, Goal: smt.GoalAscCounts0, Encoding: smt.EncodingDense})
+		record(fmt.Sprintf("SMT-CEGIS (%d iterations)", r.Iterations), r.Program, r.Elapsed)
+	}
+	{ // Constraint programming.
+		r := cp.Synthesize(set, cp.Options{Length: length, Goal: cp.GoalAscCounts0, NoConsecutiveCmp: true, CmpSymmetry: true})
+		record("constraint programming (FD)", r.Program, r.Elapsed)
+	}
+	{ // ILP big-M.
+		r := ilp.Synthesize(set, ilp.Options{Length: length, MaxNodes: 5_000_000, Timeout: time.Minute})
+		record("ILP (big-M branch&bound)", r.Program, r.Elapsed)
+	}
+	{ // Stochastic search.
+		r := stoke.Run(set, stoke.Options{Length: length, Seed: 1, MaxProposals: 2_000_000})
+		record("stochastic MCMC (Stoke-style)", r.Program, r.Elapsed)
+	}
+	{ // Planning.
+		prob := plan.Encode(set, nil)
+		r := plan.Solve(prob, plan.Options{Algorithm: plan.AStar, Heuristic: plan.GoalCount})
+		var p isa.Program
+		if r.Plan != nil {
+			p = plan.PlanToProgram(set, r.Plan)
+		}
+		record("planning (A* + goal count)", p, r.Elapsed)
+	}
+	{ // MCTS.
+		r := mcts.Run(set, mcts.Options{MaxLen: 6, Seed: 1})
+		record("MCTS (AlphaDev-style UCT)", r.Program, r.Elapsed)
+	}
+
+	fmt.Printf("synthesis of a %d-instruction sorting kernel for n=%d, all techniques:\n\n", length, set.N)
+	fmt.Printf("  %-32s %-8s %-10s %s\n", "technique", "found", "correct", "time")
+	for _, r := range results {
+		fmt.Printf("  %-32s %-8v %-10v %v\n", r.name, r.found, r.correct, r.elapsed.Round(time.Microsecond))
+	}
+	fmt.Println("\nAt n=3 the field thins out (see `go run ./cmd/experiments -all`):")
+	fmt.Println("only the enumerative approach reaches n=4 and n=5 — the paper's headline result.")
+}

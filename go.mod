@@ -1,0 +1,3 @@
+module sortsynth
+
+go 1.23

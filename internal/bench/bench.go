@@ -1,0 +1,206 @@
+// Package bench is the kernel benchmark harness of the evaluation
+// (§5.3): standalone kernel timing on random arrays, and kernels embedded
+// as the base case of quicksort and mergesort on random lists, with
+// ranking across contenders.
+//
+// The paper benchmarks x86 assembly via Google benchmark; here kernels
+// are native Go functions timed with testing.B (see bench_test.go at the
+// repository root) or the Measure helper, plus deterministic static-model
+// rankings as a cross-check. Absolute times are not comparable to the
+// paper's; the reproduced observable is the ranking.
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// RandomArrays returns count arrays of length n with values in
+// [-bound, bound], generated deterministically from seed (the paper uses
+// values between -10000 and 10000).
+func RandomArrays(n, count, bound int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, count)
+	for i := range out {
+		a := make([]int, n)
+		for j := range a {
+			a[j] = rng.Intn(2*bound+1) - bound
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// RandomList returns one list of random length in [1, maxLen] with values
+// in [-10000, 10000] (the paper embeds kernels into sorts of lists of up
+// to 20000 elements).
+func RandomList(maxLen int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int, 1+rng.Intn(maxLen))
+	for i := range a {
+		a[i] = rng.Intn(20001) - 10000
+	}
+	return a
+}
+
+// insertion sorts tiny segments whose length does not match the kernel's
+// arity.
+func insertion(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Quicksort sorts a in place, recursing until at most base elements
+// remain and applying kernel to segments of exactly base elements
+// (shorter tails fall back to insertion sort).
+func Quicksort(a []int, base int, kernel func([]int)) {
+	for len(a) > base {
+		p := partition(a)
+		if p < len(a)-p-1 {
+			Quicksort(a[:p], base, kernel)
+			a = a[p+1:]
+		} else {
+			Quicksort(a[p+1:], base, kernel)
+			a = a[:p]
+		}
+	}
+	if len(a) == base {
+		kernel(a)
+	} else {
+		insertion(a)
+	}
+}
+
+// partition performs a median-of-three Hoare-style partition and returns
+// the pivot's final index.
+func partition(a []int) int {
+	mid := len(a) / 2
+	hi := len(a) - 1
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[hi] < a[0] {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	pivot := a[hi-1]
+	i := 0
+	for j := 1; j < hi-1; j++ {
+		if a[j] < pivot {
+			i++
+			if i != j {
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	}
+	a[i+1], a[hi-1] = a[hi-1], a[i+1]
+	return i + 1
+}
+
+// Mergesort sorts a in place (using a scratch buffer), recursing until at
+// most base elements remain and applying kernel to exact-size segments.
+func Mergesort(a []int, base int, kernel func([]int)) {
+	buf := make([]int, len(a))
+	mergesort(a, buf, base, kernel)
+}
+
+func mergesort(a, buf []int, base int, kernel func([]int)) {
+	if len(a) <= base {
+		if len(a) == base {
+			kernel(a)
+		} else {
+			insertion(a)
+		}
+		return
+	}
+	mid := len(a) / 2
+	mergesort(a[:mid], buf[:mid], base, kernel)
+	mergesort(a[mid:], buf[mid:], base, kernel)
+	copy(buf, a)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(a) {
+		if buf[j] < buf[i] {
+			a[k] = buf[j]
+			j++
+		} else {
+			a[k] = buf[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		a[k] = buf[i]
+		i++
+		k++
+	}
+	for j < len(a) {
+		a[k] = buf[j]
+		j++
+		k++
+	}
+}
+
+// Timing is one contender's measured time.
+type Timing struct {
+	Name string
+	Time time.Duration
+}
+
+// Rank sorts timings ascending and returns, for each input index, its
+// 1-based rank.
+func Rank(ts []Timing) map[string]int {
+	sorted := append([]Timing(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	ranks := make(map[string]int, len(sorted))
+	for i, t := range sorted {
+		ranks[t.Name] = i + 1
+	}
+	return ranks
+}
+
+// Measure times fn over rounds passes of the given inputs, restoring the
+// inputs from a pristine copy each pass, and returns the total time.
+// This mirrors the paper's "multiple iterations over the full test suite"
+// standalone methodology.
+func Measure(fn func([]int), inputs [][]int, rounds int) time.Duration {
+	// Flatten into one backing buffer for cheap restoration.
+	n := 0
+	if len(inputs) > 0 {
+		n = len(inputs[0])
+	}
+	pristine := make([]int, 0, n*len(inputs))
+	for _, in := range inputs {
+		pristine = append(pristine, in...)
+	}
+	work := make([]int, len(pristine))
+	var total time.Duration
+	for r := 0; r < rounds; r++ {
+		copy(work, pristine)
+		start := time.Now()
+		for i := 0; i+n <= len(work); i += n {
+			fn(work[i : i+n])
+		}
+		total += time.Since(start)
+	}
+	return total
+}
+
+// MeasureSort times a whole-list sorter the same way.
+func MeasureSort(fn func([]int), list []int, rounds int) time.Duration {
+	work := make([]int, len(list))
+	var total time.Duration
+	for r := 0; r < rounds; r++ {
+		copy(work, list)
+		start := time.Now()
+		fn(work)
+		total += time.Since(start)
+	}
+	return total
+}

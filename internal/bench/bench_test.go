@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sortsynth/internal/kernels"
+)
+
+func TestQuicksortSorts(t *testing.T) {
+	f := func(raw []int16) bool {
+		a := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v)
+		}
+		want := slices.Clone(a)
+		sort.Ints(want)
+		Quicksort(a, 3, kernels.Sort3Enum)
+		return slices.Equal(a, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergesortSorts(t *testing.T) {
+	f := func(raw []int16) bool {
+		a := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v)
+		}
+		want := slices.Clone(a)
+		sort.Ints(want)
+		Mergesort(a, 3, kernels.Sort3Network)
+		return slices.Equal(a, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbeddingBase4(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		a := make([]int, rng.Intn(5000))
+		for i := range a {
+			a[i] = rng.Intn(1000)
+		}
+		want := slices.Clone(a)
+		sort.Ints(want)
+		q := slices.Clone(a)
+		Quicksort(q, 4, kernels.Sort4Swap)
+		if !slices.Equal(q, want) {
+			t.Fatalf("quicksort base 4 failed (len %d)", len(a))
+		}
+		m := slices.Clone(a)
+		Mergesort(m, 4, kernels.Sort4Mimicry)
+		if !slices.Equal(m, want) {
+			t.Fatalf("mergesort base 4 failed (len %d)", len(a))
+		}
+	}
+}
+
+func TestQuicksortAdversarial(t *testing.T) {
+	// Sorted, reverse-sorted and constant inputs must not blow the stack
+	// (median-of-three + recurse-into-smaller-side).
+	for _, mk := range []func(int) []int{
+		func(n int) []int {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = i
+			}
+			return a
+		},
+		func(n int) []int {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = n - i
+			}
+			return a
+		},
+		func(n int) []int { return make([]int, n) },
+	} {
+		a := mk(50000)
+		want := slices.Clone(a)
+		sort.Ints(want)
+		Quicksort(a, 3, kernels.Sort3Enum)
+		if !slices.Equal(a, want) {
+			t.Fatal("adversarial quicksort input not sorted")
+		}
+	}
+}
+
+func TestRandomArraysDeterministic(t *testing.T) {
+	a := RandomArrays(3, 10, 10000, 7)
+	b := RandomArrays(3, 10, 10000, 7)
+	if len(a) != 10 || len(a[0]) != 3 {
+		t.Fatalf("shape wrong: %d x %d", len(a), len(a[0]))
+	}
+	for i := range a {
+		if !slices.Equal(a[i], b[i]) {
+			t.Fatal("RandomArrays not deterministic")
+		}
+	}
+	for _, arr := range a {
+		for _, v := range arr {
+			if v < -10000 || v > 10000 {
+				t.Fatalf("value %d out of bound", v)
+			}
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	ranks := Rank([]Timing{
+		{Name: "slow", Time: 30 * time.Millisecond},
+		{Name: "fast", Time: 10 * time.Millisecond},
+		{Name: "mid", Time: 20 * time.Millisecond},
+	})
+	if ranks["fast"] != 1 || ranks["mid"] != 2 || ranks["slow"] != 3 {
+		t.Errorf("Rank = %v", ranks)
+	}
+}
+
+func TestMeasureRestoresInputs(t *testing.T) {
+	inputs := RandomArrays(3, 50, 100, 1)
+	// A destructive kernel must still see fresh inputs each round;
+	// Measure uses a pristine copy, so the original arrays are untouched.
+	orig := make([][]int, len(inputs))
+	for i := range inputs {
+		orig[i] = slices.Clone(inputs[i])
+	}
+	d := Measure(func(a []int) { a[0], a[1], a[2] = 0, 0, 0 }, inputs, 3)
+	if d < 0 {
+		t.Error("negative duration")
+	}
+	for i := range inputs {
+		if !slices.Equal(inputs[i], orig[i]) {
+			t.Fatal("Measure mutated caller inputs")
+		}
+	}
+}
+
+func TestMeasureSort(t *testing.T) {
+	list := RandomList(1000, 3)
+	if d := MeasureSort(func(a []int) { sort.Ints(a) }, list, 2); d <= 0 {
+		t.Error("MeasureSort returned non-positive duration")
+	}
+	if len(list) == 0 || len(list) > 1000 {
+		t.Errorf("RandomList length %d out of range", len(list))
+	}
+}

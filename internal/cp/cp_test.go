@@ -1,0 +1,186 @@
+package cp
+
+import (
+	"testing"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/verify"
+)
+
+func TestDomainOps(t *testing.T) {
+	d := Full(5)
+	if d.Size() != 5 || !d.Has(0) || !d.Has(4) || d.Has(5) {
+		t.Error("Full wrong")
+	}
+	if d.Min() != 0 {
+		t.Error("Min wrong")
+	}
+}
+
+func TestSolverBasics(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar(5)
+	y := s.NewVar(5)
+	s.Post(&LessEq{X: x, Y: y})
+	s.Assign(y, 2)
+	if !s.fixpoint() {
+		t.Fatal("unexpected conflict")
+	}
+	if s.Dom(x) != Full(3) {
+		t.Errorf("dom(x) = %b after y=2, want {0,1,2}", s.Dom(x))
+	}
+}
+
+func TestTableGAC(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar(3)
+	y := s.NewVar(3)
+	s.Post(&Table{Xs: []Var{x, y}, Rows: [][]int{{0, 1}, {1, 2}}})
+	if !s.fixpoint() {
+		t.Fatal("conflict")
+	}
+	if s.Dom(x).Has(2) {
+		t.Error("unsupported value 2 not removed from x")
+	}
+	if s.Dom(y).Has(0) {
+		t.Error("unsupported value 0 not removed from y")
+	}
+	s.Assign(x, 1)
+	s.fixpoint()
+	if !s.Fixed(y) || s.Value(y) != 2 {
+		t.Error("table did not propagate x=1 → y=2")
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	s := NewSolver()
+	vars := []Var{s.NewVar(3), s.NewVar(3), s.NewVar(3)}
+	s.Post(&ExactlyOne{Xs: vars, V: 1})
+	s.Assign(vars[0], 1)
+	if !s.fixpoint() {
+		t.Fatal("conflict")
+	}
+	if s.Dom(vars[1]).Has(1) || s.Dom(vars[2]).Has(1) {
+		t.Error("value 1 not removed from other variables")
+	}
+}
+
+func TestNotEqualVars(t *testing.T) {
+	s := NewSolver()
+	x, y := s.NewVar(2), s.NewVar(2)
+	s.Post(&NotEqualVars{X: x, Y: y})
+	s.Assign(x, 0)
+	s.fixpoint()
+	if !s.Fixed(y) || s.Value(y) != 1 {
+		t.Error("x≠y did not force y=1")
+	}
+}
+
+func TestSynthesizeN2(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	res := Synthesize(set, Options{Length: 4, Goal: GoalAscCounts0, NoSelfOps: true, CmpSymmetry: true})
+	if res.Program == nil {
+		t.Fatalf("no program found (%d nodes)", res.Nodes)
+	}
+	if !verify.Sorts(set, res.Program) {
+		t.Fatalf("CP program does not sort: %s", res.Program.FormatInline(2))
+	}
+}
+
+func TestSynthesizeN2NoLength3(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	res := Synthesize(set, Options{Length: 3, Goal: GoalExact})
+	if res.Program != nil {
+		t.Fatal("found an impossible 3-instruction kernel")
+	}
+	if !res.Exhausted {
+		t.Error("refutation must be exhaustive")
+	}
+}
+
+func TestSynthesizeMinMaxN2(t *testing.T) {
+	set := isa.NewMinMax(2, 1)
+	res := Synthesize(set, Options{Length: 3, Goal: GoalExact, NoSelfOps: true})
+	if res.Program == nil {
+		t.Fatal("no min/max program found")
+	}
+	if !verify.Sorts(set, res.Program) {
+		t.Fatal("min/max program does not sort")
+	}
+}
+
+func TestGoalFormulationsN2(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	for _, g := range []Goal{GoalExact, GoalAscCounts0, GoalAscCounts, GoalAscExact} {
+		res := Synthesize(set, Options{Length: 4, Goal: g})
+		if res.Program == nil {
+			t.Errorf("goal %d: no program", g)
+			continue
+		}
+		if !verify.Sorts(set, res.Program) {
+			t.Errorf("goal %d: incorrect program", g)
+		}
+	}
+}
+
+func TestHeuristicsRespected(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	res := Synthesize(set, Options{
+		Length: 4, Goal: GoalAscCounts0,
+		NoConsecutiveCmp: true, CmpSymmetry: true, NoSelfOps: true,
+	})
+	if res.Program == nil {
+		t.Fatal("no program")
+	}
+	for i, in := range res.Program {
+		if in.Dst == in.Src {
+			t.Errorf("self-op at %d", i)
+		}
+		if in.Op == isa.Cmp && in.Dst > in.Src {
+			t.Errorf("cmp symmetry violated at %d", i)
+		}
+		if i > 0 && in.Op == isa.Cmp && res.Program[i-1].Op == isa.Cmp {
+			t.Errorf("consecutive cmps at %d", i)
+		}
+	}
+}
+
+func TestEnumerateAllN2(t *testing.T) {
+	// All 4-instruction kernels for n=2 under the symmetry heuristics.
+	set := isa.NewCmov(2, 1)
+	res := EnumerateAll(set, Options{
+		Length: 4, Goal: GoalAscCounts0,
+		CmpSymmetry: true, NoSelfOps: true,
+	}, 1000)
+	if res.Solutions == 0 {
+		t.Fatal("no solutions enumerated")
+	}
+	if !res.Exhausted {
+		t.Error("enumeration must be exhaustive")
+	}
+	for _, p := range res.Programs() {
+		if !verify.Sorts(set, p) {
+			t.Fatalf("enumerated program does not sort: %s", p.FormatInline(2))
+		}
+	}
+	t.Logf("n=2: %d length-4 kernels under symmetry heuristics", res.Solutions)
+}
+
+func TestBudgetStops(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	res := Synthesize(set, Options{Length: 11, Goal: GoalAscCounts0, MaxNodes: 100})
+	if res.Exhausted && res.Program == nil {
+		t.Error("budget-limited run claims exhaustion without a solution")
+	}
+}
+
+func TestTimeoutStops(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	start := time.Now()
+	res := Synthesize(set, Options{Length: 11, Goal: GoalExact, Timeout: 150 * time.Millisecond})
+	if res.Program == nil && time.Since(start) > 5*time.Second {
+		t.Error("timeout not respected")
+	}
+	_ = res
+}

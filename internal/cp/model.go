@@ -1,0 +1,416 @@
+package cp
+
+import (
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+)
+
+// stepProp is the register-transition propagator: the CP counterpart of
+// the element/channel decomposition in the paper's MiniZinc model. It
+// links one timestep's instruction variables (cmd, dst, src) with the
+// register values and flags before and after the step for one example,
+// filtering in both directions by support scanning over the feasible
+// (cmd, dst, src) combinations.
+type stepProp struct {
+	ops           []isa.Op
+	regs          int
+	cmd, dst, src Var
+	valIn, valOut []Var
+	hasFlags      bool
+	ltIn, gtIn    Var
+	ltOut, gtOut  Var
+	vars          []Var
+}
+
+func (p *stepProp) Vars() []Var { return p.vars }
+
+// outSet returns the feasible values of register r after executing instr,
+// given the current input domains.
+func (p *stepProp) outSet(s *Solver, op isa.Op, d, src, r int) Domain {
+	in := s.Dom(p.valIn[r])
+	if op == isa.Cmp || r != d {
+		return in
+	}
+	srcDom := s.Dom(p.valIn[src])
+	switch op {
+	case isa.Mov:
+		return srcDom
+	case isa.Cmovl, isa.Cmovg:
+		flag := p.ltIn
+		if op == isa.Cmovg {
+			flag = p.gtIn
+		}
+		var out Domain
+		fd := s.Dom(flag)
+		if fd.Has(1) {
+			out |= srcDom
+		}
+		if fd.Has(0) {
+			out |= in
+		}
+		return out
+	case isa.Min, isa.Max:
+		var out Domain
+		for x := 0; x < 64; x++ {
+			if !in.Has(x) {
+				continue
+			}
+			for y := 0; y < 64; y++ {
+				if !srcDom.Has(y) {
+					continue
+				}
+				res := x
+				if (op == isa.Min && y < x) || (op == isa.Max && y > x) {
+					res = y
+				}
+				out |= 1 << res
+			}
+		}
+		return out
+	}
+	return in
+}
+
+// flagOut returns the feasible (lt, gt) output domains for instr.
+func (p *stepProp) flagOut(s *Solver, op isa.Op, d, src int) (lt, gt Domain) {
+	if op != isa.Cmp {
+		return s.Dom(p.ltIn), s.Dom(p.gtIn)
+	}
+	a, b := s.Dom(p.valIn[d]), s.Dom(p.valIn[src])
+	for x := 0; x < 64; x++ {
+		if !a.Has(x) {
+			continue
+		}
+		for y := 0; y < 64; y++ {
+			if !b.Has(y) {
+				continue
+			}
+			switch {
+			case x < y:
+				lt |= 1 << 1
+				gt |= 1 << 0
+			case x > y:
+				lt |= 1 << 0
+				gt |= 1 << 1
+			default:
+				lt |= 1 << 0
+				gt |= 1 << 0
+			}
+		}
+	}
+	return lt, gt
+}
+
+func (p *stepProp) Propagate(s *Solver) bool {
+	var cmdSup, dstSup, srcSup Domain
+	outUnion := make([]Domain, p.regs)
+	var ltUnion, gtUnion Domain
+
+	for c := range p.ops {
+		if !s.Dom(p.cmd).Has(c) {
+			continue
+		}
+		op := p.ops[c]
+		for d := 0; d < p.regs; d++ {
+			if !s.Dom(p.dst).Has(d) {
+				continue
+			}
+			for sr := 0; sr < p.regs; sr++ {
+				if !s.Dom(p.src).Has(sr) {
+					continue
+				}
+				// Check feasibility of this combo against the outputs.
+				feasible := true
+				outs := make([]Domain, p.regs)
+				for r := 0; r < p.regs; r++ {
+					o := p.outSet(s, op, d, sr, r) & s.Dom(p.valOut[r])
+					if o == 0 {
+						feasible = false
+						break
+					}
+					outs[r] = o
+				}
+				var ltO, gtO Domain
+				if feasible && p.hasFlags {
+					lt, gt := p.flagOut(s, op, d, sr)
+					ltO = lt & s.Dom(p.ltOut)
+					gtO = gt & s.Dom(p.gtOut)
+					if ltO == 0 || gtO == 0 {
+						feasible = false
+					}
+				}
+				if !feasible {
+					continue
+				}
+				cmdSup |= 1 << c
+				dstSup |= 1 << d
+				srcSup |= 1 << sr
+				for r := 0; r < p.regs; r++ {
+					outUnion[r] |= outs[r]
+				}
+				if p.hasFlags {
+					ltUnion |= ltO
+					gtUnion |= gtO
+				}
+			}
+		}
+	}
+	if !s.SetDomain(p.cmd, cmdSup) || !s.SetDomain(p.dst, dstSup) || !s.SetDomain(p.src, srcSup) {
+		return false
+	}
+	for r := 0; r < p.regs; r++ {
+		if !s.SetDomain(p.valOut[r], outUnion[r]) {
+			return false
+		}
+	}
+	if p.hasFlags {
+		if !s.SetDomain(p.ltOut, ltUnion) || !s.SetDomain(p.gtOut, gtUnion) {
+			return false
+		}
+	}
+	return true
+}
+
+// Goal mirrors the §4 goal formulations for the CP model.
+type Goal uint8
+
+// Goal formulations (§4, §5.2 MiniZinc table).
+const (
+	GoalExact      Goal = iota // output registers are exactly 1..n
+	GoalAscCounts0             // ascending + occurrence counts incl. 0
+	GoalAscCounts              // ascending + occurrence counts of 1..n
+	GoalAscExact               // ascending + counts + exact (over-constrained)
+)
+
+// Options configures the CP synthesis model.
+type Options struct {
+	Length int
+	Goal   Goal
+
+	// The §4 heuristics (the MiniZinc heuristic table of §5.2).
+	NoConsecutiveCmp bool // (I)
+	CmpSymmetry      bool // (II)
+	NoSelfOps        bool
+	FirstIsCmp       bool
+
+	// Examples overrides the test suite (default: all permutations).
+	Examples [][]int
+
+	MaxNodes int64
+	Timeout  time.Duration
+}
+
+// Result reports a CP synthesis outcome.
+type Result struct {
+	Program   isa.Program // nil if none found
+	Exhausted bool        // search tree fully explored (refutation is sound)
+	Nodes     int64
+	Failures  int64
+	Solutions int64 // only set by EnumerateAll
+	Elapsed   time.Duration
+
+	programs []isa.Program
+}
+
+// model builds the CP instance and returns the solver, the branch
+// variables, and a decode function.
+func model(set *isa.Set, opt Options) (*Solver, []Var, func() isa.Program) {
+	s := NewSolver()
+	r := set.Regs()
+	n := set.N
+	d := n + 1
+	var ops []isa.Op
+	switch set.Kind {
+	case isa.KindCmov:
+		ops = []isa.Op{isa.Mov, isa.Cmp, isa.Cmovl, isa.Cmovg}
+	case isa.KindMinMax:
+		ops = []isa.Op{isa.Mov, isa.Min, isa.Max}
+	}
+	cmpIdx := -1
+	for i, op := range ops {
+		if op == isa.Cmp {
+			cmpIdx = i
+		}
+	}
+
+	cmd := make([]Var, opt.Length)
+	dst := make([]Var, opt.Length)
+	src := make([]Var, opt.Length)
+	branch := make([]Var, 0, 3*opt.Length)
+	for t := 0; t < opt.Length; t++ {
+		cmd[t] = s.NewVar(len(ops))
+		dst[t] = s.NewVar(r)
+		src[t] = s.NewVar(r)
+		branch = append(branch, cmd[t], dst[t], src[t])
+	}
+
+	// Heuristic constraints.
+	if opt.NoConsecutiveCmp && cmpIdx >= 0 {
+		for t := 0; t+1 < opt.Length; t++ {
+			var rows [][]int
+			for a := range ops {
+				for b := range ops {
+					if a == cmpIdx && b == cmpIdx {
+						continue
+					}
+					rows = append(rows, []int{a, b})
+				}
+			}
+			s.Post(&Table{Xs: []Var{cmd[t], cmd[t+1]}, Rows: rows})
+		}
+	}
+	if opt.CmpSymmetry && cmpIdx >= 0 {
+		for t := 0; t < opt.Length; t++ {
+			var rows [][]int
+			for c := range ops {
+				for a := 0; a < r; a++ {
+					for b := 0; b < r; b++ {
+						if c == cmpIdx && a >= b {
+							continue
+						}
+						rows = append(rows, []int{c, a, b})
+					}
+				}
+			}
+			s.Post(&Table{Xs: []Var{cmd[t], dst[t], src[t]}, Rows: rows})
+		}
+	}
+	if opt.NoSelfOps {
+		for t := 0; t < opt.Length; t++ {
+			s.Post(&NotEqualVars{X: dst[t], Y: src[t]})
+		}
+	}
+	if opt.FirstIsCmp && cmpIdx >= 0 {
+		s.Post(&Table{Xs: []Var{cmd[0]}, Rows: [][]int{{cmpIdx}}})
+	}
+
+	examples := opt.Examples
+	if examples == nil {
+		examples = perm.All(n)
+	}
+	for _, ex := range examples {
+		// Value and flag trace variables for this example.
+		val := make([][]Var, opt.Length+1)
+		var lt, gt []Var
+		if set.HasFlags() {
+			lt = make([]Var, opt.Length+1)
+			gt = make([]Var, opt.Length+1)
+		}
+		for t := 0; t <= opt.Length; t++ {
+			val[t] = make([]Var, r)
+			for reg := 0; reg < r; reg++ {
+				val[t][reg] = s.NewVar(d)
+			}
+			if set.HasFlags() {
+				lt[t] = s.NewVar(2)
+				gt[t] = s.NewVar(2)
+			}
+		}
+		// Initial state.
+		for i, v := range ex {
+			s.Assign(val[0][i], v)
+		}
+		for sc := n; sc < r; sc++ {
+			s.Assign(val[0][sc], 0)
+		}
+		if set.HasFlags() {
+			s.Assign(lt[0], 0)
+			s.Assign(gt[0], 0)
+		}
+		// Transition propagators.
+		for t := 0; t < opt.Length; t++ {
+			p := &stepProp{
+				ops: ops, regs: r,
+				cmd: cmd[t], dst: dst[t], src: src[t],
+				valIn: val[t], valOut: val[t+1],
+				hasFlags: set.HasFlags(),
+			}
+			if set.HasFlags() {
+				p.ltIn, p.gtIn, p.ltOut, p.gtOut = lt[t], gt[t], lt[t+1], gt[t+1]
+			}
+			p.vars = append([]Var{cmd[t], dst[t], src[t]}, val[t]...)
+			p.vars = append(p.vars, val[t+1]...)
+			if set.HasFlags() {
+				p.vars = append(p.vars, lt[t], gt[t], lt[t+1], gt[t+1])
+			}
+			s.Post(p)
+		}
+		// Goal.
+		final := val[opt.Length][:n]
+		switch opt.Goal {
+		case GoalExact:
+			for i := 0; i < n; i++ {
+				s.Assign(final[i], i+1)
+			}
+		case GoalAscCounts0, GoalAscCounts, GoalAscExact:
+			for i := 0; i+1 < n; i++ {
+				s.Post(&LessEq{X: final[i], Y: final[i+1]})
+			}
+			for v := 1; v <= n; v++ {
+				s.Post(&ExactlyOne{Xs: final, V: v})
+			}
+			if opt.Goal != GoalAscCounts {
+				s.Post(&NeverValue{Xs: final, V: 0})
+			}
+			if opt.Goal == GoalAscExact {
+				for i := 0; i < n; i++ {
+					s.Assign(final[i], i+1)
+				}
+			}
+		}
+	}
+
+	s.MaxNodes = opt.MaxNodes
+	s.Timeout = opt.Timeout
+	decode := func() isa.Program {
+		p := make(isa.Program, opt.Length)
+		for t := 0; t < opt.Length; t++ {
+			p[t] = isa.Instr{
+				Op:  ops[s.Value(cmd[t])],
+				Dst: uint8(s.Value(dst[t])),
+				Src: uint8(s.Value(src[t])),
+			}
+		}
+		return p
+	}
+	return s, branch, decode
+}
+
+// Synthesize searches for one program of the given length.
+func Synthesize(set *isa.Set, opt Options) *Result {
+	start := time.Now()
+	s, branch, decode := model(set, opt)
+	res := &Result{}
+	if s.Solve(branch) {
+		res.Program = decode()
+	}
+	res.Exhausted = s.Exhausted()
+	res.Nodes, res.Failures = s.Nodes, s.Failures
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// EnumerateAll counts (and optionally collects up to max) all programs of
+// the given length satisfying the model — the paper's "all possible
+// solutions" CP experiment (33612 without / 5602 with symmetries for
+// n = 3).
+func EnumerateAll(set *isa.Set, opt Options, max int) *Result {
+	start := time.Now()
+	s, branch, decode := model(set, opt)
+	res := &Result{}
+	res.Solutions = s.SolveAll(branch, func() bool {
+		if max == 0 || len(res.programs) < max {
+			res.programs = append(res.programs, decode())
+		}
+		return true
+	})
+	res.Exhausted = s.Exhausted()
+	res.Nodes, res.Failures = s.Nodes, s.Failures
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Programs returns the collected programs of an EnumerateAll run.
+func (r *Result) Programs() []isa.Program { return r.programs }

@@ -1,0 +1,153 @@
+package cp
+
+// Table is an extensional constraint: the tuple (vars...) must match one
+// of the allowed rows. Filtering is generalized arc consistency by
+// support scanning, adequate for the small tables of the kernel model.
+type Table struct {
+	Xs   []Var
+	Rows [][]int
+}
+
+// Vars implements Propagator.
+func (t *Table) Vars() []Var { return t.Xs }
+
+// Propagate implements Propagator.
+func (t *Table) Propagate(s *Solver) bool {
+	// supported[i] = union of row values for position i over feasible rows.
+	supported := make([]Domain, len(t.Xs))
+	for _, row := range t.Rows {
+		ok := true
+		for i, v := range row {
+			if !s.Dom(t.Xs[i]).Has(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i, v := range row {
+			supported[i] |= 1 << v
+		}
+	}
+	for i, x := range t.Xs {
+		if !s.SetDomain(x, supported[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LessEq enforces X ≤ Y on values (bounds filtering).
+type LessEq struct{ X, Y Var }
+
+// Vars implements Propagator.
+func (c *LessEq) Vars() []Var { return []Var{c.X, c.Y} }
+
+// Propagate implements Propagator.
+func (c *LessEq) Propagate(s *Solver) bool {
+	dx, dy := s.Dom(c.X), s.Dom(c.Y)
+	minX := dx.Min()
+	maxY := 63 - leadingZeros(dy)
+	// X ≤ max(Y), Y ≥ min(X).
+	if !s.SetDomain(c.X, Full(maxY+1)) {
+		return false
+	}
+	return s.SetDomain(c.Y, ^Domain(0)<<minX)
+}
+
+func leadingZeros(d Domain) int {
+	for i := 63; i >= 0; i-- {
+		if d.Has(i) {
+			return 63 - i
+		}
+	}
+	return 64
+}
+
+// ExactlyOne enforces that exactly one of the Xs takes value V.
+type ExactlyOne struct {
+	Xs []Var
+	V  int
+}
+
+// Vars implements Propagator.
+func (c *ExactlyOne) Vars() []Var { return c.Xs }
+
+// Propagate implements Propagator.
+func (c *ExactlyOne) Propagate(s *Solver) bool {
+	fixed := -1
+	possible := 0
+	last := -1
+	for i, x := range c.Xs {
+		d := s.Dom(x)
+		if d.Has(c.V) {
+			possible++
+			last = i
+			if d.Size() == 1 {
+				if fixed >= 0 {
+					return false // two variables already equal V
+				}
+				fixed = i
+			}
+		}
+	}
+	if possible == 0 {
+		return false
+	}
+	if fixed >= 0 {
+		// Remove V everywhere else.
+		for i, x := range c.Xs {
+			if i != fixed {
+				if !s.Remove(x, c.V) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if possible == 1 {
+		return s.Assign(c.Xs[last], c.V)
+	}
+	return true
+}
+
+// NeverValue forbids value V on all Xs.
+type NeverValue struct {
+	Xs []Var
+	V  int
+}
+
+// Vars implements Propagator.
+func (c *NeverValue) Vars() []Var { return c.Xs }
+
+// Propagate implements Propagator.
+func (c *NeverValue) Propagate(s *Solver) bool {
+	for _, x := range c.Xs {
+		if !s.Remove(x, c.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// NotEqualVars enforces X ≠ Y (as variables, i.e. different values).
+type NotEqualVars struct{ X, Y Var }
+
+// Vars implements Propagator.
+func (c *NotEqualVars) Vars() []Var { return []Var{c.X, c.Y} }
+
+// Propagate implements Propagator.
+func (c *NotEqualVars) Propagate(s *Solver) bool {
+	if s.Fixed(c.X) {
+		if !s.Remove(c.Y, s.Value(c.X)) {
+			return false
+		}
+	}
+	if s.Fixed(c.Y) {
+		if !s.Remove(c.X, s.Value(c.Y)) {
+			return false
+		}
+	}
+	return true
+}

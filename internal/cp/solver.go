@@ -1,0 +1,295 @@
+// Package cp is a from-scratch finite-domain constraint-programming
+// engine and the MiniZinc-style sorting-kernel model of paper §4.2.
+//
+// The engine provides bitset domains (≤ 64 values), a propagation queue
+// to fixpoint, chronological DFS with domain trailing, and a small
+// library of propagators: extensional tables, guarded (reified) copies,
+// binary orderings, occurrence constraints, and a dedicated
+// register-transition propagator playing the role of the element/channel
+// decomposition a MiniZinc model compiles to. Unlike Chuffed — the only
+// solver that cracked n = 3 in the paper — it does not learn clauses,
+// which the evaluation calls out as the decisive solver feature; this is
+// documented as expected behaviour (see EXPERIMENTS.md T5).
+package cp
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Var is a finite-domain variable handle.
+type Var int
+
+// Domain is a bitset over values 0..63.
+type Domain uint64
+
+// Has reports whether value v is in the domain.
+func (d Domain) Has(v int) bool { return d&(1<<v) != 0 }
+
+// Size returns the number of values.
+func (d Domain) Size() int { return bits.OnesCount64(uint64(d)) }
+
+// Min returns the smallest value (d must be nonempty).
+func (d Domain) Min() int { return bits.TrailingZeros64(uint64(d)) }
+
+// Full returns the domain {0..n-1}.
+func Full(n int) Domain {
+	if n >= 64 {
+		panic("cp: domain too large")
+	}
+	return Domain(1<<n - 1)
+}
+
+// Propagator is a constraint with a filtering algorithm. Propagate
+// removes inconsistent values via Solver.Remove/Assign and returns false
+// on wipe-out.
+type Propagator interface {
+	// Vars lists the variables to watch: the propagator re-runs when any
+	// of their domains shrink.
+	Vars() []Var
+	// Propagate filters domains; returns false on conflict.
+	Propagate(s *Solver) bool
+}
+
+// Solver is the FD engine.
+type Solver struct {
+	domains []Domain
+	props   []Propagator
+	watch   [][]int32
+
+	queue   []int32
+	inQueue []bool
+
+	trail    []trailEntry
+	trailLim []int
+
+	// Budget limits (0 = unlimited).
+	MaxNodes int64
+	Timeout  time.Duration
+
+	Nodes     int64
+	Failures  int64
+	deadline  time.Time
+	exhausted bool
+}
+
+type trailEntry struct {
+	v   Var
+	old Domain
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver { return &Solver{} }
+
+// NewVar allocates a variable with domain {0..n-1}.
+func (s *Solver) NewVar(n int) Var {
+	v := Var(len(s.domains))
+	s.domains = append(s.domains, Full(n))
+	s.watch = append(s.watch, nil)
+	return v
+}
+
+// Dom returns the current domain of v.
+func (s *Solver) Dom(v Var) Domain { return s.domains[v] }
+
+// Value returns the assigned value of v (domain must be a singleton).
+func (s *Solver) Value(v Var) int { return s.domains[v].Min() }
+
+// Fixed reports whether v is assigned.
+func (s *Solver) Fixed(v Var) bool { return s.domains[v].Size() == 1 }
+
+// Post registers a propagator and schedules its first run.
+func (s *Solver) Post(p Propagator) {
+	idx := int32(len(s.props))
+	s.props = append(s.props, p)
+	s.inQueue = append(s.inQueue, false)
+	for _, v := range p.Vars() {
+		s.watch[v] = append(s.watch[v], idx)
+	}
+	s.enqueue(idx)
+}
+
+func (s *Solver) enqueue(p int32) {
+	if !s.inQueue[p] {
+		s.inQueue[p] = true
+		s.queue = append(s.queue, p)
+	}
+}
+
+func (s *Solver) save(v Var) {
+	s.trail = append(s.trail, trailEntry{v: v, old: s.domains[v]})
+}
+
+// SetDomain restricts v to d ∩ dom(v); returns false on wipe-out.
+func (s *Solver) SetDomain(v Var, d Domain) bool {
+	nd := s.domains[v] & d
+	if nd == s.domains[v] {
+		return nd != 0
+	}
+	if nd == 0 {
+		return false
+	}
+	s.save(v)
+	s.domains[v] = nd
+	for _, p := range s.watch[v] {
+		s.enqueue(p)
+	}
+	return true
+}
+
+// Remove deletes value k from v's domain; returns false on wipe-out.
+func (s *Solver) Remove(v Var, k int) bool {
+	return s.SetDomain(v, ^(Domain(1) << k))
+}
+
+// Assign fixes v to k; returns false if k is not in the domain.
+func (s *Solver) Assign(v Var, k int) bool {
+	return s.SetDomain(v, Domain(1)<<k)
+}
+
+// fixpoint runs the propagation queue to completion.
+func (s *Solver) fixpoint() bool {
+	for len(s.queue) > 0 {
+		p := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.inQueue[p] = false
+		if !s.props[p].Propagate(s) {
+			s.queue = s.queue[:0]
+			for i := range s.inQueue {
+				s.inQueue[i] = false
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) pushLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) popLevel() {
+	lim := s.trailLim[len(s.trailLim)-1]
+	s.trailLim = s.trailLim[:len(s.trailLim)-1]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		e := s.trail[i]
+		s.domains[e.v] = e.old
+	}
+	s.trail = s.trail[:lim]
+}
+
+// Solve searches for one solution, branching on branchVars in order
+// (smallest value first). It returns true if a solution was found;
+// Exhausted distinguishes refutation from budget stop.
+func (s *Solver) Solve(branchVars []Var) bool {
+	if s.Timeout > 0 {
+		s.deadline = time.Now().Add(s.Timeout)
+	}
+	s.exhausted = true
+	if !s.fixpoint() {
+		return false
+	}
+	return s.dfs(branchVars)
+}
+
+// Exhausted reports whether the last Solve explored the full tree (false
+// when a budget stopped it early).
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+func (s *Solver) budgetStop() bool {
+	if s.MaxNodes > 0 && s.Nodes >= s.MaxNodes {
+		return true
+	}
+	if !s.deadline.IsZero() && s.Nodes%64 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+func (s *Solver) dfs(branchVars []Var) bool {
+	// Find first unfixed branch variable.
+	var v Var = -1
+	for _, bv := range branchVars {
+		if !s.Fixed(bv) {
+			v = bv
+			break
+		}
+	}
+	if v < 0 {
+		return true // all decision variables fixed and consistent
+	}
+	if s.budgetStop() {
+		s.exhausted = false
+		return false
+	}
+	dom := s.domains[v]
+	for k := 0; k < 64; k++ {
+		if !dom.Has(k) {
+			continue
+		}
+		s.Nodes++
+		s.pushLevel()
+		if s.Assign(v, k) && s.fixpoint() && s.dfs(branchVars) {
+			return true
+		}
+		s.Failures++
+		s.popLevel()
+		if !s.exhausted {
+			return false
+		}
+	}
+	return false
+}
+
+// SolveAll enumerates solutions, invoking yield with the solver in a
+// solved state; yield returns false to stop. Returns the solution count.
+func (s *Solver) SolveAll(branchVars []Var, yield func() bool) int64 {
+	if s.Timeout > 0 {
+		s.deadline = time.Now().Add(s.Timeout)
+	}
+	s.exhausted = true
+	if !s.fixpoint() {
+		return 0
+	}
+	var count int64
+	s.dfsAll(branchVars, &count, yield)
+	return count
+}
+
+func (s *Solver) dfsAll(branchVars []Var, count *int64, yield func() bool) bool {
+	var v Var = -1
+	for _, bv := range branchVars {
+		if !s.Fixed(bv) {
+			v = bv
+			break
+		}
+	}
+	if v < 0 {
+		*count++
+		if yield != nil && !yield() {
+			s.exhausted = false
+			return false
+		}
+		return true
+	}
+	if s.budgetStop() {
+		s.exhausted = false
+		return false
+	}
+	dom := s.domains[v]
+	for k := 0; k < 64; k++ {
+		if !dom.Has(k) {
+			continue
+		}
+		s.Nodes++
+		s.pushLevel()
+		if s.Assign(v, k) && s.fixpoint() {
+			if !s.dfsAll(branchVars, count, yield) {
+				s.popLevel()
+				return false
+			}
+		} else {
+			s.Failures++
+		}
+		s.popLevel()
+	}
+	return true
+}

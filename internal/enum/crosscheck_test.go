@@ -1,0 +1,97 @@
+package enum
+
+import (
+	"testing"
+
+	"sortsynth/internal/cp"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+)
+
+// bruteForceCount enumerates every program of exactly the given length
+// over the legal instruction set and counts the ones that sort all
+// permutations — the ground truth for the all-solutions path-DAG
+// machinery.
+func bruteForceCount(set *isa.Set, length int) int64 {
+	m := state.NewMachine(set)
+	instrs := set.Instrs()
+	var count int64
+	var rec func(depth int, s state.State)
+	rec = func(depth int, s state.State) {
+		if depth == length {
+			if m.AllSorted(s) {
+				count++
+			}
+			return
+		}
+		for _, in := range instrs {
+			rec(depth+1, m.Apply(nil, s, in))
+		}
+	}
+	rec(0, m.Initial().Clone())
+	return count
+}
+
+func TestAllSolutionsMatchesBruteForceN2(t *testing.T) {
+	// 21 instructions, length 4: 194,481 programs enumerated explicitly.
+	set := isa.NewCmov(2, 1)
+	want := bruteForceCount(set, 4)
+	if want == 0 {
+		t.Fatal("brute force found no solutions")
+	}
+
+	opt := ConfigAllSolutions()
+	opt.MaxLen = 4
+	res := Run(set, opt)
+	if res.Length != 4 {
+		t.Fatalf("length = %d", res.Length)
+	}
+	if res.SolutionCount != want {
+		t.Errorf("path-DAG count = %d, brute force = %d", res.SolutionCount, want)
+	}
+	if int64(len(res.Programs)) != want {
+		t.Errorf("materialized %d programs, want %d", len(res.Programs), want)
+	}
+	// Programs must be pairwise distinct.
+	seen := map[string]bool{}
+	for _, p := range res.Programs {
+		k := p.FormatInline(2)
+		if seen[k] {
+			t.Fatalf("duplicate program enumerated: %s", k)
+		}
+		seen[k] = true
+	}
+	t.Logf("n=2: %d optimal programs (brute force confirmed)", want)
+}
+
+func TestAllSolutionsMatchesBruteForceMinMaxN2(t *testing.T) {
+	set := isa.NewMinMax(2, 1)
+	want := bruteForceCount(set, 3)
+	opt := ConfigAllSolutions()
+	opt.MaxLen = 3
+	res := Run(set, opt)
+	if res.Length != 3 || res.SolutionCount != want {
+		t.Errorf("minmax: length=%d count=%d, brute force=%d", res.Length, res.SolutionCount, want)
+	}
+}
+
+func TestCPEnumerationAgreesWithSearchN2(t *testing.T) {
+	// A third, independent implementation: the CP model restricted to the
+	// same legal instruction space (no self-ops, cmp argument order) must
+	// count the same optimal programs.
+	set := isa.NewCmov(2, 1)
+	opt := ConfigAllSolutions()
+	opt.MaxLen = 4
+	res := Run(set, opt)
+
+	cpRes := cp.EnumerateAll(set, cp.Options{
+		Length: 4, Goal: cp.GoalAscCounts0,
+		NoSelfOps: true, CmpSymmetry: true,
+	}, 0)
+	if !cpRes.Exhausted {
+		t.Fatal("CP enumeration not exhaustive")
+	}
+	if cpRes.Solutions != res.SolutionCount {
+		t.Errorf("CP counts %d solutions, search counts %d", cpRes.Solutions, res.SolutionCount)
+	}
+}

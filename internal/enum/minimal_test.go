@@ -1,0 +1,63 @@
+package enum
+
+import (
+	"testing"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/sortnet"
+)
+
+func TestRunMinimalN2Certified(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	upper := len(sortnet.Optimal(2).CompileCmov()) // 4
+	res := RunMinimal(set, upper, 0)
+	if res.Length != 4 {
+		t.Fatalf("minimal length = %d, want 4", res.Length)
+	}
+	if !res.Proof {
+		t.Error("minimality not certified for n=2")
+	}
+	sortsAll(t, set, res.Program)
+}
+
+func TestRunMinimalN3Certified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	set := isa.NewCmov(3, 1)
+	upper := len(sortnet.Optimal(3).CompileCmov()) // 12
+	res := RunMinimal(set, upper, 2*time.Minute)
+	if res.Length != 11 {
+		t.Fatalf("minimal length = %d, want 11", res.Length)
+	}
+	if !res.Proof {
+		t.Error("minimality not certified (length-10 exhaustion should fit the budget)")
+	}
+	sortsAll(t, set, res.Program)
+}
+
+func TestRunMinimalMinMaxN3(t *testing.T) {
+	set := isa.NewMinMax(3, 1)
+	upper := len(sortnet.Optimal(3).CompileMinMax()) // 9
+	res := RunMinimal(set, upper, time.Minute)
+	if res.Length != 8 {
+		t.Fatalf("minimal min/max length = %d, want 8", res.Length)
+	}
+	if !res.Proof {
+		t.Error("min/max minimality not certified")
+	}
+}
+
+func TestRunMinimalUpperTooSmall(t *testing.T) {
+	// No kernel of length ≤ 3 exists for n=2; RunMinimal must certify
+	// the negative outcome.
+	set := isa.NewCmov(2, 1)
+	res := RunMinimal(set, 3, 0)
+	if res.Length != -1 {
+		t.Fatalf("found impossible kernel of length %d", res.Length)
+	}
+	if !res.Proof {
+		t.Error("negative outcome not certified")
+	}
+}

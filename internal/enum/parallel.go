@@ -1,0 +1,180 @@
+package enum
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+	"sortsynth/internal/tables"
+)
+
+// runParallel is the level-synchronous parallel Dijkstra variant
+// (ablation row "dijkstra, parallel"): all states of program length g are
+// expanded concurrently, the successors are merged sequentially into the
+// dedup map, and the next level proceeds. Level order gives Dijkstra
+// semantics, so the first level containing a solution is optimal and — in
+// AllSolutions mode — complete once merged.
+func runParallel(set *isa.Set, opt Options) *Result {
+	s := newSearcher(set, opt)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	instrs := set.Instrs()
+
+	type frontierEntry struct {
+		id int32
+		st state.State
+	}
+	type childCand struct {
+		parent  int32
+		instrID uint16
+		st      state.State
+		sorted  bool
+		pc      int
+	}
+
+	frontier := []frontierEntry{{id: 0, st: s.m.Initial().Clone()}}
+	for g := 0; len(frontier) > 0; g++ {
+		if g >= s.bound || g > 250 {
+			break
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.res.TimedOut = true
+			return s.finish()
+		}
+		if s.opt.StateBudget > 0 && s.res.Expanded >= s.opt.StateBudget {
+			return s.finish()
+		}
+
+		// Expand the level in parallel. Workers apply the viability and
+		// cut filters; the cut reference is the completed previous level,
+		// which makes the parallel cut deterministic.
+		results := make([][]childCand, workers)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		var generated, pruned, cut int64
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := min(lo+chunk, len(frontier))
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				var buf state.State
+				var out []childCand
+				var lgen, lpr, lcut int64
+				for _, fe := range frontier[lo:hi] {
+					var guide tables.Mask
+					if s.opt.UseActionGuide {
+						guide = s.tab.GuideMask(fe.st)
+					}
+					for id, in := range instrs {
+						if s.opt.UseActionGuide && !guide.Has(id) {
+							continue
+						}
+						buf = s.m.Apply(buf, fe.st, in)
+						lgen++
+						cand := childCand{parent: fe.id, instrID: uint16(id)}
+						cand.sorted = s.m.AllSorted(buf)
+						if !cand.sorted {
+							if g+1 >= s.bound {
+								lpr++
+								continue
+							}
+							if s.opt.UseDistPrune {
+								lb := s.tab.MaxDist(buf)
+								if lb == tables.Infinite || (s.bound != unbounded && g+1+lb > s.bound) {
+									lpr++
+									continue
+								}
+							} else if s.opt.ViabilityErase && !s.m.AllViable(buf) {
+								lpr++
+								continue
+							}
+							if s.opt.Cut != CutNone {
+								cand.pc = s.m.PermCount(buf)
+								if ref := s.bestPerm[g]; ref != math.MaxInt32 {
+									var limit float64
+									if s.opt.Cut == CutFactor {
+										limit = s.opt.CutK * float64(ref)
+									} else {
+										limit = float64(ref) + s.opt.CutK
+									}
+									if float64(cand.pc) > limit {
+										lcut++
+										continue
+									}
+								}
+							}
+						}
+						cand.st = buf.Clone()
+						out = append(out, cand)
+					}
+				}
+				results[w] = out
+				mu.Lock()
+				generated += lgen
+				pruned += lpr
+				cut += lcut
+				mu.Unlock()
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		s.res.Expanded += int64(len(frontier))
+		s.res.Generated += generated
+		s.res.Pruned += pruned
+		s.res.CutCount += cut
+
+		// Sequential merge preserves the exact dedup/path-DAG semantics of
+		// the sequential engine.
+		next := frontier[:0]
+		cg := g + 1
+		for _, out := range results {
+			for _, cand := range out {
+				key := state.HashKey(cand.st)
+				if id, ok := s.dedup[key]; ok {
+					s.res.Deduped++
+					if s.opt.AllSolutions && int(s.nodes[id].g) == cg {
+						s.nodes[id].extra = append(s.nodes[id].extra, edge{parent: cand.parent, instr: cand.instrID})
+					}
+					continue
+				}
+				id := int32(len(s.nodes))
+				s.nodes = append(s.nodes, node{
+					edge:   edge{parent: cand.parent, instr: cand.instrID},
+					g:      uint8(cg),
+					sorted: cand.sorted,
+				})
+				s.dedup[key] = id
+				if cand.sorted {
+					s.recordSolution(id, cg)
+					continue
+				}
+				if s.opt.Cut != CutNone && cg < len(s.bestPerm) && int32(cand.pc) < s.bestPerm[cg] {
+					s.bestPerm[cg] = int32(cand.pc)
+				}
+				next = append(next, frontierEntry{id: id, st: cand.st})
+			}
+		}
+		if tr := s.opt.Trace; tr != nil {
+			tr.sample(s.start, s.res, len(next), s.solutionsSoFar())
+		}
+		if s.optLen >= 0 {
+			// Level order: the first level with a solution is optimal and,
+			// after this merge, complete.
+			break
+		}
+		frontier = next
+	}
+	if s.optLen < 0 {
+		s.res.Exhausted = true
+	}
+	return s.finish()
+}

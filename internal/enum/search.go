@@ -1,0 +1,369 @@
+package enum
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+	"sortsynth/internal/tables"
+)
+
+// Result reports the outcome of a synthesis run.
+type Result struct {
+	// Program is the first optimal program found (nil if none).
+	Program isa.Program
+	// Programs holds the enumerated optimal programs in AllSolutions mode
+	// (capped by MaxSolutions).
+	Programs []isa.Program
+	// Length is the length of the found solutions, or -1 if none.
+	Length int
+	// SolutionCount is the exact number of distinct optimal programs
+	// (DAG path count) in AllSolutions mode; 1 if a single program was
+	// synthesized; 0 if none.
+	SolutionCount int64
+
+	// Search statistics.
+	Expanded  int64 // states popped and expanded
+	Generated int64 // successor states produced
+	Deduped   int64 // successors merged into an existing state
+	CutCount  int64 // successors discarded by the §3.5 cut
+	Pruned    int64 // successors discarded by viability/budget checks
+
+	// Exhausted reports that the open list ran empty (no timeout or
+	// budget stop). Proof additionally asserts that only
+	// optimality-preserving pruning was active, so "no solution found"
+	// certifies that none exists within MaxLen.
+	Exhausted bool
+	Proof     bool
+	TimedOut  bool
+
+	Elapsed time.Duration
+}
+
+type edge struct {
+	parent int32
+	instr  uint16
+}
+
+type node struct {
+	edge
+	extra  []edge // additional optimal parents (AllSolutions mode)
+	g      uint8
+	sorted bool
+}
+
+type openItem struct {
+	f  int32
+	g  uint8
+	id int32
+	st state.State
+}
+
+type openHeap []openItem
+
+func (h openHeap) Len() int { return len(h) }
+func (h openHeap) Less(i, j int) bool {
+	if h[i].f != h[j].f {
+		return h[i].f < h[j].f
+	}
+	return h[i].g > h[j].g // deeper first on ties
+}
+func (h openHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *openHeap) Push(x any)   { *h = append(*h, x.(openItem)) }
+func (h *openHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1].st = nil
+	*h = old[:n-1]
+	return it
+}
+
+const unbounded = math.MaxInt32
+
+type searcher struct {
+	m   *state.Machine
+	set *isa.Set
+	tab *tables.Table
+	opt Options
+
+	nodes    []node
+	dedup    map[state.Key128]int32
+	pq       openHeap
+	bound    int // inclusive length bound
+	bestPerm []int32
+	sols     []int32
+	optLen   int
+	res      *Result
+	start    time.Time
+	deadline time.Time
+	buf      state.State
+	done     bool // single-solution mode: stop at the first solution
+}
+
+// Run synthesizes sorting kernels for the given instruction set according
+// to opt. Without AllSolutions it stops at the first solution; with
+// AllSolutions it exhausts the (pruned) search space at the optimal
+// length and enumerates all optimal programs.
+func Run(set *isa.Set, opt Options) *Result {
+	if opt.Workers > 1 {
+		return runParallel(set, opt)
+	}
+	s := newSearcher(set, opt)
+	s.search()
+	return s.finish()
+}
+
+func newSearcher(set *isa.Set, opt Options) *searcher {
+	suite := state.SuitePermutations
+	if opt.DuplicateSafe {
+		suite = state.SuiteWeakOrders
+	}
+	m := state.NewMachineSuite(set, suite)
+	s := &searcher{
+		m:     m,
+		set:   set,
+		opt:   opt,
+		dedup: make(map[state.Key128]int32, 1<<12),
+		bound: unbounded,
+		res:   &Result{Length: -1},
+		start: time.Now(),
+	}
+	if opt.MaxLen > 0 {
+		s.bound = opt.MaxLen
+	}
+	if opt.UseDistPrune || opt.UseActionGuide || opt.Heuristic == HeurDistMax {
+		s.tab = tables.For(m)
+	}
+	size := s.bound + 2
+	if size > 256 {
+		size = 256
+	}
+	s.bestPerm = make([]int32, size)
+	for i := range s.bestPerm {
+		s.bestPerm[i] = math.MaxInt32
+	}
+	if opt.Timeout > 0 {
+		s.deadline = s.start.Add(opt.Timeout)
+	}
+	s.optLen = -1
+
+	init := m.Initial().Clone()
+	s.nodes = append(s.nodes, node{edge: edge{parent: -1}, g: 0})
+	s.dedup[state.HashKey(init)] = 0
+	s.bestPerm[0] = int32(m.PermCount(init))
+	heap.Push(&s.pq, openItem{f: s.priority(0, init), g: 0, id: 0, st: init})
+	return s
+}
+
+// priority computes the open-list key f for a state at depth g.
+func (s *searcher) priority(g int, st state.State) int32 {
+	var h int
+	switch s.opt.Heuristic {
+	case HeurPermCount:
+		h = s.m.PermCount(st) - 1
+	case HeurAsgCount:
+		h = len(st) - 1
+	case HeurDistMax:
+		h = s.tab.MaxDist(st)
+	}
+	if w := s.opt.weight(); w != 1 {
+		h = int(math.Round(w * float64(h)))
+	}
+	return int32(g + h)
+}
+
+func (s *searcher) search() {
+	instrs := s.set.Instrs()
+	var sampleCountdown int64 = 1
+	for s.pq.Len() > 0 {
+		if s.opt.StateBudget > 0 && s.res.Expanded >= s.opt.StateBudget {
+			return
+		}
+		sampleCountdown--
+		if sampleCountdown <= 0 {
+			if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+				s.res.TimedOut = true
+				return
+			}
+			if tr := s.opt.Trace; tr != nil {
+				tr.sample(s.start, s.res, s.pq.Len(), s.solutionsSoFar())
+				sampleCountdown = tr.every()
+			} else {
+				sampleCountdown = 1024
+			}
+		}
+
+		it := heap.Pop(&s.pq).(openItem)
+		nd := &s.nodes[it.id]
+		if nd.g != it.g || nd.sorted {
+			continue // stale entry from a reopened node
+		}
+		g := int(it.g)
+		if g >= s.bound {
+			continue // no extension can stay within the bound
+		}
+		s.res.Expanded++
+
+		var guide tables.Mask
+		useGuide := s.opt.UseActionGuide
+		if useGuide {
+			guide = s.tab.GuideMask(it.st)
+		}
+		for id, in := range instrs {
+			if useGuide && !guide.Has(id) {
+				continue
+			}
+			s.expandChild(it.id, g, it.st, uint16(id), in)
+			if s.done {
+				return
+			}
+		}
+	}
+	s.res.Exhausted = true
+}
+
+// expandChild applies in to the parent state and routes the successor
+// through the viability, cut, and deduplication pipeline.
+func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID uint16, in isa.Instr) {
+	child := s.m.Apply(s.buf, st, in)
+	s.buf = child // keep the grown buffer
+	s.res.Generated++
+	cg := g + 1
+
+	sorted := s.m.AllSorted(child)
+	var pc int
+	if !sorted {
+		// A non-sorted state at the bound is a dead end (any completion
+		// needs at least one more instruction). The depth guard also keeps
+		// g within its uint8 storage for unbounded runs.
+		if cg >= s.bound || cg > 250 {
+			s.res.Pruned++
+			return
+		}
+		if s.opt.UseDistPrune {
+			lb := s.tab.MaxDist(child)
+			if lb == tables.Infinite || (s.bound != unbounded && cg+lb > s.bound) {
+				s.res.Pruned++
+				return
+			}
+		} else if s.opt.ViabilityErase && !s.m.AllViable(child) {
+			s.res.Pruned++
+			return
+		}
+		if s.opt.Cut != CutNone {
+			pc = s.m.PermCount(child)
+			if ref := s.bestPerm[g]; ref != math.MaxInt32 {
+				var limit float64
+				if s.opt.Cut == CutFactor {
+					limit = s.opt.CutK * float64(ref)
+				} else {
+					limit = float64(ref) + s.opt.CutK
+				}
+				if float64(pc) > limit {
+					s.res.CutCount++
+					return
+				}
+			}
+			if cg < len(s.bestPerm) && int32(pc) < s.bestPerm[cg] {
+				s.bestPerm[cg] = int32(pc)
+			}
+		}
+	}
+
+	key := state.HashKey(child)
+	if id, ok := s.dedup[key]; ok {
+		ex := &s.nodes[id]
+		switch {
+		case cg > int(ex.g):
+			s.res.Deduped++
+		case cg == int(ex.g):
+			s.res.Deduped++
+			if s.opt.AllSolutions {
+				ex.extra = append(ex.extra, edge{parent: parentID, instr: instrID})
+			}
+		default: // strictly better path to a known state (guided orders only)
+			ex.g = uint8(cg)
+			ex.edge = edge{parent: parentID, instr: instrID}
+			ex.extra = nil
+			if ex.sorted {
+				s.recordSolution(id, cg)
+			} else {
+				heap.Push(&s.pq, openItem{f: s.priority(cg, child), g: uint8(cg), id: id, st: child.Clone()})
+			}
+		}
+		return
+	}
+
+	id := int32(len(s.nodes))
+	s.nodes = append(s.nodes, node{
+		edge:   edge{parent: parentID, instr: instrID},
+		g:      uint8(cg),
+		sorted: sorted,
+	})
+	s.dedup[key] = id
+	if sorted {
+		s.recordSolution(id, cg)
+		return
+	}
+	heap.Push(&s.pq, openItem{f: s.priority(cg, child), g: uint8(cg), id: id, st: child.Clone()})
+}
+
+// recordSolution registers a sorted state found at depth g and tightens
+// the length bound.
+func (s *searcher) recordSolution(id int32, g int) {
+	switch {
+	case s.optLen == -1 || g < s.optLen:
+		s.optLen = g
+		s.sols = s.sols[:0]
+		s.sols = append(s.sols, id)
+		if g < s.bound {
+			s.bound = g
+		}
+	case g == s.optLen:
+		s.sols = append(s.sols, id)
+	}
+	if !s.opt.AllSolutions {
+		s.done = true
+	}
+}
+
+func (s *searcher) solutionsSoFar() int64 { return int64(len(s.sols)) }
+
+// program reconstructs the primary program of a node.
+func (s *searcher) program(id int32) isa.Program {
+	var rev []isa.Instr
+	for v := id; s.nodes[v].parent >= 0; v = s.nodes[v].parent {
+		rev = append(rev, s.set.Instrs()[s.nodes[v].instr])
+	}
+	p := make(isa.Program, len(rev))
+	for i, in := range rev {
+		p[len(rev)-1-i] = in
+	}
+	return p
+}
+
+// finish assembles the Result after the main loop.
+func (s *searcher) finish() *Result {
+	r := s.res
+	r.Elapsed = time.Since(s.start)
+	if s.optLen >= 0 {
+		r.Length = s.optLen
+		r.Program = s.program(s.sols[0])
+		if s.opt.AllSolutions {
+			r.SolutionCount = s.countPaths()
+			r.Programs = s.enumeratePrograms()
+		} else {
+			r.SolutionCount = 1
+		}
+	}
+	r.Proof = r.Exhausted && !r.TimedOut &&
+		s.opt.Cut == CutNone && !s.opt.UseActionGuide &&
+		(s.opt.StateBudget == 0 || r.Expanded < s.opt.StateBudget)
+	if tr := s.opt.Trace; tr != nil {
+		tr.sample(s.start, r, s.pq.Len(), r.SolutionCount)
+	}
+	return r
+}

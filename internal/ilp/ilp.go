@@ -1,0 +1,317 @@
+// Package ilp is a small integer-linear-programming solver and the
+// big-M formulation of sorting-kernel synthesis from paper §4.2
+// (CP-ILP).
+//
+// The solver does branch-and-bound depth-first search over bounded
+// integer variables with interval (bounds) propagation on linear
+// constraints — the core mechanism of MIP feasibility search, without an
+// LP relaxation (no simplex; the paper's model is a pure feasibility
+// problem with no objective, so bound propagation is the operative
+// part). The paper reports that none of the ILP formulations solved even
+// n = 3; this implementation reproduces the formulation and the failure
+// mode honestly under an explicit node/time budget.
+package ilp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Var is a variable handle.
+type Var int
+
+// Term is coef·var.
+type Term struct {
+	Coef int
+	Var  Var
+}
+
+// Op is a constraint relation.
+type Op uint8
+
+// Relations.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+// Constraint is sum(terms) op rhs.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   int
+}
+
+// Solver is a bounded-integer feasibility solver.
+type Solver struct {
+	lo, hi []int
+	cons   []Constraint
+	watch  [][]int32
+
+	// Budgets (0 = unlimited).
+	MaxNodes int64
+	Timeout  time.Duration
+
+	Nodes     int64
+	deadline  time.Time
+	exhausted bool
+
+	trail    []trailEntry
+	trailLim []int
+}
+
+type trailEntry struct {
+	v      Var
+	lo, hi int
+}
+
+// NewSolver returns an empty ILP solver.
+func NewSolver() *Solver { return &Solver{} }
+
+// NewVar allocates a variable with bounds [lo, hi].
+func (s *Solver) NewVar(lo, hi int) Var {
+	if lo > hi {
+		panic(fmt.Sprintf("ilp: empty bounds [%d,%d]", lo, hi))
+	}
+	v := Var(len(s.lo))
+	s.lo = append(s.lo, lo)
+	s.hi = append(s.hi, hi)
+	s.watch = append(s.watch, nil)
+	return v
+}
+
+// Binary allocates a 0/1 variable.
+func (s *Solver) Binary() Var { return s.NewVar(0, 1) }
+
+// Add posts a linear constraint.
+func (s *Solver) Add(c Constraint) {
+	idx := int32(len(s.cons))
+	s.cons = append(s.cons, c)
+	for _, t := range c.Terms {
+		s.watch[t.Var] = append(s.watch[t.Var], idx)
+	}
+}
+
+// AddLE posts sum(terms) ≤ rhs.
+func (s *Solver) AddLE(rhs int, terms ...Term) { s.Add(Constraint{Terms: terms, Op: LE, RHS: rhs}) }
+
+// AddGE posts sum(terms) ≥ rhs.
+func (s *Solver) AddGE(rhs int, terms ...Term) { s.Add(Constraint{Terms: terms, Op: GE, RHS: rhs}) }
+
+// AddEQ posts sum(terms) = rhs.
+func (s *Solver) AddEQ(rhs int, terms ...Term) { s.Add(Constraint{Terms: terms, Op: EQ, RHS: rhs}) }
+
+// Value returns the assigned value after a successful Solve.
+func (s *Solver) Value(v Var) int { return s.lo[v] }
+
+func (s *Solver) setLo(v Var, lo int) bool {
+	if lo <= s.lo[v] {
+		return true
+	}
+	s.trail = append(s.trail, trailEntry{v, s.lo[v], s.hi[v]})
+	s.lo[v] = lo
+	return lo <= s.hi[v]
+}
+
+func (s *Solver) setHi(v Var, hi int) bool {
+	if hi >= s.hi[v] {
+		return true
+	}
+	s.trail = append(s.trail, trailEntry{v, s.lo[v], s.hi[v]})
+	s.hi[v] = hi
+	return hi >= s.lo[v]
+}
+
+// propagate performs bounds propagation to fixpoint over all constraints.
+// Returns false on infeasibility.
+func (s *Solver) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for ci := range s.cons {
+			c := &s.cons[ci]
+			ok, ch := s.filterCon(c)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+	}
+	return true
+}
+
+// filterCon tightens bounds from one constraint.
+func (s *Solver) filterCon(c *Constraint) (ok, changed bool) {
+	// Activity bounds.
+	minAct, maxAct := 0, 0
+	for _, t := range c.Terms {
+		if t.Coef >= 0 {
+			minAct += t.Coef * s.lo[t.Var]
+			maxAct += t.Coef * s.hi[t.Var]
+		} else {
+			minAct += t.Coef * s.hi[t.Var]
+			maxAct += t.Coef * s.lo[t.Var]
+		}
+	}
+	if (c.Op == LE || c.Op == EQ) && minAct > c.RHS {
+		return false, false
+	}
+	if (c.Op == GE || c.Op == EQ) && maxAct < c.RHS {
+		return false, false
+	}
+	// Tighten each variable.
+	for _, t := range c.Terms {
+		if t.Coef == 0 {
+			continue
+		}
+		// Contribution bounds of this term.
+		var tLo, tHi int
+		if t.Coef >= 0 {
+			tLo, tHi = t.Coef*s.lo[t.Var], t.Coef*s.hi[t.Var]
+		} else {
+			tLo, tHi = t.Coef*s.hi[t.Var], t.Coef*s.lo[t.Var]
+		}
+		restMin, restMax := minAct-tLo, maxAct-tHi
+		if c.Op == LE || c.Op == EQ {
+			// t.Coef·x ≤ RHS − restMin.
+			bound := c.RHS - restMin
+			if t.Coef > 0 {
+				nh := floorDiv(bound, t.Coef)
+				if nh < s.hi[t.Var] {
+					if !s.setHi(t.Var, nh) {
+						return false, true
+					}
+					changed = true
+				}
+			} else {
+				nl := ceilDiv(bound, t.Coef)
+				if nl > s.lo[t.Var] {
+					if !s.setLo(t.Var, nl) {
+						return false, true
+					}
+					changed = true
+				}
+			}
+		}
+		if c.Op == GE || c.Op == EQ {
+			// t.Coef·x ≥ RHS − restMax.
+			bound := c.RHS - restMax
+			if t.Coef > 0 {
+				nl := ceilDiv(bound, t.Coef)
+				if nl > s.lo[t.Var] {
+					if !s.setLo(t.Var, nl) {
+						return false, true
+					}
+					changed = true
+				}
+			} else {
+				nh := floorDiv(bound, t.Coef)
+				if nh < s.hi[t.Var] {
+					if !s.setHi(t.Var, nh) {
+						return false, true
+					}
+					changed = true
+				}
+			}
+		}
+		// Refresh activity with possibly tightened bounds.
+		if changed {
+			minAct, maxAct = 0, 0
+			for _, u := range c.Terms {
+				if u.Coef >= 0 {
+					minAct += u.Coef * s.lo[u.Var]
+					maxAct += u.Coef * s.hi[u.Var]
+				} else {
+					minAct += u.Coef * s.hi[u.Var]
+					maxAct += u.Coef * s.lo[u.Var]
+				}
+			}
+		}
+	}
+	return true, changed
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+// Solve searches for a feasible integer assignment, branching on the
+// given variables in order. Returns true on feasibility; Exhausted
+// distinguishes refutation from budget stop.
+func (s *Solver) Solve(branch []Var) bool {
+	if s.Timeout > 0 {
+		s.deadline = time.Now().Add(s.Timeout)
+	}
+	s.exhausted = true
+	if !s.propagate() {
+		return false
+	}
+	return s.dfs(branch)
+}
+
+// Exhausted reports whether the last Solve explored the full tree.
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+func (s *Solver) dfs(branch []Var) bool {
+	// Pick the first unfixed branch variable; once all branch variables
+	// are fixed, finish any auxiliaries propagation left open.
+	var v Var = -1
+	for _, b := range branch {
+		if s.lo[b] != s.hi[b] {
+			v = b
+			break
+		}
+	}
+	if v < 0 {
+		for i := range s.lo {
+			if s.lo[i] != s.hi[i] {
+				v = Var(i)
+				break
+			}
+		}
+	}
+	if v < 0 {
+		return true
+	}
+	if s.MaxNodes > 0 && s.Nodes >= s.MaxNodes {
+		s.exhausted = false
+		return false
+	}
+	if !s.deadline.IsZero() && s.Nodes%64 == 0 && time.Now().After(s.deadline) {
+		s.exhausted = false
+		return false
+	}
+	for val := s.lo[v]; val <= s.hi[v]; val++ {
+		s.Nodes++
+		mark := len(s.trail)
+		s.trailLim = append(s.trailLim, mark)
+		ok := s.setLo(v, val) && s.setHi(v, val) && s.propagate() && s.dfs(branch)
+		if ok {
+			return true
+		}
+		// Undo.
+		lim := s.trailLim[len(s.trailLim)-1]
+		s.trailLim = s.trailLim[:len(s.trailLim)-1]
+		for i := len(s.trail) - 1; i >= lim; i-- {
+			e := s.trail[i]
+			s.lo[e.v], s.hi[e.v] = e.lo, e.hi
+		}
+		s.trail = s.trail[:lim]
+		if !s.exhausted {
+			return false
+		}
+	}
+	return false
+}

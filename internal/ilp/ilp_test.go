@@ -1,0 +1,129 @@
+package ilp
+
+import (
+	"testing"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/verify"
+)
+
+func TestBoundsPropagation(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar(0, 10)
+	y := s.NewVar(0, 10)
+	s.AddLE(5, Term{1, x}, Term{1, y}) // x + y ≤ 5
+	s.AddGE(4, Term{1, x})             // x ≥ 4
+	if !s.propagate() {
+		t.Fatal("feasible system reported infeasible")
+	}
+	if s.hi[y] != 1 {
+		t.Errorf("hi(y) = %d, want 1", s.hi[y])
+	}
+	if s.lo[x] != 4 {
+		t.Errorf("lo(x) = %d, want 4", s.lo[x])
+	}
+}
+
+func TestInfeasibleSystem(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar(0, 3)
+	s.AddGE(5, Term{1, x})
+	if s.propagate() {
+		t.Fatal("x ≥ 5 with x ≤ 3 not detected")
+	}
+}
+
+func TestEqualityChain(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar(0, 9)
+	y := s.NewVar(0, 9)
+	z := s.NewVar(0, 9)
+	s.AddEQ(0, Term{1, x}, Term{-1, y})
+	s.AddEQ(0, Term{1, y}, Term{-1, z})
+	s.AddEQ(7, Term{1, x})
+	if !s.Solve([]Var{x, y, z}) {
+		t.Fatal("no solution")
+	}
+	if s.Value(y) != 7 || s.Value(z) != 7 {
+		t.Errorf("y=%d z=%d, want 7 7", s.Value(y), s.Value(z))
+	}
+}
+
+func TestBinaryFeasibility(t *testing.T) {
+	// Exactly-one over three binaries plus an exclusion.
+	s := NewSolver()
+	a, b, c := s.Binary(), s.Binary(), s.Binary()
+	s.AddEQ(1, Term{1, a}, Term{1, b}, Term{1, c})
+	s.AddEQ(0, Term{1, a})
+	s.AddEQ(0, Term{1, c})
+	if !s.Solve([]Var{a, b, c}) {
+		t.Fatal("no solution")
+	}
+	if s.Value(b) != 1 {
+		t.Error("b must be 1")
+	}
+}
+
+func TestNegativeCoefficients(t *testing.T) {
+	s := NewSolver()
+	x := s.NewVar(-5, 5)
+	y := s.NewVar(-5, 5)
+	s.AddLE(-3, Term{-2, x}, Term{1, y}) // y − 2x ≤ −3
+	s.AddEQ(0, Term{1, x})
+	if !s.propagate() {
+		t.Fatal("infeasible?")
+	}
+	if s.hi[y] != -3 {
+		t.Errorf("hi(y) = %d, want -3", s.hi[y])
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	if floorDiv(7, 2) != 3 || floorDiv(-7, 2) != -4 || floorDiv(7, -2) != -4 {
+		t.Error("floorDiv wrong")
+	}
+	if ceilDiv(7, 2) != 4 || ceilDiv(-7, 2) != -3 || ceilDiv(-7, -2) != 4 {
+		t.Error("ceilDiv wrong")
+	}
+}
+
+func TestSynthesizeN2(t *testing.T) {
+	// The big-M model should crack the tiny n=2 instance.
+	set := isa.NewCmov(2, 1)
+	res := Synthesize(set, Options{Length: 4, MaxNodes: 5_000_000, Timeout: 60 * time.Second})
+	if res.Program == nil {
+		t.Fatalf("n=2 ILP found nothing after %d nodes (%d vars, %d cons)", res.Nodes, res.Vars, res.Cons)
+	}
+	if !verify.Sorts(set, res.Program) {
+		t.Fatalf("ILP program does not sort: %s", res.Program.FormatInline(2))
+	}
+	t.Logf("n=2 ILP: %d nodes, %d vars, %d cons, %v", res.Nodes, res.Vars, res.Cons, res.Elapsed)
+}
+
+func TestSynthesizeMinMaxN2(t *testing.T) {
+	set := isa.NewMinMax(2, 1)
+	res := Synthesize(set, Options{Length: 3, MaxNodes: 5_000_000, Timeout: 60 * time.Second})
+	if res.Program == nil {
+		t.Fatalf("minmax n=2 ILP found nothing after %d nodes", res.Nodes)
+	}
+	if !verify.Sorts(set, res.Program) {
+		t.Fatal("ILP min/max program does not sort")
+	}
+}
+
+func TestSynthesizeBudgetStop(t *testing.T) {
+	// n=3 is expected to be out of reach (the paper's ILP rows all
+	// failed); the run must stop at the budget, not claim refutation.
+	set := isa.NewCmov(3, 1)
+	res := Synthesize(set, Options{Length: 11, MaxNodes: 2000})
+	if res.Program != nil {
+		if !verify.Sorts(set, res.Program) {
+			t.Fatal("found incorrect program")
+		}
+		return // a miracle, but a correct one
+	}
+	if res.Exhausted {
+		t.Error("budget-limited run claims exhaustive refutation")
+	}
+}

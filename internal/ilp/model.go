@@ -1,0 +1,209 @@
+package ilp
+
+import (
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+)
+
+// Options configures the CP-ILP synthesis model (paper §4.2).
+type Options struct {
+	Length   int
+	MaxNodes int64
+	Timeout  time.Duration
+
+	// Examples overrides the test suite (default: all permutations).
+	Examples [][]int
+}
+
+// Result reports an ILP synthesis outcome.
+type Result struct {
+	Program   isa.Program
+	Exhausted bool
+	Nodes     int64
+	Vars      int
+	Cons      int
+	Elapsed   time.Duration
+}
+
+// Synthesize builds the big-M model and runs branch-and-bound. The
+// formulation follows §4.2: binary selection variables per (timestep,
+// instruction) with an exactly-one row, integer value variables per
+// (example, timestep, register), binary flag variables, activated-command
+// binaries for the conditional moves (the quadratic-constraint
+// linearization), and big-M coupling of values across timesteps. The
+// goal is the "= 123" formulation.
+func Synthesize(set *isa.Set, opt Options) *Result {
+	start := time.Now()
+	s := NewSolver()
+	n, r := set.N, set.Regs()
+	m := n + 1 // big-M over the value range 0..n
+	instrs := set.Instrs()
+	hasFlags := set.HasFlags()
+
+	// Selection binaries with exactly-one per step.
+	sel := make([][]Var, opt.Length)
+	var branch []Var
+	for t := 0; t < opt.Length; t++ {
+		sel[t] = make([]Var, len(instrs))
+		terms := make([]Term, len(instrs))
+		for i := range instrs {
+			sel[t][i] = s.Binary()
+			terms[i] = Term{Coef: 1, Var: sel[t][i]}
+		}
+		s.AddEQ(1, terms...)
+		branch = append(branch, sel[t]...)
+	}
+
+	examples := opt.Examples
+	if examples == nil {
+		examples = perm.All(n)
+	}
+	for _, ex := range examples {
+		val := make([][]Var, opt.Length+1)
+		var lt, gt []Var
+		if hasFlags {
+			lt = make([]Var, opt.Length+1)
+			gt = make([]Var, opt.Length+1)
+		}
+		for t := 0; t <= opt.Length; t++ {
+			val[t] = make([]Var, r)
+			for reg := 0; reg < r; reg++ {
+				if t == 0 {
+					v := 0
+					if reg < n {
+						v = ex[reg]
+					}
+					val[t][reg] = s.NewVar(v, v)
+				} else {
+					val[t][reg] = s.NewVar(0, n)
+				}
+			}
+			if hasFlags {
+				if t == 0 {
+					lt[t], gt[t] = s.NewVar(0, 0), s.NewVar(0, 0)
+				} else {
+					lt[t], gt[t] = s.Binary(), s.Binary()
+					s.AddLE(1, Term{1, lt[t]}, Term{1, gt[t]})
+				}
+			}
+		}
+
+		// eqBigM posts |x − y| ≤ M·(k − Σgates): when all gate binaries
+		// are 1 and k = #gates, x = y is enforced.
+		eqBigM := func(x, y Var, gates ...Var) {
+			k := len(gates)
+			t1 := []Term{{1, x}, {-1, y}}
+			t2 := []Term{{-1, x}, {1, y}}
+			for _, g := range gates {
+				t1 = append(t1, Term{m, g})
+				t2 = append(t2, Term{m, g})
+			}
+			s.AddLE(m*k, t1...)
+			s.AddLE(m*k, t2...)
+		}
+
+		for t := 0; t < opt.Length; t++ {
+			for i, instr := range instrs {
+				g := sel[t][i]
+				d, src := int(instr.Dst), int(instr.Src)
+				switch instr.Op {
+				case isa.Mov:
+					eqBigM(val[t+1][d], val[t][src], g)
+					for reg := 0; reg < r; reg++ {
+						if reg != d {
+							eqBigM(val[t+1][reg], val[t][reg], g)
+						}
+					}
+					if hasFlags {
+						eqBigM(lt[t+1], lt[t], g)
+						eqBigM(gt[t+1], gt[t], g)
+					}
+				case isa.Cmp:
+					for reg := 0; reg < r; reg++ {
+						eqBigM(val[t+1][reg], val[t][reg], g)
+					}
+					a, b := val[t][d], val[t][src]
+					// g=1 ∧ lt'=1 → a ≤ b−1 ; g=1 ∧ lt'=0 → a ≥ b.
+					s.AddLE(2*m-1, Term{1, a}, Term{-1, b}, Term{m, lt[t+1]}, Term{m, g})
+					s.AddLE(m, Term{-1, a}, Term{1, b}, Term{-m, lt[t+1]}, Term{m, g})
+					// Same for gt with roles swapped.
+					s.AddLE(2*m-1, Term{1, b}, Term{-1, a}, Term{m, gt[t+1]}, Term{m, g})
+					s.AddLE(m, Term{-1, b}, Term{1, a}, Term{-m, gt[t+1]}, Term{m, g})
+				case isa.Cmovl, isa.Cmovg:
+					flag := lt[t]
+					if instr.Op == isa.Cmovg {
+						flag = gt[t]
+					}
+					// Activated-command binary z = g · flag (the paper's
+					// quadratic-constraint linearization).
+					z := s.Binary()
+					s.AddLE(0, Term{1, z}, Term{-1, g})
+					s.AddLE(0, Term{1, z}, Term{-1, flag})
+					s.AddGE(-1, Term{1, z}, Term{-1, g}, Term{-1, flag})
+					// z=1 → copy; g=1 ∧ z=0 → keep.
+					eqBigM(val[t+1][d], val[t][src], z)
+					t1 := []Term{{1, val[t+1][d]}, {-1, val[t][d]}, {m, g}, {-m, z}}
+					t2 := []Term{{-1, val[t+1][d]}, {1, val[t][d]}, {m, g}, {-m, z}}
+					s.AddLE(m, t1...)
+					s.AddLE(m, t2...)
+					for reg := 0; reg < r; reg++ {
+						if reg != d {
+							eqBigM(val[t+1][reg], val[t][reg], g)
+						}
+					}
+					eqBigM(lt[t+1], lt[t], g)
+					eqBigM(gt[t+1], gt[t], g)
+				case isa.Min, isa.Max:
+					a, b := val[t][d], val[t][src]
+					out := val[t+1][d]
+					if instr.Op == isa.Min {
+						// g=1 → out ≤ a, out ≤ b, out ≥ min via selector.
+						s.AddLE(m, Term{1, out}, Term{-1, a}, Term{m, g})
+						s.AddLE(m, Term{1, out}, Term{-1, b}, Term{m, g})
+						w := s.Binary() // w=1 ⇒ out = a
+						s.AddGE(-2*m, Term{1, out}, Term{-1, a}, Term{-m, g}, Term{-m, w})
+						s.AddGE(-m, Term{1, out}, Term{-1, b}, Term{-m, g}, Term{m, w})
+					} else {
+						s.AddGE(-m, Term{1, out}, Term{-1, a}, Term{-m, g})
+						s.AddGE(-m, Term{1, out}, Term{-1, b}, Term{-m, g})
+						w := s.Binary()
+						s.AddLE(2*m, Term{1, out}, Term{-1, a}, Term{m, g}, Term{m, w})
+						s.AddLE(m, Term{1, out}, Term{-1, b}, Term{m, g}, Term{-m, w})
+					}
+					for reg := 0; reg < r; reg++ {
+						if reg != d {
+							eqBigM(val[t+1][reg], val[t][reg], g)
+						}
+					}
+				}
+			}
+		}
+
+		// Goal "= 123".
+		for i := 0; i < n; i++ {
+			s.AddEQ(i+1, Term{1, val[opt.Length][i]})
+		}
+	}
+
+	s.MaxNodes = opt.MaxNodes
+	s.Timeout = opt.Timeout
+	res := &Result{Vars: len(s.lo), Cons: len(s.cons)}
+	if s.Solve(branch) {
+		p := make(isa.Program, opt.Length)
+		for t := 0; t < opt.Length; t++ {
+			for i := range instrs {
+				if s.Value(sel[t][i]) == 1 {
+					p[t] = instrs[i]
+					break
+				}
+			}
+		}
+		res.Program = p
+	}
+	res.Exhausted = s.Exhausted()
+	res.Nodes = s.Nodes
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,33 @@
+package isa
+
+import (
+	"testing"
+)
+
+// FuzzParseProgram checks the parser never panics and that everything it
+// accepts round-trips through Format.
+func FuzzParseProgram(f *testing.F) {
+	f.Add("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1", 2)
+	f.Add("movdqa s1 r1\npminud r1 r2\npmaxud r2 s1", 2)
+	f.Add("cmp r1, r2 # comment", 3)
+	f.Add("", 3)
+	f.Add(";;;\n\n;", 4)
+	f.Add("mov r1 r999999999999999999", 3)
+	f.Add("mov\x00r1 r2", 2)
+	f.Fuzz(func(t *testing.T, text string, n int) {
+		if n < 1 || n > 7 {
+			n = 3
+		}
+		p, err := ParseProgram(text, n)
+		if err != nil {
+			return
+		}
+		q, err := ParseProgram(p.Format(n), n)
+		if err != nil {
+			t.Fatalf("formatted program does not re-parse: %v\n%s", err, p.Format(n))
+		}
+		if !p.Equal(q) {
+			t.Fatalf("round trip mismatch: %v vs %v", p, q)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProgram parses a textual program for a machine with n sorted
+// registers. Instructions are separated by newlines or semicolons and
+// written "op dst src" with register names r1..rn and s1, s2, ….
+// Blank lines and trailing "#"-comments are ignored.
+func ParseProgram(text string, n int) (Program, error) {
+	var p Program
+	lines := strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' })
+	for _, line := range lines {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := ParseInstr(line, n)
+		if err != nil {
+			return nil, err
+		}
+		p = append(p, in)
+	}
+	return p, nil
+}
+
+// ParseInstr parses a single instruction such as "cmovl r1 s1".
+// Operands may be separated by spaces and/or a comma.
+func ParseInstr(line string, n int) (Instr, error) {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+	if len(fields) != 3 {
+		return Instr{}, fmt.Errorf("isa: malformed instruction %q (want \"op dst src\")", line)
+	}
+	var op Op
+	switch strings.ToLower(fields[0]) {
+	case "mov", "movdqa":
+		op = Mov
+	case "cmp":
+		op = Cmp
+	case "cmovl":
+		op = Cmovl
+	case "cmovg":
+		op = Cmovg
+	case "min", "pminsd", "pminud":
+		op = Min
+	case "max", "pmaxsd", "pmaxud":
+		op = Max
+	default:
+		return Instr{}, fmt.Errorf("isa: unknown opcode %q", fields[0])
+	}
+	dst, err := parseReg(fields[1], n)
+	if err != nil {
+		return Instr{}, err
+	}
+	src, err := parseReg(fields[2], n)
+	if err != nil {
+		return Instr{}, err
+	}
+	return Instr{Op: op, Dst: dst, Src: src}, nil
+}
+
+func parseReg(name string, n int) (uint8, error) {
+	if len(name) < 2 {
+		return 0, fmt.Errorf("isa: malformed register %q", name)
+	}
+	num, err := strconv.Atoi(name[1:])
+	if err != nil || num < 1 {
+		return 0, fmt.Errorf("isa: malformed register %q", name)
+	}
+	switch name[0] {
+	case 'r', 'R':
+		if num > n {
+			return 0, fmt.Errorf("isa: register %q out of range (n=%d)", name, n)
+		}
+		return uint8(num - 1), nil
+	case 's', 'S':
+		return uint8(n + num - 1), nil
+	}
+	return 0, fmt.Errorf("isa: malformed register %q", name)
+}

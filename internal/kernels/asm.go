@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"sortsynth/internal/isa"
+)
+
+// gprNames maps register indices to the x86-64 general-purpose registers
+// used in the paper's listings (§2.1: rax, rbx, rcx …, scratch rdi …).
+var gprNames = []string{"rax", "rbx", "rcx", "rdx", "r8", "r9", "r10"}
+var gprScratch = []string{"rdi", "rsi", "r11"}
+
+// xmmScratch starts the vector scratch registers at xmm7, as in the
+// paper's min/max listings.
+const xmmScratchBase = 7
+
+// AsmX86 renders a kernel as Intel-syntax x86-64 assembly, the form the
+// paper's listings use. Cmov kernels map r1..rn to rax, rbx, … and
+// scratch to rdi, rsi, …; min/max kernels map to xmm0..xmm(n−1) with
+// scratch from xmm7 and use movdqa/pminsd/pmaxsd (signed 32-bit lanes).
+// Loads and stores are deliberately omitted, as in the paper's model
+// (§5.3: "we do not synthesize the load and store instructions").
+func AsmX86(set *isa.Set, p isa.Program) string {
+	var b strings.Builder
+	gpr := func(r uint8) string {
+		if int(r) < set.N {
+			return gprNames[r]
+		}
+		return gprScratch[int(r)-set.N]
+	}
+	xmm := func(r uint8) string {
+		if int(r) < set.N {
+			return fmt.Sprintf("xmm%d", r)
+		}
+		return fmt.Sprintf("xmm%d", xmmScratchBase+int(r)-set.N)
+	}
+	for _, in := range p {
+		switch in.Op {
+		case isa.Mov:
+			if set.Kind == isa.KindMinMax {
+				fmt.Fprintf(&b, "movdqa %s, %s\n", xmm(in.Dst), xmm(in.Src))
+			} else {
+				fmt.Fprintf(&b, "mov    %s, %s\n", gpr(in.Dst), gpr(in.Src))
+			}
+		case isa.Cmp:
+			fmt.Fprintf(&b, "cmp    %s, %s\n", gpr(in.Dst), gpr(in.Src))
+		case isa.Cmovl:
+			fmt.Fprintf(&b, "cmovl  %s, %s\n", gpr(in.Dst), gpr(in.Src))
+		case isa.Cmovg:
+			fmt.Fprintf(&b, "cmovg  %s, %s\n", gpr(in.Dst), gpr(in.Src))
+		case isa.Min:
+			fmt.Fprintf(&b, "pminsd %s, %s\n", xmm(in.Dst), xmm(in.Src))
+		case isa.Max:
+			fmt.Fprintf(&b, "pmaxsd %s, %s\n", xmm(in.Dst), xmm(in.Src))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"sortsynth/internal/isa"
+)
+
+func TestAsmX86CmovMatchesPaperListing(t *testing.T) {
+	// The paper's §2.1 compare-and-swap snippet:
+	//   mov rdi, rax; cmp rbx, rax; cmovl rax, rbx; cmovl rbx, rdi
+	set := isa.NewCmov(3, 1)
+	p, err := isa.ParseProgram("mov s1 r1; cmp r2 r1; cmovl r1 r2; cmovl r2 s1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := AsmX86(set, p)
+	for _, want := range []string{
+		"mov    rdi, rax",
+		"cmp    rbx, rax",
+		"cmovl  rax, rbx",
+		"cmovl  rbx, rdi",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("missing %q in:\n%s", want, asm)
+		}
+	}
+}
+
+func TestAsmX86MinMaxMatchesPaperListing(t *testing.T) {
+	// The paper's §2.1 vector snippet:
+	//   movdqa xmm7, xmm0; pminsd xmm0, xmm1; pmaxsd xmm1, xmm7
+	set := isa.NewMinMax(3, 1)
+	p, err := isa.ParseProgram("mov s1 r1; min r1 r2; max r2 s1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := AsmX86(set, p)
+	for _, want := range []string{
+		"movdqa xmm7, xmm0",
+		"pminsd xmm0, xmm1",
+		"pmaxsd xmm1, xmm7",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("missing %q in:\n%s", want, asm)
+		}
+	}
+}
+
+func TestAsmX86AllContenders(t *testing.T) {
+	// Every frozen kernel renders to non-empty assembly with one line per
+	// instruction.
+	for n := 3; n <= 5; n++ {
+		for _, k := range Contenders(n) {
+			if k.Prog == nil {
+				continue
+			}
+			asm := AsmX86(k.Set, k.Prog)
+			lines := strings.Count(asm, "\n")
+			if lines != len(k.Prog) {
+				t.Errorf("%s/%d: %d assembly lines for %d instructions", k.Name, n, lines, len(k.Prog))
+			}
+		}
+	}
+}

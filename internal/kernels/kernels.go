@@ -1,0 +1,504 @@
+// Package kernels collects the sorting kernels compared in the paper's
+// evaluation (§5.3, §5.4): synthesized kernels, sorting-network kernels,
+// and the hand-written contenders (default, swap, branchless,
+// mimicry-style shuffle sort, cassioneri-style min/max sort, std).
+//
+// Each contender exists in up to two forms:
+//
+//   - an abstract ISA program (for instruction counting, the static cost
+//     model, and interpreted execution), and
+//   - a native Go function (for wall-clock benchmarks; written in the
+//     conditional-assignment style the Go compiler lowers to CMOVcc on
+//     amd64).
+//
+// The original evaluation benchmarks x86 assembly via inline asm and the
+// Google benchmark library; this package is the documented substitution
+// (see DESIGN.md §4.6).
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+)
+
+// Kernel is one comparison contender.
+type Kernel struct {
+	Name string
+	N    int // array length it sorts
+	// Go is the native implementation; it sorts a[:N] in place.
+	Go func(a []int)
+	// Prog and Set are the abstract form, when the contender has one
+	// (pure-Go contenders like std have none).
+	Prog isa.Program
+	Set  *isa.Set
+}
+
+// Interpreted returns a Go function that runs the kernel's ISA program
+// through the reference interpreter (used when no native form exists).
+func Interpreted(set *isa.Set, p isa.Program) func(a []int) {
+	return func(a []int) {
+		out := state.RunInts(set, p, a[:set.N])
+		copy(a, out)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- n = 3 contenders -------------------------------------------------
+
+// Sort3Default is the paper's "default" algorithm: three conditionals and
+// a temporary variable swapping in the memory buffer (branchy).
+func Sort3Default(a []int) {
+	if a[0] > a[1] {
+		t := a[0]
+		a[0] = a[1]
+		a[1] = t
+	}
+	if a[1] > a[2] {
+		t := a[1]
+		a[1] = a[2]
+		a[2] = t
+	}
+	if a[0] > a[1] {
+		t := a[0]
+		a[0] = a[1]
+		a[1] = t
+	}
+}
+
+// Sort3Swap is the paper's "swap" algorithm: the same comparisons but on
+// local variables with swap idioms, which compilers optimize well.
+func Sort3Swap(a []int) {
+	x, y, z := a[0], a[1], a[2]
+	if x > y {
+		x, y = y, x
+	}
+	if y > z {
+		y, z = z, y
+	}
+	if x > y {
+		x, y = y, x
+	}
+	a[0], a[1], a[2] = x, y, z
+}
+
+// Sort3Branchless is the paper's "branchless" algorithm: index arithmetic
+// with comparisons writes the smallest, middle and largest value directly.
+func Sort3Branchless(a []int) {
+	x, y, z := a[0], a[1], a[2]
+	rx := b2i(x > y) + b2i(x > z)
+	ry := b2i(y >= x) + b2i(y > z)
+	rz := b2i(z >= x) + b2i(z >= y)
+	a[rx], a[ry], a[rz] = x, y, z
+}
+
+// Sort3Network is the straightforward implementation of the optimal
+// 3-element sorting network with conditional-move style compare-swaps.
+func Sort3Network(a []int) {
+	x, y, z := a[0], a[1], a[2]
+	// CAS(y, z)
+	t := y
+	if z < y {
+		y = z
+	}
+	if z < t {
+		z = t
+	}
+	// CAS(x, z)
+	t = x
+	if z < x {
+		x = z
+	}
+	if z < t {
+		z = t
+	}
+	// CAS(x, y)
+	t = x
+	if y < x {
+		x = y
+	}
+	if y < t {
+		y = t
+	}
+	a[0], a[1], a[2] = x, y, z
+}
+
+// Sort3Enum is the native translation of the synthesized 11-instruction
+// kernel from paper §2.1 (middle column): one instruction shorter than
+// the network kernel. Each conditional assignment lowers to CMOVcc.
+func Sort3Enum(a []int) {
+	r1, r2, r3 := a[0], a[1], a[2]
+	s1 := r1 // mov s1 r1
+	// cmp r3 s1; cmovl s1 r3; cmovl r3 r1
+	lt := r3 < s1
+	if lt {
+		s1 = r3
+	}
+	if lt {
+		r3 = r1
+	}
+	// cmp r2 r3; mov r1 r2; cmovg r2 r3; cmovg r3 r1
+	gt := r2 > r3
+	r1 = r2
+	if gt {
+		r2 = r3
+	}
+	if gt {
+		r3 = r1
+	}
+	// cmp r1 s1; cmovl r2 s1; cmovg r1 s1
+	if r1 < s1 {
+		r2 = s1
+	}
+	if r1 > s1 {
+		r1 = s1
+	}
+	a[0], a[1], a[2] = r1, r2, r3
+}
+
+// Sort3AlphaDev mirrors the register core of AlphaDev's published sort3
+// (Mankowitz et al. 2023): the sorting network with the final
+// compare-and-swap fused through the min(A,B,C) observation, saving one
+// move. AlphaDev's exact listing includes the memory loads/stores that
+// our model deliberately omits (§5.3); this is the documented
+// substitution.
+func Sort3AlphaDev(a []int) {
+	x, y, z := a[0], a[1], a[2]
+	// CAS(y, z)
+	t := y
+	if z < y {
+		y = z
+	}
+	if z < t {
+		z = t
+	}
+	// min/max fold of (x, y) with the saved copy: the AlphaDev trick.
+	s := x
+	if y < x {
+		x = y // x = min(x, y) = min of all three (y = min(y0,z0))
+	}
+	if s > y {
+		y = s
+	}
+	// CAS(y, z) again places the middle element.
+	if z < y {
+		t = y
+		y = z
+		z = t
+	}
+	a[0], a[1], a[2] = x, y, z
+}
+
+// Sort3Cassioneri is a translation of Cassio Neri's branchless sort3
+// (arXiv 2307.14503): min/max expression evaluation without flags
+// pressure.
+func Sort3Cassioneri(a []int) {
+	x, y, z := a[0], a[1], a[2]
+	mnYZ, mxYZ := y, z
+	if z < y {
+		mnYZ = z
+	}
+	if z < y {
+		mxYZ = y
+	}
+	mn := x
+	if mnYZ < x {
+		mn = mnYZ
+	}
+	hi := x
+	if mnYZ >= x {
+		hi = mnYZ
+	}
+	mid := hi
+	if mxYZ < hi {
+		mid = mxYZ
+	}
+	mx := mxYZ
+	if hi > mxYZ {
+		mx = hi
+	}
+	a[0], a[1], a[2] = mn, mid, mx
+}
+
+// mimicryTable3 maps the three pairwise comparison bits of (a0,a1,a2) to
+// the source index of each output position — the scalar emulation of
+// mimicry's SIMD shuffle-vector sort.
+var mimicryTable3 [8][3]uint8
+
+func init() {
+	for i := range mimicryTable3 {
+		mimicryTable3[i] = [3]uint8{0, 1, 2}
+	}
+	// Derive the table from all triples over {0,1,2}; signatures that
+	// never occur keep the identity shuffle.
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			for z := 0; z < 3; z++ {
+				idx := b2i(x > y) | b2i(y > z)<<1 | b2i(x > z)<<2
+				vals := []int{x, y, z}
+				ord := []uint8{0, 1, 2}
+				sort.SliceStable(ord, func(i, j int) bool { return vals[ord[i]] < vals[ord[j]] })
+				mimicryTable3[idx] = [3]uint8{ord[0], ord[1], ord[2]}
+			}
+		}
+	}
+}
+
+// Sort3Mimicry emulates the mimicry shuffle-vector approach: compute a
+// comparison signature, look up a permutation, apply it in one pass.
+func Sort3Mimicry(a []int) {
+	x, y, z := a[0], a[1], a[2]
+	idx := b2i(x > y) | b2i(y > z)<<1 | b2i(x > z)<<2
+	p := mimicryTable3[idx]
+	v := [3]int{x, y, z}
+	a[0], a[1], a[2] = v[p[0]], v[p[1]], v[p[2]]
+}
+
+// SortStd sorts with the standard library, the paper's "std" row.
+func SortStd(a []int) { sort.Ints(a) }
+
+// --- n = 4 contenders -------------------------------------------------
+
+// Sort4Default is insertion sort with branches.
+func Sort4Default(a []int) {
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Sort4Swap sorts four locals with the optimal 5-comparator network using
+// swap idioms.
+func Sort4Swap(a []int) {
+	w, x, y, z := a[0], a[1], a[2], a[3]
+	if w > x {
+		w, x = x, w
+	}
+	if y > z {
+		y, z = z, y
+	}
+	if w > y {
+		w, y = y, w
+	}
+	if x > z {
+		x, z = z, x
+	}
+	if x > y {
+		x, y = y, x
+	}
+	a[0], a[1], a[2], a[3] = w, x, y, z
+}
+
+// Sort4Network is the conditional-move style optimal 4-network.
+func Sort4Network(a []int) {
+	w, x, y, z := a[0], a[1], a[2], a[3]
+	t := w
+	if x < w {
+		w = x
+	}
+	if x < t {
+		x = t
+	}
+	t = y
+	if z < y {
+		y = z
+	}
+	if z < t {
+		z = t
+	}
+	t = w
+	if y < w {
+		w = y
+	}
+	if y < t {
+		y = t
+	}
+	t = x
+	if z < x {
+		x = z
+	}
+	if z < t {
+		z = t
+	}
+	t = x
+	if y < x {
+		x = y
+	}
+	if y < t {
+		y = t
+	}
+	a[0], a[1], a[2], a[3] = w, x, y, z
+}
+
+// Sort4Branchless ranks every element with comparisons and writes each to
+// its position.
+func Sort4Branchless(a []int) {
+	w, x, y, z := a[0], a[1], a[2], a[3]
+	rw := b2i(w > x) + b2i(w > y) + b2i(w > z)
+	rx := b2i(x >= w) + b2i(x > y) + b2i(x > z)
+	ry := b2i(y >= w) + b2i(y >= x) + b2i(y > z)
+	rz := b2i(z >= w) + b2i(z >= x) + b2i(z >= y)
+	a[rw], a[rx], a[ry], a[rz] = w, x, y, z
+}
+
+// mimicryTable4 is the 6-bit signature → shuffle table for n = 4.
+var mimicryTable4 [64][4]uint8
+
+func init() {
+	for i := range mimicryTable4 {
+		mimicryTable4[i] = [4]uint8{0, 1, 2, 3}
+	}
+	var rec func(vals []int)
+	rec = func(vals []int) {
+		if len(vals) == 4 {
+			idx := sig4(vals[0], vals[1], vals[2], vals[3])
+			ord := []uint8{0, 1, 2, 3}
+			sort.SliceStable(ord, func(i, j int) bool { return vals[ord[i]] < vals[ord[j]] })
+			mimicryTable4[idx] = [4]uint8{ord[0], ord[1], ord[2], ord[3]}
+			return
+		}
+		for v := 0; v < 4; v++ {
+			rec(append(vals, v))
+		}
+	}
+	rec(nil)
+}
+
+func sig4(w, x, y, z int) int {
+	return b2i(w > x) | b2i(w > y)<<1 | b2i(w > z)<<2 |
+		b2i(x > y)<<3 | b2i(x > z)<<4 | b2i(y > z)<<5
+}
+
+// Sort4Mimicry is the shuffle-table sort for n = 4.
+func Sort4Mimicry(a []int) {
+	w, x, y, z := a[0], a[1], a[2], a[3]
+	p := mimicryTable4[sig4(w, x, y, z)]
+	v := [4]int{w, x, y, z}
+	a[0], a[1], a[2], a[3] = v[p[0]], v[p[1]], v[p[2]], v[p[3]]
+}
+
+// --- n = 5 contenders -------------------------------------------------
+
+// Sort5Default is insertion sort with branches.
+func Sort5Default(a []int) {
+	for i := 1; i < 5; i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Sort5Network is the conditional-move style optimal 9-comparator
+// 5-network.
+func Sort5Network(a []int) {
+	v := [5]int{a[0], a[1], a[2], a[3], a[4]}
+	cas := func(i, j int) {
+		t := v[i]
+		if v[j] < v[i] {
+			v[i] = v[j]
+		}
+		if v[j] < t {
+			v[j] = t
+		}
+	}
+	cas(0, 1)
+	cas(3, 4)
+	cas(2, 4)
+	cas(2, 3)
+	cas(1, 4)
+	cas(0, 3)
+	cas(0, 2)
+	cas(1, 3)
+	cas(1, 2)
+	a[0], a[1], a[2], a[3], a[4] = v[0], v[1], v[2], v[3], v[4]
+}
+
+// Sort5Swap sorts five locals with the optimal network and swap idioms.
+func Sort5Swap(a []int) {
+	v := [5]int{a[0], a[1], a[2], a[3], a[4]}
+	sw := func(i, j int) {
+		if v[i] > v[j] {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+	sw(0, 1)
+	sw(3, 4)
+	sw(2, 4)
+	sw(2, 3)
+	sw(1, 4)
+	sw(0, 3)
+	sw(0, 2)
+	sw(1, 3)
+	sw(1, 2)
+	a[0], a[1], a[2], a[3], a[4] = v[0], v[1], v[2], v[3], v[4]
+}
+
+// GoSource renders an ISA program as a compilable Go function in the
+// conditional-assignment style used by the hand translations above.
+// It is used by cmd/genkernels to freeze synthesized kernels into
+// native benchmark contenders.
+func GoSource(set *isa.Set, p isa.Program, funcName string) string {
+	n, m := set.N, set.M
+	src := "// " + funcName + " is machine-generated from a synthesized kernel; do not edit.\n"
+	src += "func " + funcName + "(a []int) {\n"
+	reg := func(r uint8) string {
+		if int(r) < n {
+			return fmt.Sprintf("r%d", r+1)
+		}
+		return fmt.Sprintf("s%d", int(r)-n+1)
+	}
+	decl := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			decl += ", "
+		}
+		decl += fmt.Sprintf("r%d", i+1)
+	}
+	vals := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			vals += ", "
+		}
+		vals += fmt.Sprintf("a[%d]", i)
+	}
+	src += "\t" + decl + " := " + vals + "\n"
+	for i := 0; i < m; i++ {
+		src += fmt.Sprintf("\ts%d := 0\n\t_ = s%d\n", i+1, i+1)
+	}
+	src += "\tlt, gt := false, false\n\t_, _ = lt, gt\n"
+	for _, in := range p {
+		d, s := reg(in.Dst), reg(in.Src)
+		switch in.Op {
+		case isa.Mov:
+			src += fmt.Sprintf("\t%s = %s\n", d, s)
+		case isa.Cmp:
+			src += fmt.Sprintf("\tlt, gt = %s < %s, %s > %s\n", d, s, d, s)
+		case isa.Cmovl:
+			src += fmt.Sprintf("\tif lt {\n\t\t%s = %s\n\t}\n", d, s)
+		case isa.Cmovg:
+			src += fmt.Sprintf("\tif gt {\n\t\t%s = %s\n\t}\n", d, s)
+		case isa.Min:
+			src += fmt.Sprintf("\tif %s < %s {\n\t\t%s = %s\n\t}\n", s, d, d, s)
+		case isa.Max:
+			src += fmt.Sprintf("\tif %s > %s {\n\t\t%s = %s\n\t}\n", s, d, d, s)
+		}
+	}
+	outs := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			outs += ", "
+		}
+		outs += fmt.Sprintf("r%d", i+1)
+	}
+	src += "\t" + vals + " = " + outs + "\n}\n"
+	return src
+}

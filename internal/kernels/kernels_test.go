@@ -1,0 +1,146 @@
+package kernels
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/sortnet"
+)
+
+// checkSorts verifies a Go kernel on exhaustive small inputs (including
+// duplicates) and random values.
+func checkSorts(t *testing.T, name string, n int, fn func([]int)) {
+	t.Helper()
+	// Exhaustive over {0..n}^n: covers all orderings and duplicate
+	// patterns.
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= n + 1
+	}
+	for code := 0; code < total; code++ {
+		in := make([]int, n)
+		c := code
+		for i := range in {
+			in[i] = c % (n + 1)
+			c /= n + 1
+		}
+		got := slices.Clone(in)
+		fn(got)
+		want := slices.Clone(in)
+		sort.Ints(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s failed on %v: got %v, want %v", name, in, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(20001) - 10000
+		}
+		got := slices.Clone(in)
+		fn(got)
+		want := slices.Clone(in)
+		sort.Ints(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("%s failed on %v: got %v", name, in, got)
+		}
+	}
+}
+
+func TestSort3Kernels(t *testing.T) {
+	for _, k := range []struct {
+		name string
+		fn   func([]int)
+	}{
+		{"default", Sort3Default},
+		{"swap", Sort3Swap},
+		{"branchless", Sort3Branchless},
+		{"network", Sort3Network},
+		{"enum", Sort3Enum},
+		{"alphadev", Sort3AlphaDev},
+		{"cassioneri", Sort3Cassioneri},
+		{"mimicry", Sort3Mimicry},
+		{"std", SortStd},
+	} {
+		checkSorts(t, k.name, 3, k.fn)
+	}
+}
+
+func TestSort4Kernels(t *testing.T) {
+	for _, k := range []struct {
+		name string
+		fn   func([]int)
+	}{
+		{"default", Sort4Default},
+		{"swap", Sort4Swap},
+		{"network", Sort4Network},
+		{"branchless", Sort4Branchless},
+		{"mimicry", Sort4Mimicry},
+	} {
+		checkSorts(t, k.name, 4, k.fn)
+	}
+}
+
+func TestSort5Kernels(t *testing.T) {
+	for _, k := range []struct {
+		name string
+		fn   func([]int)
+	}{
+		{"default", Sort5Default},
+		{"network", Sort5Network},
+		{"swap", Sort5Swap},
+	} {
+		checkSorts(t, k.name, 5, k.fn)
+	}
+}
+
+func TestInterpretedMatchesNative(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	prog := sortnet.Optimal(3).CompileCmov()
+	interp := Interpreted(set, prog)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		in := []int{rng.Intn(9) - 4, rng.Intn(9) - 4, rng.Intn(9) - 4}
+		a, b := slices.Clone(in), slices.Clone(in)
+		interp(a)
+		Sort3Network(b)
+		if !slices.Equal(a, b) {
+			t.Fatalf("interpreted network differs from native on %v: %v vs %v", in, a, b)
+		}
+	}
+}
+
+func TestGoSourceShape(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	p, err := isa.ParseProgram("mov s1 r1; cmp r1 r2; cmovl r1 r2; cmovg r2 s1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := GoSource(set, p, "sortGen")
+	for _, want := range []string{
+		"func sortGen(a []int)",
+		"s1 = r1",
+		"lt, gt = r1 < r2, r1 > r2",
+		"if lt {",
+		"if gt {",
+		"a[0], a[1], a[2] = r1, r2, r3",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("GoSource missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestGoSourceMinMax(t *testing.T) {
+	set := isa.NewMinMax(2, 1)
+	p, _ := isa.ParseProgram("mov s1 r1; min r1 r2; max r2 s1", 2)
+	src := GoSource(set, p, "gen")
+	if !strings.Contains(src, "if r2 < r1 {") || !strings.Contains(src, "if s1 > r2 {") {
+		t.Errorf("min/max lowering wrong:\n%s", src)
+	}
+}

@@ -1,0 +1,81 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sortsynth/internal/isa"
+)
+
+func mustParse(text string, set *isa.Set) isa.Program {
+	p, err := isa.ParseProgram(text, set.N)
+	if err != nil {
+		panic(fmt.Sprintf("kernels: bad embedded program: %v", err))
+	}
+	return p
+}
+
+// Contenders returns the §5.3 comparison field for array length n
+// (3, 4 or 5): the synthesized kernels, the network kernel, and the
+// hand-written algorithms. Kernels with an abstract program carry it for
+// instruction counting and cost-model analysis.
+func Contenders(n int) []Kernel {
+	cset := isa.NewCmov(n, 1)
+	switch n {
+	case 3:
+		mset := isa.NewMinMax(3, 1)
+		return []Kernel{
+			{Name: "enum", N: 3, Go: sort3EnumBest, Prog: mustParse(sort3EnumBestProg, cset), Set: cset},
+			{Name: "enum_worst", N: 3, Go: sort3EnumWorst, Prog: mustParse(sort3EnumWorstProg, cset), Set: cset},
+			{Name: "enum_paper", N: 3, Go: Sort3Enum, Prog: mustParse(paperEnumN3Prog, cset), Set: cset},
+			{Name: "sort3_minmax", N: 3, Go: sort3MinMax, Prog: mustParse(sort3MinMaxProg, mset), Set: mset},
+			{Name: "network", N: 3, Go: Sort3Network},
+			{Name: "alphadev", N: 3, Go: Sort3AlphaDev},
+			{Name: "cassioneri", N: 3, Go: Sort3Cassioneri},
+			{Name: "mimicry", N: 3, Go: Sort3Mimicry},
+			{Name: "branchless", N: 3, Go: Sort3Branchless},
+			{Name: "default", N: 3, Go: Sort3Default},
+			{Name: "swap", N: 3, Go: Sort3Swap},
+			{Name: "std", N: 3, Go: SortStd},
+		}
+	case 4:
+		mset := isa.NewMinMax(4, 1)
+		return []Kernel{
+			{Name: "enum", N: 4, Go: sort4EnumBest, Prog: mustParse(sort4EnumBestProg, cset), Set: cset},
+			{Name: "enum_worst", N: 4, Go: sort4EnumWorst, Prog: mustParse(sort4EnumWorstProg, cset), Set: cset},
+			{Name: "sort4_minmax", N: 4, Go: sort4MinMax, Prog: mustParse(sort4MinMaxProg, mset), Set: mset},
+			{Name: "network", N: 4, Go: Sort4Network},
+			{Name: "mimicry", N: 4, Go: Sort4Mimicry},
+			{Name: "branchless", N: 4, Go: Sort4Branchless},
+			{Name: "default", N: 4, Go: Sort4Default},
+			{Name: "swap", N: 4, Go: Sort4Swap},
+			{Name: "std", N: 4, Go: SortStd},
+		}
+	case 5:
+		mset := isa.NewMinMax(5, 1)
+		return []Kernel{
+			{Name: "enum", N: 5, Go: sort5Enum, Prog: mustParse(sort5EnumProg, cset), Set: cset},
+			{Name: "sort5_minmax", N: 5, Go: sort5MinMax, Prog: mustParse(sort5MinMaxProg, mset), Set: mset},
+			{Name: "network", N: 5, Go: Sort5Network},
+			{Name: "default", N: 5, Go: Sort5Default},
+			{Name: "swap", N: 5, Go: Sort5Swap},
+			{Name: "std", N: 5, Go: SortStd},
+		}
+	}
+	panic(fmt.Sprintf("kernels: no contenders for n=%d", n))
+}
+
+// paperEnumN3Prog is the synthesized kernel printed in paper §2.1
+// (middle column), mapped rax→r1, rbx→r2, rcx→r3, rdi→s1.
+const paperEnumN3Prog = `
+mov s1 r1
+cmp r3 s1
+cmovl s1 r3
+cmovl r3 r1
+cmp r2 r3
+mov r1 r2
+cmovg r2 r3
+cmovg r3 r1
+cmp r1 s1
+cmovl r2 s1
+cmovg r1 s1
+`

@@ -1,0 +1,112 @@
+package kernels
+
+import (
+	"slices"
+	"sort"
+	"testing"
+
+	"sortsynth/internal/perm"
+	"sortsynth/internal/state"
+	"sortsynth/internal/verify"
+)
+
+func TestContendersSort(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		for _, k := range Contenders(n) {
+			checkSorts(t, k.Name, n, k.Go)
+		}
+	}
+}
+
+func TestContendersGoMatchesProg(t *testing.T) {
+	// Where a contender has both a native function and an abstract
+	// program, they must agree on every permutation.
+	for n := 3; n <= 5; n++ {
+		for _, k := range Contenders(n) {
+			if k.Prog == nil {
+				continue
+			}
+			for _, in := range perm.All(n) {
+				got := slices.Clone(in)
+				k.Go(got)
+				want := state.RunInts(k.Set, k.Prog, in)
+				if !slices.Equal(got, want) {
+					t.Fatalf("n=%d %s: Go %v vs program %v on %v", n, k.Name, got, want, in)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizedProgramsAreCorrect(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		for _, k := range Contenders(n) {
+			if k.Prog == nil {
+				continue
+			}
+			if !verify.Sorts(k.Set, k.Prog) {
+				t.Errorf("n=%d %s: embedded program does not sort", n, k.Name)
+			}
+		}
+	}
+}
+
+func TestSynthesizedLengths(t *testing.T) {
+	// Optimal lengths from the paper: cmov 11/20/33, min/max 8/15/26.
+	want := map[string]int{
+		"enum/3": 11, "enum_worst/3": 11, "enum_paper/3": 11, "sort3_minmax/3": 8,
+		"enum/4": 20, "enum_worst/4": 20, "sort4_minmax/4": 15,
+		"enum/5": 33, "sort5_minmax/5": 26,
+	}
+	for n := 3; n <= 5; n++ {
+		for _, k := range Contenders(n) {
+			if k.Prog == nil {
+				continue
+			}
+			key := k.Name + "/" + string(rune('0'+n))
+			if w, ok := want[key]; ok && len(k.Prog) != w {
+				t.Errorf("%s: %d instructions, want %d", key, len(k.Prog), w)
+			}
+		}
+	}
+}
+
+func TestEnumMixMatchesPaperTable(t *testing.T) {
+	// §5.3 standalone n=3 table: enum has cmp=3, mov=8 (6 of which are
+	// the memory moves we do not model), cmov=6 ⇒ register core
+	// cmp=3 mov=2 cmov=6.
+	for _, k := range Contenders(3) {
+		if k.Name != "enum" {
+			continue
+		}
+		m := verify.Mix(k.Prog)
+		if m.Cmp != 3 || m.Mov != 2 || m.CMov != 6 {
+			t.Errorf("enum n=3 mix = %v, want cmp=3 mov=2 cmov=6", m)
+		}
+	}
+}
+
+func TestContendersDistinctNames(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		seen := map[string]bool{}
+		for _, k := range Contenders(n) {
+			if seen[k.Name] {
+				t.Errorf("n=%d: duplicate contender %q", n, k.Name)
+			}
+			seen[k.Name] = true
+			if k.N != n {
+				t.Errorf("n=%d: contender %q has N=%d", n, k.Name, k.N)
+			}
+		}
+	}
+}
+
+func TestStdMatchesSort(t *testing.T) {
+	a := []int{5, -2, 9, 0}
+	b := slices.Clone(a)
+	SortStd(a)
+	sort.Ints(b)
+	if !slices.Equal(a, b) {
+		t.Error("SortStd differs from sort.Ints")
+	}
+}

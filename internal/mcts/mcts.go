@@ -1,0 +1,232 @@
+// Package mcts is a Monte-Carlo tree search baseline for sorting-kernel
+// synthesis, standing in for AlphaDev's search skeleton (paper §5.2):
+// UCT over program prefixes with random rollouts and a
+// sortedness-progress reward.
+//
+// AlphaDev couples this search with learned policy/value networks on TPU
+// clusters; its code is unavailable (the paper itself could not rerun
+// it). This implementation keeps the assembly game — states are
+// canonical execution states over all permutations, actions are legal
+// instructions, the episode ends at a sorted state or the length limit —
+// and replaces the neural guidance with rollout statistics, which is the
+// documented substitution (DESIGN.md §4.4).
+package mcts
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+)
+
+// Options configures an MCTS run.
+type Options struct {
+	// MaxLen is the episode length limit (the kernel length budget).
+	MaxLen int
+	// Iterations bounds the number of MCTS iterations (default 200k).
+	Iterations int64
+	// C is the UCB exploration constant (default 1.4).
+	C float64
+	// RolloutsPerExpand is the number of random rollouts per new node
+	// (default 1).
+	RolloutsPerExpand int
+	Seed              int64
+	Timeout           time.Duration
+}
+
+// Result reports an MCTS run.
+type Result struct {
+	Program    isa.Program // first correct kernel found, or nil
+	Iterations int64
+	Nodes      int
+	BestReward float64
+	Elapsed    time.Duration
+}
+
+type node struct {
+	st       state.State
+	parent   int32
+	instr    uint16
+	children []int32 // -1 until expanded, indexed by instruction id
+	visits   int64
+	total    float64
+	sorted   bool
+}
+
+// Run executes MCTS until a correct kernel is found or the budget ends.
+func Run(set *isa.Set, opt Options) *Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	m := state.NewMachine(set)
+	instrs := set.Instrs()
+
+	iters := opt.Iterations
+	if iters == 0 {
+		iters = 200_000
+	}
+	c := opt.C
+	if c == 0 {
+		c = 1.4
+	}
+	rolls := opt.RolloutsPerExpand
+	if rolls == 0 {
+		rolls = 1
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+	}
+
+	// progress maps a state to [0, 1): the fraction of register positions
+	// already holding their final value, across all tracked assignments.
+	// States that erased a value score 0 — a pure permutation-count
+	// reward is gameable by unconditional moves that collapse all
+	// permutations into one (wrong) assignment.
+	progress := func(s state.State) float64 {
+		if !m.AllViable(s) {
+			return 0
+		}
+		correct := 0
+		for _, a := range s {
+			for i := 0; i < set.N; i++ {
+				if m.Reg(a, i) == i+1 {
+					correct++
+				}
+			}
+		}
+		return 0.99 * float64(correct) / float64(len(s)*set.N)
+	}
+
+	nodes := []node{{st: m.Initial().Clone(), parent: -1}}
+	res := &Result{}
+	var buf state.State
+
+	depthOf := func(id int32) int {
+		d := 0
+		for v := id; nodes[v].parent >= 0; v = nodes[v].parent {
+			d++
+		}
+		return d
+	}
+	programOf := func(id int32) isa.Program {
+		var rev []isa.Instr
+		for v := id; nodes[v].parent >= 0; v = nodes[v].parent {
+			rev = append(rev, instrs[nodes[v].instr])
+		}
+		p := make(isa.Program, len(rev))
+		for i, in := range rev {
+			p[len(rev)-1-i] = in
+		}
+		return p
+	}
+
+	for ; res.Iterations < iters; res.Iterations++ {
+		if !deadline.IsZero() && res.Iterations%512 == 0 && time.Now().After(deadline) {
+			break
+		}
+		// Selection.
+		cur := int32(0)
+		depth := 0
+		for {
+			nd := &nodes[cur]
+			if nd.sorted || depth >= opt.MaxLen {
+				break
+			}
+			if nd.children == nil {
+				// Expand: create one random unexplored child.
+				nd.children = make([]int32, len(instrs))
+				for i := range nd.children {
+					nd.children[i] = -1
+				}
+			}
+			// Pick by UCB among instantiated children; instantiate an
+			// unexplored one with priority.
+			unexplored := -1
+			cnt := 0
+			for i, ch := range nd.children {
+				if ch == -1 {
+					cnt++
+					if rng.Intn(cnt) == 0 {
+						unexplored = i
+					}
+				}
+			}
+			if unexplored >= 0 {
+				buf = m.Apply(buf, nd.st, instrs[unexplored])
+				id := int32(len(nodes))
+				nodes = append(nodes, node{
+					st: buf.Clone(), parent: cur, instr: uint16(unexplored),
+					sorted: m.AllSorted(buf),
+				})
+				nodes[cur].children[unexplored] = id
+				cur = id
+				depth++
+				break
+			}
+			// All children instantiated: UCB descent.
+			best, bestScore := int32(-1), math.Inf(-1)
+			logN := math.Log(float64(nd.visits + 1))
+			for _, ch := range nd.children {
+				chn := &nodes[ch]
+				score := chn.total/float64(chn.visits+1) +
+					c*math.Sqrt(logN/float64(chn.visits+1))
+				if score > bestScore {
+					best, bestScore = ch, score
+				}
+			}
+			cur = best
+			depth++
+		}
+
+		// Terminal check.
+		leaf := &nodes[cur]
+		var reward float64
+		if leaf.sorted {
+			d := depthOf(cur)
+			reward = 2 - float64(d)/float64(opt.MaxLen) // shorter = better
+			if res.Program == nil {
+				res.Program = programOf(cur)
+			}
+		} else if depth >= opt.MaxLen {
+			reward = progress(leaf.st)
+		} else {
+			// Rollout(s).
+			for k := 0; k < rolls; k++ {
+				st := leaf.st
+				bestP := progress(st)
+				tmp := st.Clone()
+				for d := depth; d < opt.MaxLen; d++ {
+					buf = m.Apply(buf, tmp, instrs[rng.Intn(len(instrs))])
+					tmp, buf = buf, tmp
+					if m.AllSorted(tmp) {
+						bestP = 2 - float64(d+1)/float64(opt.MaxLen)
+						break
+					}
+					if p := progress(tmp); p > bestP {
+						bestP = p
+					}
+				}
+				reward += bestP
+			}
+			reward /= float64(rolls)
+		}
+		if reward > res.BestReward {
+			res.BestReward = reward
+		}
+
+		// Backpropagation.
+		for v := cur; v >= 0; v = nodes[v].parent {
+			nodes[v].visits++
+			nodes[v].total += reward
+		}
+
+		if res.Program != nil {
+			break
+		}
+	}
+	res.Nodes = len(nodes)
+	res.Elapsed = time.Since(start)
+	return res
+}

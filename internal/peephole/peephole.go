@@ -1,0 +1,152 @@
+// Package peephole implements the classical scalar optimizations a
+// compiler would run on a sorting kernel: dead-code elimination (dead
+// stores and dead flag writes) and copy propagation with coalescing.
+//
+// Its purpose in this repository is to validate the paper's §2.1 claim:
+// the synthesized kernels are one instruction shorter than the
+// sorting-network implementation, and that instruction "cannot be
+// removed by classical compiler optimizations like copy coalescing — it
+// requires semantical reasoning on min/max/ite expressions". The tests
+// confirm that these passes leave the 12-instruction network kernel at
+// 12 instructions while the synthesizer reaches 11.
+package peephole
+
+import (
+	"sortsynth/internal/isa"
+)
+
+// Optimize runs the passes to a fixpoint: copy propagation, then dead
+// code elimination, repeated while the program shrinks. The result
+// computes the same r1..rn outputs for every input.
+func Optimize(set *isa.Set, p isa.Program) isa.Program {
+	out := p.Clone()
+	for {
+		before := len(out)
+		out = CopyPropagate(set, out)
+		out = EliminateDeadCode(set, out)
+		if len(out) == before {
+			return out
+		}
+	}
+}
+
+// EliminateDeadCode removes instructions whose results are never
+// observed: writes to registers that are overwritten before being read
+// (with r1..rn live at the end) and compares whose flags are overwritten
+// before any conditional move reads them.
+func EliminateDeadCode(set *isa.Set, p isa.Program) isa.Program {
+	for {
+		removed := false
+		// Backward liveness over registers + flags.
+		liveReg := uint(1)<<set.N - 1 // r1..rn live-out
+		liveFlags := false
+		keep := make([]bool, len(p))
+		for i := len(p) - 1; i >= 0; i-- {
+			in := p[i]
+			switch in.Op {
+			case isa.Mov:
+				if liveReg&(1<<in.Dst) == 0 {
+					keep[i] = false
+					continue
+				}
+				keep[i] = true
+				liveReg &^= 1 << in.Dst
+				liveReg |= 1 << in.Src
+			case isa.Cmp:
+				if !liveFlags {
+					keep[i] = false
+					continue
+				}
+				keep[i] = true
+				liveFlags = false
+				liveReg |= 1<<in.Dst | 1<<in.Src
+			case isa.Cmovl, isa.Cmovg:
+				if liveReg&(1<<in.Dst) == 0 {
+					keep[i] = false
+					continue
+				}
+				keep[i] = true
+				// A conditional move may keep the old value: dst stays
+				// live; src and flags become live.
+				liveReg |= 1<<in.Src | 1<<in.Dst
+				liveFlags = true
+			case isa.Min, isa.Max:
+				if liveReg&(1<<in.Dst) == 0 {
+					keep[i] = false
+					continue
+				}
+				keep[i] = true
+				liveReg |= 1<<in.Src | 1<<in.Dst
+			}
+		}
+		var out isa.Program
+		for i, k := range keep {
+			if k {
+				out = append(out, p[i])
+			} else {
+				removed = true
+			}
+		}
+		p = out
+		if !removed {
+			return p
+		}
+	}
+}
+
+// CopyPropagate forwards copies: after "mov d s", later reads of d are
+// rewritten to read s while both hold the same value, which lets dead
+// code elimination coalesce the copy away when d was only a staging
+// register. Rewrites that would produce an instruction outside the legal
+// set (a self-operation, or a cmp with its operands out of index order,
+// whose swap would flip the flag semantics) are skipped.
+func CopyPropagate(set *isa.Set, p isa.Program) isa.Program {
+	out := p.Clone()
+	// copyOf[r] = q means register r currently holds the same value as q.
+	var copyOf [8]uint8
+	reset := func() {
+		for i := range copyOf {
+			copyOf[i] = uint8(i)
+		}
+	}
+	reset()
+	invalidate := func(w uint8) {
+		copyOf[w] = w
+		for i := range copyOf {
+			if copyOf[i] == w {
+				copyOf[i] = uint8(i)
+			}
+		}
+	}
+	tryRewrite := func(in isa.Instr) isa.Instr {
+		cand := in
+		cand.Src = copyOf[in.Src]
+		if cand != in && set.InstrID(cand) >= 0 {
+			in = cand
+		}
+		if in.Op == isa.Cmp {
+			cand = in
+			cand.Dst = copyOf[in.Dst]
+			if cand != in && set.InstrID(cand) >= 0 {
+				in = cand
+			}
+		}
+		return in
+	}
+	for i, in := range out {
+		in = tryRewrite(in)
+		out[i] = in
+		switch in.Op {
+		case isa.Mov:
+			invalidate(in.Dst)
+			if in.Dst != in.Src {
+				copyOf[in.Dst] = copyOf[in.Src]
+			}
+		case isa.Cmovl, isa.Cmovg, isa.Min, isa.Max:
+			invalidate(in.Dst)
+		case isa.Cmp:
+			// reads only
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package peephole
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/sortnet"
+	"sortsynth/internal/state"
+	"sortsynth/internal/verify"
+)
+
+func TestDeadStoreRemoved(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	// The first mov to s1 is overwritten before any read.
+	p, _ := isa.ParseProgram("mov s1 r1; mov s1 r2; cmp r1 r2; cmovg r2 s1", 2)
+	out := EliminateDeadCode(set, p)
+	if len(out) != 3 {
+		t.Fatalf("dead store not removed: %d instructions left", len(out))
+	}
+}
+
+func TestDeadCmpRemoved(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	// First cmp's flags are overwritten unread.
+	p, _ := isa.ParseProgram("cmp r1 s1; cmp r1 r2; cmovg r1 r2", 2)
+	out := EliminateDeadCode(set, p)
+	if len(out) != 2 {
+		t.Fatalf("dead cmp not removed: %v", out.Format(2))
+	}
+}
+
+func TestTrailingScratchWriteRemoved(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	p, _ := isa.ParseProgram("cmp r1 r2; cmovg r1 r2; mov s1 r1", 2)
+	out := EliminateDeadCode(set, p)
+	if len(out) != 2 {
+		t.Fatalf("write to dead scratch not removed: %v", out.Format(2))
+	}
+}
+
+func TestCopyPropagationCoalesces(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	// s1 is a pure staging copy of r1; the cmp can read r1 directly and
+	// the mov dies.
+	p, _ := isa.ParseProgram("mov s1 r1; cmp s1 r2; cmovg r1 r2", 3)
+	out := Optimize(set, p)
+	if len(out) != 2 {
+		t.Fatalf("copy not coalesced: %v", out.Format(3))
+	}
+}
+
+// equivalentOnAll checks output equality on every weak order (so the
+// optimizer must preserve behaviour on duplicates too).
+func equivalentOnAll(t *testing.T, set *isa.Set, p, q isa.Program) {
+	t.Helper()
+	for _, in := range perm.WeakOrders(set.N) {
+		a := state.RunInts(set, p, in)
+		b := state.RunInts(set, q, in)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("optimization changed behaviour on %v: %v vs %v\nbefore:\n%s\nafter:\n%s",
+					in, a, b, p.Format(set.N), q.Format(set.N))
+			}
+		}
+	}
+}
+
+func TestOptimizePreservesSemanticsRandom(t *testing.T) {
+	// Property: Optimize never changes observable behaviour, on random
+	// programs over both instruction sets.
+	for _, set := range []*isa.Set{isa.NewCmov(3, 1), isa.NewMinMax(3, 1)} {
+		rng := rand.New(rand.NewSource(17))
+		instrs := set.Instrs()
+		for trial := 0; trial < 300; trial++ {
+			p := make(isa.Program, rng.Intn(14))
+			for i := range p {
+				p[i] = instrs[rng.Intn(len(instrs))]
+			}
+			out := Optimize(set, p)
+			if len(out) > len(p) {
+				t.Fatal("optimizer grew the program")
+			}
+			equivalentOnAll(t, set, p, out)
+		}
+	}
+}
+
+func TestPaperClaimNetworkKernelIrreducible(t *testing.T) {
+	// §2.1: the 12-instruction sorting-network kernel cannot be shortened
+	// by classical scalar optimizations — the synthesizer's 11-instruction
+	// kernel needs semantic min/max/ite reasoning.
+	set := isa.NewCmov(3, 1)
+	net := sortnet.Optimal(3).CompileCmov()
+	if len(net) != 12 {
+		t.Fatalf("network kernel has %d instructions, want 12", len(net))
+	}
+	out := Optimize(set, net)
+	equivalentOnAll(t, set, net, out)
+	if len(out) != 12 {
+		t.Fatalf("classical passes shortened the network kernel to %d — contradicts the paper's claim", len(out))
+	}
+	// The synthesizer does find an 11-instruction kernel.
+	o := enum.ConfigBest()
+	o.MaxLen = 11
+	if res := enum.Run(set, o); res.Length != 11 {
+		t.Fatalf("synthesizer failed to beat the network kernel")
+	}
+}
+
+func TestMinMaxNetworkIrreducible(t *testing.T) {
+	set := isa.NewMinMax(3, 1)
+	net := sortnet.Optimal(3).CompileMinMax() // 9 instructions
+	out := Optimize(set, net)
+	equivalentOnAll(t, set, net, out)
+	if len(out) != 9 {
+		t.Fatalf("classical passes shortened the min/max network kernel to %d", len(out))
+	}
+}
+
+func TestOptimizeSynthesizedKernelIsFixpoint(t *testing.T) {
+	// Optimal kernels contain no classically removable instruction.
+	set := isa.NewCmov(3, 1)
+	o := enum.ConfigBest()
+	o.MaxLen = 11
+	res := enum.Run(set, o)
+	out := Optimize(set, res.Program)
+	if len(out) != 11 {
+		t.Fatalf("optimal kernel shrank to %d — it was not optimal or the optimizer is unsound", len(out))
+	}
+	if !verify.Sorts(set, out) {
+		t.Fatal("optimized kernel broken")
+	}
+}

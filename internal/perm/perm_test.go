@@ -1,0 +1,145 @@
+package perm
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorial(t *testing.T) {
+	want := []int{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got != w {
+			t.Errorf("Factorial(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestFactorialPanics(t *testing.T) {
+	for _, bad := range []int{-1, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Factorial(%d) did not panic", bad)
+				}
+			}()
+			Factorial(bad)
+		}()
+	}
+}
+
+func TestAllCountAndOrder(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		ps := All(n)
+		if len(ps) != Factorial(n) {
+			t.Fatalf("All(%d) has %d permutations, want %d", n, len(ps), Factorial(n))
+		}
+		for i, p := range ps {
+			if !IsPermutation(p) {
+				t.Fatalf("All(%d)[%d] = %v is not a permutation", n, i, p)
+			}
+			if i > 0 && slices.Compare(ps[i-1], p) >= 0 {
+				t.Fatalf("All(%d) not strictly lexicographic at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for rank, p := range All(n) {
+			if got := Rank(p); got != rank {
+				t.Errorf("Rank(%v) = %d, want %d", p, got, rank)
+			}
+			if got := Unrank(n, rank); !slices.Equal(got, p) {
+				t.Errorf("Unrank(%d, %d) = %v, want %v", n, rank, got, p)
+			}
+		}
+	}
+}
+
+func TestUnrankPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unrank(3, 6) did not panic")
+		}
+	}()
+	Unrank(3, 6)
+}
+
+func TestIsSortedIsPermutation(t *testing.T) {
+	if !IsSorted([]int{1, 2, 2, 3}) || IsSorted([]int{2, 1}) {
+		t.Error("IsSorted wrong")
+	}
+	if !IsPermutation([]int{3, 1, 2}) || IsPermutation([]int{1, 1, 3}) || IsPermutation([]int{0, 1, 2}) {
+		t.Error("IsPermutation wrong")
+	}
+}
+
+func TestWeakOrdersCounts(t *testing.T) {
+	// Ordered Bell numbers.
+	want := map[int]int{1: 1, 2: 3, 3: 13, 4: 75, 5: 541}
+	for n, w := range want {
+		ws := WeakOrders(n)
+		if len(ws) != w {
+			t.Errorf("WeakOrders(%d) has %d entries, want %d", n, len(ws), w)
+		}
+		seen := map[string]bool{}
+		for _, tup := range ws {
+			key := ""
+			maxV := 0
+			for _, v := range tup {
+				key += string(rune('0' + v))
+				if v > maxV {
+					maxV = v
+				}
+			}
+			if seen[key] {
+				t.Errorf("WeakOrders(%d): duplicate %v", n, tup)
+			}
+			seen[key] = true
+			// Surjective onto 1..maxV.
+			present := make([]bool, maxV+1)
+			for _, v := range tup {
+				present[v] = true
+			}
+			for v := 1; v <= maxV; v++ {
+				if !present[v] {
+					t.Errorf("WeakOrders(%d): %v skips value %d", n, tup, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWeakOrdersIncludePermutationsAndConstant(t *testing.T) {
+	ws := WeakOrders(3)
+	has := func(tup []int) bool {
+		for _, w := range ws {
+			if slices.Equal(w, tup) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range All(3) {
+		if !has(p) {
+			t.Errorf("WeakOrders(3) missing permutation %v", p)
+		}
+	}
+	if !has([]int{1, 1, 1}) || !has([]int{2, 1, 1}) {
+		t.Error("WeakOrders(3) missing duplicate patterns")
+	}
+}
+
+func TestNextLexProperty(t *testing.T) {
+	// All(n) round-trips through Rank, so ranks are a bijection.
+	f := func(seed uint8) bool {
+		n := int(seed%5) + 1
+		r := int(seed) % Factorial(n)
+		return Rank(Unrank(n, r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package plan
+
+import (
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+)
+
+// Encode grounds the sorting-kernel synthesis problem as a planning
+// problem (the paper's Plan-Parallel formulation): one val(example,
+// register, value) atom per combination plus lt/gt flag atoms per
+// example; every legal instruction becomes one action whose conditional
+// effects update all examples simultaneously; the goal demands sorted
+// registers in every example. GoalGroups (one group per example) enable
+// the serialized Plan-Seq heuristic.
+func Encode(set *isa.Set, examples [][]int) *Problem {
+	if examples == nil {
+		examples = perm.All(set.N)
+	}
+	n, r := set.N, set.Regs()
+	d := n + 1
+	numEx := len(examples)
+
+	// Atom numbering.
+	val := func(p, reg, v int) Atom { return Atom(p*(r*d) + reg*d + v) }
+	base := numEx * r * d
+	ltA := func(p int) Atom { return Atom(base + 2*p) }
+	gtA := func(p int) Atom { return Atom(base + 2*p + 1) }
+	numAtoms := base + 2*numEx
+
+	prob := &Problem{NumAtoms: numAtoms}
+
+	// Initial state.
+	for p, ex := range examples {
+		for reg := 0; reg < r; reg++ {
+			v := 0
+			if reg < n {
+				v = ex[reg]
+			}
+			prob.Init = append(prob.Init, val(p, reg, v))
+		}
+	}
+
+	// Goal: every example sorted (registers hold 1..n).
+	for p := range examples {
+		var group []Atom
+		for i := 0; i < n; i++ {
+			group = append(group, val(p, i, i+1))
+		}
+		prob.Goal = append(prob.Goal, group...)
+		prob.GoalGroups = append(prob.GoalGroups, group)
+	}
+
+	// Actions.
+	for _, in := range set.Instrs() {
+		act := Action{Name: in.Format(n)}
+		dst, src := int(in.Dst), int(in.Src)
+		for p := range examples {
+			switch in.Op {
+			case isa.Mov:
+				for w := 0; w < d; w++ {
+					act.Effects = append(act.Effects, CondEffect{
+						Cond: []Atom{val(p, dst, w)},
+						Del:  []Atom{val(p, dst, w)},
+					})
+				}
+				for v := 0; v < d; v++ {
+					act.Effects = append(act.Effects, CondEffect{
+						Cond: []Atom{val(p, src, v)},
+						Add:  []Atom{val(p, dst, v)},
+					})
+				}
+			case isa.Cmp:
+				act.Effects = append(act.Effects,
+					CondEffect{Cond: []Atom{ltA(p)}, Del: []Atom{ltA(p)}},
+					CondEffect{Cond: []Atom{gtA(p)}, Del: []Atom{gtA(p)}},
+				)
+				for x := 0; x < d; x++ {
+					for y := 0; y < d; y++ {
+						if x == y {
+							continue
+						}
+						eff := CondEffect{Cond: []Atom{val(p, dst, x), val(p, src, y)}}
+						if x < y {
+							eff.Add = []Atom{ltA(p)}
+						} else {
+							eff.Add = []Atom{gtA(p)}
+						}
+						act.Effects = append(act.Effects, eff)
+					}
+				}
+			case isa.Cmovl, isa.Cmovg:
+				flag := ltA(p)
+				if in.Op == isa.Cmovg {
+					flag = gtA(p)
+				}
+				for w := 0; w < d; w++ {
+					act.Effects = append(act.Effects, CondEffect{
+						Cond: []Atom{flag, val(p, dst, w)},
+						Del:  []Atom{val(p, dst, w)},
+					})
+				}
+				for v := 0; v < d; v++ {
+					act.Effects = append(act.Effects, CondEffect{
+						Cond: []Atom{flag, val(p, src, v)},
+						Add:  []Atom{val(p, dst, v)},
+					})
+				}
+			case isa.Min, isa.Max:
+				for x := 0; x < d; x++ {
+					for y := 0; y < d; y++ {
+						res := x
+						if (in.Op == isa.Min && y < x) || (in.Op == isa.Max && y > x) {
+							res = y
+						}
+						if res == x {
+							continue
+						}
+						act.Effects = append(act.Effects, CondEffect{
+							Cond: []Atom{val(p, dst, x), val(p, src, y)},
+							Del:  []Atom{val(p, dst, x)},
+							Add:  []Atom{val(p, dst, res)},
+						})
+					}
+				}
+			}
+		}
+		prob.Actions = append(prob.Actions, act)
+	}
+	return prob
+}
+
+// PlanToProgram maps a plan (action indices) back to the instruction
+// sequence.
+func PlanToProgram(set *isa.Set, planIdx []int) isa.Program {
+	p := make(isa.Program, len(planIdx))
+	for i, a := range planIdx {
+		p[i] = set.Instrs()[a]
+	}
+	return p
+}

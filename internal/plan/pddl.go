@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePDDL renders the grounded problem as standard PDDL with
+// conditional effects (requirements :strips :conditional-effects) — the
+// format in which the paper hands the synthesis problem to
+// fast-downward, LAMA, Scorpion and CPDDL. names maps atoms to predicate
+// names (nil uses "a<N>"); actions are named after Problem.Actions with
+// an index suffix to keep them unique.
+func WritePDDL(domainW, problemW io.Writer, p *Problem, domain string, names func(Atom) string) {
+	if names == nil {
+		names = func(a Atom) string { return fmt.Sprintf("a%d", a) }
+	}
+	pred := func(a Atom) string { return "(" + names(a) + ")" }
+	conj := func(atoms []Atom) string {
+		if len(atoms) == 0 {
+			return "(and )"
+		}
+		parts := make([]string, len(atoms))
+		for i, a := range atoms {
+			parts[i] = pred(a)
+		}
+		return "(and " + strings.Join(parts, " ") + ")"
+	}
+
+	// Domain.
+	fmt.Fprintf(domainW, "(define (domain %s)\n", domain)
+	fmt.Fprintf(domainW, "  (:requirements :strips :conditional-effects)\n")
+	fmt.Fprintf(domainW, "  (:predicates\n")
+	for a := 0; a < p.NumAtoms; a++ {
+		fmt.Fprintf(domainW, "    (%s)\n", names(Atom(a)))
+	}
+	fmt.Fprintf(domainW, "  )\n")
+	for ai := range p.Actions {
+		act := &p.Actions[ai]
+		name := sanitize(act.Name)
+		if name == "" {
+			name = "act"
+		}
+		fmt.Fprintf(domainW, "  (:action %s-%d\n", name, ai)
+		if len(act.Pre) > 0 {
+			fmt.Fprintf(domainW, "    :precondition %s\n", conj(act.Pre))
+		}
+		fmt.Fprintf(domainW, "    :effect (and\n")
+		for ei := range act.Effects {
+			e := &act.Effects[ei]
+			var eff []string
+			for _, d := range e.Del {
+				eff = append(eff, "(not "+pred(d)+")")
+			}
+			for _, ad := range e.Add {
+				eff = append(eff, pred(ad))
+			}
+			body := strings.Join(eff, " ")
+			if len(eff) != 1 {
+				body = "(and " + body + ")"
+			}
+			if len(e.Cond) > 0 {
+				fmt.Fprintf(domainW, "      (when %s %s)\n", conj(e.Cond), body)
+			} else {
+				fmt.Fprintf(domainW, "      %s\n", body)
+			}
+		}
+		fmt.Fprintf(domainW, "    )\n  )\n")
+	}
+	fmt.Fprintf(domainW, ")\n")
+
+	// Problem.
+	fmt.Fprintf(problemW, "(define (problem %s-instance)\n", domain)
+	fmt.Fprintf(problemW, "  (:domain %s)\n", domain)
+	fmt.Fprintf(problemW, "  (:init\n")
+	for _, a := range p.Init {
+		fmt.Fprintf(problemW, "    %s\n", pred(a))
+	}
+	fmt.Fprintf(problemW, "  )\n")
+	fmt.Fprintf(problemW, "  (:goal %s)\n", conj(p.Goal))
+	fmt.Fprintf(problemW, ")\n")
+}
+
+// sanitize maps an action name to PDDL identifier characters.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// AtomNamer returns a readable predicate namer for the sorting encoding
+// produced by Encode: val-p<example>-r<register>-v<value> and
+// lt-p<example>/gt-p<example>.
+func AtomNamer(numExamples, regs, domainSize int) func(Atom) string {
+	base := numExamples * regs * domainSize
+	return func(a Atom) string {
+		if int(a) < base {
+			i := int(a)
+			p := i / (regs * domainSize)
+			i %= regs * domainSize
+			r := i / domainSize
+			v := i % domainSize
+			return fmt.Sprintf("val-p%d-r%d-v%d", p, r, v)
+		}
+		i := int(a) - base
+		if i%2 == 0 {
+			return fmt.Sprintf("lt-p%d", i/2)
+		}
+		return fmt.Sprintf("gt-p%d", i/2)
+	}
+}

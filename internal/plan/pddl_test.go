@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+)
+
+func balanced(s string) bool {
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+func TestWritePDDLToy(t *testing.T) {
+	var dom, prob strings.Builder
+	WritePDDL(&dom, &prob, toyProblem(), "toy", nil)
+	d, p := dom.String(), prob.String()
+	for _, want := range []string{
+		"(define (domain toy)",
+		":requirements :strips :conditional-effects",
+		"(:action step-0",
+		"(a0)",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("domain missing %q", want)
+		}
+	}
+	for _, want := range []string{"(define (problem toy-instance)", "(:domain toy)", "(:init", "(:goal (and (a4)))"} {
+		if !strings.Contains(p, want) {
+			t.Errorf("problem missing %q", want)
+		}
+	}
+	if !balanced(d) || !balanced(p) {
+		t.Error("unbalanced parentheses")
+	}
+}
+
+func TestWritePDDLSortingEncoding(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	prob := Encode(set, nil)
+	namer := AtomNamer(perm.Factorial(2), set.Regs(), set.N+1)
+	var dom, pb strings.Builder
+	WritePDDL(&dom, &pb, prob, "sortsynth-n2", namer)
+	d, p := dom.String(), pb.String()
+	if !balanced(d) || !balanced(p) {
+		t.Fatal("unbalanced parentheses")
+	}
+	for _, want := range []string{
+		"(:action mov-r1-s1-",       // an instruction action
+		"(when (and (val-p0-r0-v2)", // conditional effect on example 0
+		"lt-p0",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("domain missing %q", want)
+		}
+	}
+	if !strings.Contains(p, "(val-p0-r0-v1)") && !strings.Contains(p, "(val-p0-r0-v2)") {
+		t.Error("problem init missing value atoms")
+	}
+	if !strings.Contains(p, "(:goal (and (val-p0-r0-v1)") {
+		t.Errorf("problem goal wrong:\n%s", p)
+	}
+}
+
+func TestAtomNamerBijective(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	prob := Encode(set, nil)
+	namer := AtomNamer(perm.Factorial(2), set.Regs(), set.N+1)
+	seen := map[string]bool{}
+	for a := 0; a < prob.NumAtoms; a++ {
+		name := namer(Atom(a))
+		if seen[name] {
+			t.Fatalf("duplicate predicate name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("mov r1 s1"); got != "mov-r1-s1" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize("???"); got != "" {
+		t.Errorf("sanitize(???) = %q", got)
+	}
+}

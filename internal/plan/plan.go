@@ -1,0 +1,381 @@
+// Package plan is a grounded STRIPS-style planner with conditional
+// effects, plus the sorting-kernel planning formulation of paper §5.2.
+//
+// The engine covers the feature set the paper's PDDL models need:
+// propositional states (bitsets), actions with preconditions and
+// conditional effects, greedy best-first or A* search, and the
+// goal-count and additive relaxed (h_add) heuristics in the spirit of
+// the FF/LAMA family. fast-downward, LAMA, Scorpion and CPDDL are
+// external planners; this package is the documented substitution
+// (DESIGN.md §4.5).
+//
+// Two formulations mirror the paper's: Plan-Parallel evaluates the goal
+// over all permutations at once; Plan-Seq linearizes it, directing the
+// heuristic at one unsorted permutation at a time ("handles each
+// possible permutation one after another").
+package plan
+
+import (
+	"container/heap"
+	"math/bits"
+	"time"
+)
+
+// Atom is a ground proposition index.
+type Atom int32
+
+// CondEffect is a conditional effect: when all Cond atoms hold in the
+// state the action is applied to, Del atoms are removed and Add atoms
+// added (deletes before adds).
+type CondEffect struct {
+	Cond []Atom
+	Add  []Atom
+	Del  []Atom
+}
+
+// Action is a ground action.
+type Action struct {
+	Name    string
+	Pre     []Atom
+	Effects []CondEffect
+}
+
+// Problem is a grounded planning problem.
+type Problem struct {
+	NumAtoms int
+	Init     []Atom
+	Goal     []Atom
+	Actions  []Action
+
+	// GoalGroups optionally partitions the goal for the Plan-Seq
+	// heuristic: the heuristic counts only the first unsatisfied group
+	// (scaled), serializing the subgoals.
+	GoalGroups [][]Atom
+}
+
+// bitset state helpers.
+type bstate []uint64
+
+func newState(n int) bstate { return make(bstate, (n+63)/64) }
+
+func (s bstate) has(a Atom) bool { return s[a>>6]&(1<<(a&63)) != 0 }
+func (s bstate) set(a Atom)      { s[a>>6] |= 1 << (a & 63) }
+func (s bstate) clear(a Atom)    { s[a>>6] &^= 1 << (a & 63) }
+
+func (s bstate) clone() bstate {
+	t := make(bstate, len(s))
+	copy(t, s)
+	return t
+}
+
+func (s bstate) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range s {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s bstate) holdsAll(atoms []Atom) bool {
+	for _, a := range atoms {
+		if !s.has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// apply returns the successor of s under a (s unchanged).
+func apply(s bstate, a *Action) bstate {
+	var adds, dels []Atom
+	for i := range a.Effects {
+		e := &a.Effects[i]
+		if s.holdsAll(e.Cond) {
+			adds = append(adds, e.Add...)
+			dels = append(dels, e.Del...)
+		}
+	}
+	t := s.clone()
+	for _, d := range dels {
+		t.clear(d)
+	}
+	for _, ad := range adds {
+		t.set(ad)
+	}
+	return t
+}
+
+// Algorithm selects the search strategy.
+type Algorithm uint8
+
+// Search strategies.
+const (
+	GBFS  Algorithm = iota // greedy best-first on h
+	AStar                  // f = g + h
+)
+
+// HeuristicKind selects the heuristic.
+type HeuristicKind uint8
+
+// Heuristics.
+const (
+	GoalCount HeuristicKind = iota // unsatisfied goal atoms
+	HAdd                           // additive relaxed-reachability cost
+)
+
+// Options configures a planner run.
+type Options struct {
+	Algorithm Algorithm
+	Heuristic HeuristicKind
+	Serialize bool // Plan-Seq: focus the heuristic on the first open goal group
+	MaxNodes  int64
+	Timeout   time.Duration
+}
+
+// Result reports a planner run.
+type Result struct {
+	Plan      []int // action indices, nil if none found
+	Expanded  int64
+	Generated int64
+	Elapsed   time.Duration
+	Exhausted bool
+}
+
+type planNode struct {
+	state  bstate
+	parent int32
+	action int32
+	g      int32
+}
+
+type pqItem struct {
+	f, g int32
+	id   int32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	return q[i].g > q[j].g
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// Solve searches for a plan.
+func Solve(p *Problem, opt Options) *Result {
+	start := time.Now()
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+	}
+	res := &Result{}
+
+	init := newState(p.NumAtoms)
+	for _, a := range p.Init {
+		init.set(a)
+	}
+
+	h := func(s bstate) int32 {
+		switch opt.Heuristic {
+		case HAdd:
+			return hAdd(p, s, opt.Serialize)
+		default:
+			return goalCount(p, s, opt.Serialize)
+		}
+	}
+
+	nodes := []planNode{{state: init, parent: -1, action: -1}}
+	seen := map[uint64]int32{init.hash(): 0}
+	open := pq{{f: h(init), g: 0, id: 0}}
+	heap.Init(&open)
+
+	for open.Len() > 0 {
+		if opt.MaxNodes > 0 && res.Expanded >= opt.MaxNodes {
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		if !deadline.IsZero() && res.Expanded%128 == 0 && time.Now().After(deadline) {
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		it := heap.Pop(&open).(pqItem)
+		nd := &nodes[it.id]
+		if it.g != nd.g {
+			continue
+		}
+		if nd.state.holdsAll(p.Goal) {
+			// Reconstruct.
+			var rev []int
+			for v := it.id; nodes[v].parent >= 0; v = nodes[v].parent {
+				rev = append(rev, int(nodes[v].action))
+			}
+			res.Plan = make([]int, len(rev))
+			for i, a := range rev {
+				res.Plan[len(rev)-1-i] = a
+			}
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		res.Expanded++
+		for ai := range p.Actions {
+			act := &p.Actions[ai]
+			if !nd.state.holdsAll(act.Pre) {
+				continue
+			}
+			succ := apply(nd.state, act)
+			res.Generated++
+			key := succ.hash()
+			ng := it.g + 1
+			if idx, ok := seen[key]; ok {
+				if ng >= nodes[idx].g {
+					continue
+				}
+				nodes[idx].g = ng
+				nodes[idx].parent = it.id
+				nodes[idx].action = int32(ai)
+				f := ng
+				if opt.Algorithm == GBFS {
+					f = h(succ)
+				} else {
+					f = ng + h(succ)
+				}
+				heap.Push(&open, pqItem{f: f, g: ng, id: idx})
+				continue
+			}
+			id := int32(len(nodes))
+			nodes = append(nodes, planNode{state: succ, parent: it.id, action: int32(ai), g: ng})
+			seen[key] = id
+			var f int32
+			if opt.Algorithm == GBFS {
+				f = h(succ)
+			} else {
+				f = ng + h(succ)
+			}
+			heap.Push(&open, pqItem{f: f, g: ng, id: id})
+		}
+	}
+	res.Exhausted = true
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// goalCount counts unsatisfied goal atoms; with Serialize it counts only
+// the first goal group that is not yet fully satisfied (plus the number
+// of remaining groups, to keep the ordering informative).
+func goalCount(p *Problem, s bstate, serialize bool) int32 {
+	if serialize && len(p.GoalGroups) > 0 {
+		for gi, group := range p.GoalGroups {
+			miss := int32(0)
+			for _, a := range group {
+				if !s.has(a) {
+					miss++
+				}
+			}
+			if miss > 0 {
+				// Each remaining group costs at least its size: weigh
+				// open groups so that finishing the current group always
+				// dominates shuffling later ones.
+				return miss + int32(len(p.GoalGroups)-gi-1)*int32(len(group)+1)
+			}
+		}
+		return 0
+	}
+	var miss int32
+	for _, a := range p.Goal {
+		if !s.has(a) {
+			miss++
+		}
+	}
+	return miss
+}
+
+// hAdd computes the additive relaxed heuristic: delete effects are
+// ignored and conditional effects act as independent relaxed actions
+// with precondition Pre ∪ Cond. Costs propagate to fixpoint.
+func hAdd(p *Problem, s bstate, serialize bool) int32 {
+	const inf = int32(1 << 29)
+	cost := make([]int32, p.NumAtoms)
+	for i := range cost {
+		if s.has(Atom(i)) {
+			cost[i] = 0
+		} else {
+			cost[i] = inf
+		}
+	}
+	sum := func(atoms []Atom) int32 {
+		var t int32
+		for _, a := range atoms {
+			c := cost[a]
+			if c >= inf {
+				return inf
+			}
+			t += c
+		}
+		return t
+	}
+	for changed := true; changed; {
+		changed = false
+		for ai := range p.Actions {
+			act := &p.Actions[ai]
+			base := sum(act.Pre)
+			if base >= inf {
+				continue
+			}
+			for ei := range act.Effects {
+				e := &act.Effects[ei]
+				c := sum(e.Cond)
+				if c >= inf {
+					continue
+				}
+				nc := base + c + 1
+				for _, a := range e.Add {
+					if nc < cost[a] {
+						cost[a] = nc
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	goal := p.Goal
+	if serialize && len(p.GoalGroups) > 0 {
+		for _, group := range p.GoalGroups {
+			if sat := func() bool {
+				for _, a := range group {
+					if !s.has(a) {
+						return false
+					}
+				}
+				return true
+			}(); !sat {
+				goal = group
+				break
+			}
+		}
+	}
+	t := sum(goal)
+	if t >= inf {
+		return inf
+	}
+	return t
+}
+
+// popcount of a state, used in tests.
+func (s bstate) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

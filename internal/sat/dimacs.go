@@ -1,0 +1,107 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS serializes the solver's original (non-learned) clauses in
+// DIMACS CNF format, so instances can be cross-checked against external
+// solvers.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	n := 0
+	for _, c := range s.clauses {
+		if !c.learned {
+			n++
+		}
+	}
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", s.NumVars(), n); err != nil {
+		return err
+	}
+	for _, c := range s.clauses {
+		if c.learned {
+			continue
+		}
+		var b strings.Builder
+		for _, l := range c.lits {
+			if l.Sign() {
+				fmt.Fprintf(&b, "-%d ", l.Var()+1)
+			} else {
+				fmt.Fprintf(&b, "%d ", l.Var()+1)
+			}
+		}
+		b.WriteString("0\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseDIMACS reads a DIMACS CNF instance into a fresh solver. Comments
+// and the problem line are handled; literals are 1-based signed integers
+// per the standard.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	declared := -1
+	var clause []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			nv, err := strconv.Atoi(f[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			declared = nv
+			for s.NumVars() < nv {
+				s.NewVar()
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			idx := v
+			if idx < 0 {
+				idx = -idx
+			}
+			if declared >= 0 && idx > declared {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared %d variables", v, declared)
+			}
+			for s.NumVars() < idx {
+				s.NewVar()
+			}
+			if v > 0 {
+				clause = append(clause, Pos(idx-1))
+			} else {
+				clause = append(clause, Neg(idx-1))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...) // tolerate a missing trailing 0
+	}
+	return s, nil
+}

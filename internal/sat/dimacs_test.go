@@ -1,0 +1,80 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSSat(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader(`
+c simple instance
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Fatalf("NumVars = %d", s.NumVars())
+	}
+	if s.Solve() != Sat {
+		t.Fatal("instance should be sat")
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 1 2\n1 0\n-1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("instance should be unsat")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p cnf x 1\n1 0\n",
+		"p dnf 2 1\n1 0\n",
+		"p cnf 1 1\n2 0\n",
+		"p cnf 2 1\n1 foo 0\n",
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseDIMACS(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	orig := pigeonhole(4, 3)
+	var b strings.Builder
+	if err := orig.WriteDIMACS(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Solve(), orig.Solve(); got != want {
+		t.Fatalf("round trip verdict %v, original %v", got, want)
+	}
+	if back.Solve() != Unsat {
+		t.Error("PHP(4,3) must be unsat")
+	}
+}
+
+func TestWriteDIMACSSkipsLearnedClauses(t *testing.T) {
+	s := pigeonhole(5, 4)
+	s.Solve() // learns clauses
+	var b strings.Builder
+	if err := s.WriteDIMACS(&b); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(b.String(), "\n", 2)[0]
+	// PHP(5,4): 5 at-least-one + 4·C(5,2) at-most-one = 5 + 40 = 45.
+	if header != "p cnf 20 45" {
+		t.Errorf("header = %q, want p cnf 20 45", header)
+	}
+}

@@ -1,0 +1,84 @@
+package sat
+
+// binHeap is an indexed max-heap over variable activities, used for
+// VSIDS branching.
+type binHeap struct {
+	heap []int
+	pos  []int // heap position per variable, -1 if absent
+}
+
+func (h *binHeap) size() int { return len(h.heap) }
+
+func (h *binHeap) contains(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *binHeap) push(v int, act *[]float64) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.pos[v], act)
+}
+
+func (h *binHeap) pop(act *[]float64) int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0, act)
+	}
+	return v
+}
+
+func (h *binHeap) update(v int, act *[]float64) {
+	if h.contains(v) {
+		h.up(h.pos[v], act)
+	}
+}
+
+func (h *binHeap) up(i int, act *[]float64) {
+	a := *act
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[h.heap[p]] >= a[v] {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *binHeap) down(i int, act *[]float64) {
+	a := *act
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && a[h.heap[c+1]] > a[h.heap[c]] {
+			c++
+		}
+		if a[v] >= a[h.heap[c]] {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,501 @@
+// Package sat is a from-scratch CDCL SAT solver: two-literal watching,
+// first-UIP conflict analysis with clause learning, VSIDS-style activity
+// decay, phase saving, and Luby restarts.
+//
+// It is the decision procedure underlying the repository's SMT-style
+// synthesis baselines (internal/smt), standing in for Z3/cvc5 in the
+// paper's §4.1/§5.2 comparison: the sorting-kernel queries are
+// finite-domain, so a propositional encoding is a complete decision
+// procedure for them.
+package sat
+
+import (
+	"time"
+)
+
+// Lit is a literal: variable index v ≥ 0 encoded as 2v (positive) or
+// 2v+1 (negated).
+type Lit int32
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(2 * v) }
+
+// Neg returns the negated literal of variable v.
+func Neg(v int) Lit { return Lit(2*v + 1) }
+
+// Not returns the complement of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Var returns the variable index of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether l is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+// Status is a solver verdict.
+type Status int8
+
+// Solver verdicts.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watcher struct {
+	c       int32 // clause index
+	blocker Lit
+}
+
+// Stats reports solver effort counters.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learned      int64
+	Restarts     int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses  []clause
+	watches  [][]watcher // indexed by literal
+	assign   []lbool     // indexed by variable
+	level    []int32
+	reason   []int32 // clause index or -1
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    binHeap // max-heap on activity
+	phase    []bool  // saved phases
+
+	clauseInc float64
+
+	ok    bool // false after top-level conflict
+	stats Stats
+
+	// Budget limits (0 = unlimited).
+	MaxConflicts int64
+	Timeout      time.Duration
+
+	seen     []bool
+	deadline time.Time
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{ok: true, varInc: 1, clauseInc: 1}
+}
+
+// Stats returns the effort counters of the last Solve.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v, &s.activity)
+	return v
+}
+
+// ResetSearch undoes all decisions so that further clauses can be added
+// incrementally (e.g. new counterexamples in a CEGIS loop). Learned
+// clauses are kept.
+func (s *Solver) ResetSearch() { s.backtrack(0) }
+
+func (s *Solver) valueLit(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if l.Sign() {
+		return v.neg()
+	}
+	return v
+}
+
+// AddClause adds a clause. It returns false if the formula became
+// trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause after search started")
+	}
+	// Simplify: drop duplicate/false literals, detect tautology.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.valueLit(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.enqueue(out[0], -1)
+		if s.propagate() >= 0 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attach(out, false)
+	return true
+}
+
+func (s *Solver) attach(lits []Lit, learned bool) int32 {
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause{lits: lits, learned: learned})
+	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{c: ci, blocker: lits[1]})
+	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{c: ci, blocker: lits[0]})
+	return ci
+}
+
+func (s *Solver) enqueue(l Lit, reason int32) {
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation; it returns the index of a conflicting
+// clause, or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[l]
+		kept := ws[:0]
+		conflict := int32(-1)
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := &s.clauses[w.c]
+			// Ensure the false literal (l.Not()) is at position 1.
+			if c.lits[0] == l.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				kept = append(kept, watcher{c: w.c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: w.c, blocker: first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c: w.c, blocker: first})
+			if s.valueLit(first) == lFalse {
+				conflict = w.c
+				// Copy the remaining watchers and stop.
+				kept = append(kept, ws[i+1:]...)
+				s.qhead = len(s.trail)
+				break
+			}
+			s.enqueue(first, w.c)
+		}
+		s.watches[l] = kept
+		if conflict >= 0 {
+			return conflict
+		}
+	}
+	return -1
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, int32(len(s.trail))) }
+
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		if !s.order.contains(v) {
+			s.order.push(v, &s.activity)
+		}
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v, &s.activity)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (first literal = asserting literal) and the backtrack level.
+func (s *Solver) analyze(conflict int32) ([]Lit, int) {
+	learned := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	ci := conflict
+	for {
+		c := &s.clauses[ci]
+		if c.learned {
+			s.bumpClause(ci)
+		}
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find the next marked literal on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+		ci = s.reason[v]
+		// Move p to the front of its reason clause convention: reason
+		// clauses store the implied literal first.
+	}
+	learned[0] = p.Not()
+
+	// Backtrack level: second-highest level in the learned clause.
+	bt := 0
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].Var()] > s.level[learned[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		bt = int(s.level[learned[1].Var()])
+	}
+	for _, l := range learned {
+		s.seen[l.Var()] = false
+	}
+	return learned, bt
+}
+
+func (s *Solver) bumpClause(ci int32) {
+	c := &s.clauses[ci]
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for i := range s.clauses {
+			s.clauses[i].act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i >= 1<<(k-1) && i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment. It returns Unknown only
+// when a budget (MaxConflicts/Timeout) expired.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.stats = Stats{}
+	if s.Timeout > 0 {
+		s.deadline = time.Now().Add(s.Timeout)
+	} else {
+		s.deadline = time.Time{}
+	}
+	var restart int64 = 1
+	for {
+		limit := luby(restart) * 128
+		st := s.searchOnce(limit)
+		if st != Unknown {
+			return st
+		}
+		if s.budgetExceeded() {
+			return Unknown
+		}
+		s.stats.Restarts++
+		restart++
+		s.backtrack(0)
+	}
+}
+
+func (s *Solver) budgetExceeded() bool {
+	if s.MaxConflicts > 0 && s.stats.Conflicts >= s.MaxConflicts {
+		return true
+	}
+	if !s.deadline.IsZero() && s.stats.Conflicts%256 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// searchOnce runs CDCL until a verdict, a restart limit, or budget.
+func (s *Solver) searchOnce(conflictLimit int64) Status {
+	var conflicts int64
+	for {
+		ci := s.propagate()
+		if ci >= 0 {
+			s.stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learned, bt := s.analyze(ci)
+			s.backtrack(bt)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], -1)
+			} else {
+				nc := s.attach(learned, true)
+				s.stats.Learned++
+				s.enqueue(learned[0], nc)
+			}
+			s.varInc /= 0.95
+			s.clauseInc /= 0.999
+			if conflicts >= conflictLimit || s.budgetExceeded() {
+				return Unknown
+			}
+			continue
+		}
+		// Decide.
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat
+		}
+		s.stats.Decisions++
+		s.newDecisionLevel()
+		if s.phase[v] {
+			s.enqueue(Pos(v), -1)
+		} else {
+			s.enqueue(Neg(v), -1)
+		}
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	for s.order.size() > 0 {
+		v := s.order.pop(&s.activity)
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// Value returns the model value of variable v after a Sat verdict.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }

@@ -1,0 +1,238 @@
+// Package semantics gives sorting kernels a denotational reading: it
+// symbolically executes a kernel and yields, for every output register,
+// a min/max/ite expression over the input values — the representation in
+// which the paper explains why synthesized kernels beat sorting networks
+// (§2.1: the final block of the 11-instruction kernel computes
+//
+//	rbx = ite(b > min(a,c), min(b, max(a,c)), min(a,c))
+//	rax = min(b, min(a,c))
+//
+// and removing the spare move "requires semantical reasoning on
+// min/max/ite expressions", e.g. the identity
+// min(a, min(b,c)) = min(min(max(c,b), a), min(b,c))).
+//
+// Expressions are hash-consed for compact printing; equivalence is
+// decided by evaluation over all weak orderings of the inputs, which is
+// sound and complete for this constant-free expression language.
+package semantics
+
+import (
+	"fmt"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+)
+
+// Op is an expression node kind.
+type Op uint8
+
+// Expression node kinds.
+const (
+	OpVar Op = iota // input value (Index selects which)
+	OpMin           // min(A, B)
+	OpMax           // max(A, B)
+	// OpIte is ite(A < B, C, D): the value C if A < B, otherwise D.
+	// Conditional moves introduce these; when both branches coincide the
+	// builder folds the node away.
+	OpIte
+)
+
+// Expr is an immutable expression node.
+type Expr struct {
+	Op         Op
+	Index      int // OpVar: input index (0-based), or -1 for the constant 0
+	id         int // interning sequence number (canonical ordering)
+	A, B, C, D *Expr
+}
+
+// Builder hash-conses expression nodes and provides the constructors.
+type Builder struct {
+	n    int
+	vars []*Expr
+	memo map[string]*Expr
+}
+
+// NewBuilder returns a builder over n input variables.
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n, memo: map[string]*Expr{}}
+	for i := 0; i < n; i++ {
+		b.vars = append(b.vars, b.intern(&Expr{Op: OpVar, Index: i}))
+	}
+	return b
+}
+
+// Var returns the i-th input variable.
+func (b *Builder) Var(i int) *Expr { return b.vars[i] }
+
+func (e *Expr) key() string {
+	switch e.Op {
+	case OpVar:
+		return fmt.Sprintf("v%d", e.Index)
+	case OpMin:
+		return fmt.Sprintf("m(%p,%p)", e.A, e.B)
+	case OpMax:
+		return fmt.Sprintf("M(%p,%p)", e.A, e.B)
+	default:
+		return fmt.Sprintf("i(%p,%p,%p,%p)", e.A, e.B, e.C, e.D)
+	}
+}
+
+func (b *Builder) intern(e *Expr) *Expr {
+	if old, ok := b.memo[e.key()]; ok {
+		return old
+	}
+	e.id = len(b.memo)
+	b.memo[e.key()] = e
+	return e
+}
+
+// Min returns min(x, y), with idempotence and argument-order folding.
+func (b *Builder) Min(x, y *Expr) *Expr {
+	if x == y {
+		return x
+	}
+	if x.id > y.id {
+		x, y = y, x // commutativity: canonical argument order
+	}
+	return b.intern(&Expr{Op: OpMin, A: x, B: y})
+}
+
+// Max returns max(x, y) with the same foldings as Min.
+func (b *Builder) Max(x, y *Expr) *Expr {
+	if x == y {
+		return x
+	}
+	if x.id > y.id {
+		x, y = y, x
+	}
+	return b.intern(&Expr{Op: OpMax, A: x, B: y})
+}
+
+// Ite returns ite(a < bb, c, d), folding the trivial cases.
+func (b *Builder) Ite(a, bb, c, d *Expr) *Expr {
+	if c == d {
+		return c
+	}
+	// ite(a<b, b, a) = max(a,b); ite(a<b, a, b) = min(a,b).
+	if c == bb && d == a {
+		return b.Max(a, bb)
+	}
+	if c == a && d == bb {
+		return b.Min(a, bb)
+	}
+	return b.intern(&Expr{Op: OpIte, A: a, B: bb, C: c, D: d})
+}
+
+// Eval evaluates the expression on concrete input values.
+func (e *Expr) Eval(vals []int) int {
+	switch e.Op {
+	case OpVar:
+		if e.Index < 0 {
+			return 0 // uninitialized scratch register
+		}
+		return vals[e.Index]
+	case OpMin:
+		return min(e.A.Eval(vals), e.B.Eval(vals))
+	case OpMax:
+		return max(e.A.Eval(vals), e.B.Eval(vals))
+	default:
+		if e.A.Eval(vals) < e.B.Eval(vals) {
+			return e.C.Eval(vals)
+		}
+		return e.D.Eval(vals)
+	}
+}
+
+// String renders the expression with inputs named a, b, c, ….
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpVar:
+		if e.Index < 0 {
+			return "0"
+		}
+		return string(rune('a' + e.Index))
+	case OpMin:
+		return fmt.Sprintf("min(%s, %s)", e.A, e.B)
+	case OpMax:
+		return fmt.Sprintf("max(%s, %s)", e.A, e.B)
+	default:
+		return fmt.Sprintf("ite(%s < %s, %s, %s)", e.A, e.B, e.C, e.D)
+	}
+}
+
+// Size returns the number of nodes (shared nodes counted once).
+func (e *Expr) Size() int {
+	seen := map[*Expr]bool{}
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		walk(x.A)
+		walk(x.B)
+		walk(x.C)
+		walk(x.D)
+	}
+	walk(e)
+	return len(seen)
+}
+
+// Symbolic executes p symbolically and returns one expression per output
+// register r1..rn. Flags are tracked as the pair of expressions last
+// compared; a conditional move materializes an ite node.
+func Symbolic(set *isa.Set, p isa.Program) []*Expr {
+	b := NewBuilder(set.N)
+	regs := make([]*Expr, set.Regs())
+	for i := 0; i < set.N; i++ {
+		regs[i] = b.Var(i)
+	}
+	zero := b.intern(&Expr{Op: OpVar, Index: -1}) // uninitialized scratch
+	for i := set.N; i < set.Regs(); i++ {
+		regs[i] = zero
+	}
+	var cmpA, cmpB *Expr
+	for _, in := range p {
+		switch in.Op {
+		case isa.Mov:
+			regs[in.Dst] = regs[in.Src]
+		case isa.Cmp:
+			cmpA, cmpB = regs[in.Dst], regs[in.Src]
+		case isa.Cmovl:
+			// dst ← src if cmpA < cmpB. Before any cmp both flags are
+			// clear, so the conditional move is a no-op.
+			if cmpA != nil {
+				regs[in.Dst] = b.Ite(cmpA, cmpB, regs[in.Src], regs[in.Dst])
+			}
+		case isa.Cmovg:
+			// dst ← src if cmpA > cmpB, i.e. cmpB < cmpA.
+			if cmpA != nil {
+				regs[in.Dst] = b.Ite(cmpB, cmpA, regs[in.Src], regs[in.Dst])
+			}
+		case isa.Min:
+			regs[in.Dst] = b.Min(regs[in.Dst], regs[in.Src])
+		case isa.Max:
+			regs[in.Dst] = b.Max(regs[in.Dst], regs[in.Src])
+		}
+	}
+	return regs[:set.N]
+}
+
+// Equiv reports whether two expressions over n inputs agree on every
+// input. Evaluation over all weak orderings (including ties) is sound
+// and complete for expressions free of the scratch constant 0: node
+// semantics depend only on the order relations among the inputs. (For
+// expressions still referencing an uninitialized scratch register, 0
+// acts as a strictly-smallest value during the check.)
+//
+// Note the subtlety the paper's correctness argument (§2.3) runs into
+// for programs: with strict-comparison ite nodes, distinct-value
+// permutations alone are NOT sufficient — ties select the other branch.
+func Equiv(n int, x, y *Expr) bool {
+	for _, w := range perm.WeakOrders(n) {
+		if x.Eval(w) != y.Eval(w) {
+			return false
+		}
+	}
+	return true
+}

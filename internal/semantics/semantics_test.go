@@ -1,0 +1,165 @@
+package semantics
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/sortnet"
+	"sortsynth/internal/state"
+)
+
+// paperKernelN3 is the synthesized kernel of paper §2.1 (middle column).
+const paperKernelN3 = `
+mov s1 r1
+cmp r3 s1
+cmovl s1 r3
+cmovl r3 r1
+cmp r2 r3
+mov r1 r2
+cmovg r2 r3
+cmovg r3 r1
+cmp r1 s1
+cmovl r2 s1
+cmovg r1 s1
+`
+
+func TestSymbolicMatchesInterpreter(t *testing.T) {
+	// Property: for random programs, the symbolic expressions evaluate to
+	// exactly what the concrete interpreter computes — on inputs with
+	// duplicates too.
+	for _, set := range []*isa.Set{isa.NewCmov(3, 1), isa.NewMinMax(3, 1)} {
+		rng := rand.New(rand.NewSource(23))
+		instrs := set.Instrs()
+		for trial := 0; trial < 200; trial++ {
+			p := make(isa.Program, rng.Intn(12))
+			for i := range p {
+				p[i] = instrs[rng.Intn(len(instrs))]
+			}
+			exprs := Symbolic(set, p)
+			for _, in := range perm.WeakOrders(set.N) {
+				want := state.RunInts(set, p, in)
+				for i, e := range exprs {
+					if got := e.Eval(in); got != want[i] {
+						t.Fatalf("%v: r%d = %s evaluates to %d on %v, interpreter says %d\nprogram:\n%s",
+							set, i+1, e, got, in, want[i], p.Format(set.N))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPaperIdentity(t *testing.T) {
+	// §2.1: min(a, min(b,c)) = min(min(max(c,b), a), min(b,c)).
+	b := NewBuilder(3)
+	a, bb, c := b.Var(0), b.Var(1), b.Var(2)
+	lhs := b.Min(a, b.Min(bb, c))
+	rhs := b.Min(b.Min(b.Max(c, bb), a), b.Min(bb, c))
+	if !Equiv(3, lhs, rhs) {
+		t.Fatalf("paper identity does not hold: %s vs %s", lhs, rhs)
+	}
+	// And a non-identity must be rejected.
+	if Equiv(3, lhs, b.Max(a, bb)) {
+		t.Fatal("Equiv accepted a wrong identity")
+	}
+}
+
+func TestPaperKernelDenotation(t *testing.T) {
+	// The paper states the synthesized kernel's outputs:
+	//   rax = min(b, min(a,c))
+	//   rbx = ite(b > min(a,c), min(b, max(a,c)), min(a,c))
+	//   (and rcx must therefore be max(a, max(b,c))).
+	set := isa.NewCmov(3, 1)
+	p, err := isa.ParseProgram(paperKernelN3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := Symbolic(set, p)
+	b := NewBuilder(3)
+	a, bb, c := b.Var(0), b.Var(1), b.Var(2)
+
+	wantR1 := b.Min(bb, b.Min(a, c))
+	if !Equiv(3, exprs[0], wantR1) {
+		t.Errorf("r1 = %s, want ≡ %s", exprs[0], wantR1)
+	}
+	// ite(b > min(a,c), min(b, max(a,c)), min(a,c)): b > x is x < b.
+	mac := b.Min(a, c)
+	wantR2 := b.Ite(mac, bb, b.Min(bb, b.Max(a, c)), mac)
+	if !Equiv(3, exprs[1], wantR2) {
+		t.Errorf("r2 = %s, want ≡ %s", exprs[1], wantR2)
+	}
+	wantR3 := b.Max(a, b.Max(bb, c))
+	if !Equiv(3, exprs[2], wantR3) {
+		t.Errorf("r3 = %s, want ≡ %s", exprs[2], wantR3)
+	}
+}
+
+func TestNetworkKernelDenotation(t *testing.T) {
+	// A sorting network's outputs are pure min/max expressions; the
+	// symbolic executor must reduce the cmov-based compare-exchanges to
+	// them (via the ite folding rules).
+	set := isa.NewMinMax(3, 1)
+	p := sortnet.Optimal(3).CompileMinMax()
+	exprs := Symbolic(set, p)
+	b := NewBuilder(3)
+	a, bb, c := b.Var(0), b.Var(1), b.Var(2)
+	if !Equiv(3, exprs[0], b.Min(a, b.Min(bb, c))) {
+		t.Errorf("network r1 = %s", exprs[0])
+	}
+	if !Equiv(3, exprs[2], b.Max(a, b.Max(bb, c))) {
+		t.Errorf("network r3 = %s", exprs[2])
+	}
+}
+
+func TestIteFoldings(t *testing.T) {
+	b := NewBuilder(2)
+	x, y := b.Var(0), b.Var(1)
+	if got := b.Ite(x, y, y, x); got.Op != OpMax {
+		t.Errorf("ite(x<y, y, x) = %s, want max", got)
+	}
+	if got := b.Ite(x, y, x, y); got.Op != OpMin {
+		t.Errorf("ite(x<y, x, y) = %s, want min", got)
+	}
+	if got := b.Ite(x, y, x, x); got != x {
+		t.Error("ite with equal branches not folded")
+	}
+	if b.Min(x, y) != b.Min(y, x) {
+		t.Error("min not commutativity-canonicalized")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder(3)
+	x, y := b.Var(0), b.Var(1)
+	if b.Min(x, y) != b.Min(x, y) {
+		t.Error("identical nodes not shared")
+	}
+	e := b.Max(b.Min(x, y), b.Min(x, y))
+	if e != b.Min(x, y) {
+		// max(z, z) should fold to z.
+		t.Errorf("max(z,z) = %s, want z", e)
+	}
+}
+
+func TestSizeCountsSharedOnce(t *testing.T) {
+	b := NewBuilder(2)
+	x, y := b.Var(0), b.Var(1)
+	m := b.Min(x, y)
+	e := b.Max(m, b.Max(m, x))
+	// nodes: x, y, min, inner max, outer max = 5.
+	if got := e.Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func TestCmovBeforeCmpIsNoop(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	p, _ := isa.ParseProgram("cmovl r1 r2; cmovg r2 r1", 2)
+	exprs := Symbolic(set, p)
+	b := NewBuilder(2)
+	if exprs[0] == nil || !Equiv(2, exprs[0], b.Var(0)) || !Equiv(2, exprs[1], b.Var(1)) {
+		t.Error("cmov with clear flags must be the identity")
+	}
+}

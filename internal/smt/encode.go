@@ -1,0 +1,506 @@
+// Package smt implements the paper's solver-based synthesis baselines
+// (§4.1): a finite-domain program encoding solved with the CDCL core in
+// internal/sat, in two protocols:
+//
+//   - SMT-PERM: a single query constraining the program to sort every
+//     permutation of 1..n at once, and
+//   - SMT-CEGIS: counterexample-guided synthesis that starts from a few
+//     examples and adds failing permutations until the verifier (the
+//     exhaustive permutation oracle of §2.3) accepts.
+//
+// Register values range over 0..n and are one-hot encoded; instruction
+// choice per timestep is either a dense one-hot over the legal
+// instruction list (symmetries built in) or a raw (cmd, dst, src) triple
+// on which the paper's §4 heuristics — no consecutive compares, compare
+// argument symmetry, reading only initialized registers — are expressible
+// as explicit constraints (the formulation-sensitivity experiment of
+// §5.2).
+package smt
+
+import (
+	"fmt"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/sat"
+)
+
+// Goal selects the correctness formulation (§4's goal-formulation list).
+type Goal uint8
+
+// Goal formulations from §4/§5.2.
+const (
+	// GoalExact asserts the output registers are exactly 1..n ("= 123").
+	GoalExact Goal = iota
+	// GoalAscCounts0 asserts ascending output plus occurrence counts for
+	// the values 0..n ("≤, #0123"): every value 1..n occurs exactly once
+	// in the output registers and 0 does not occur.
+	GoalAscCounts0
+	// GoalAscCounts is the same without the 0 constraint ("≤, #123").
+	GoalAscCounts
+	// GoalAscExact combines the ascending constraint with GoalExact
+	// ("≤, #0123, = 123" — the over-constrained variant).
+	GoalAscExact
+)
+
+func (g Goal) String() string {
+	switch g {
+	case GoalExact:
+		return "=123"
+	case GoalAscCounts0:
+		return "<=,#0123"
+	case GoalAscCounts:
+		return "<=,#123"
+	case GoalAscExact:
+		return "<=,#0123,=123"
+	}
+	return "goal?"
+}
+
+// Encoding selects the instruction-variable shape.
+type Encoding uint8
+
+// Encodings.
+const (
+	// EncodingDense uses one selector over the legal instruction list.
+	EncodingDense Encoding = iota
+	// EncodingRaw uses separate cmd/dst/src selectors, enabling the §4
+	// heuristic constraints.
+	EncodingRaw
+)
+
+// Heuristics toggles the §4 search-space constraints (raw encoding).
+type Heuristics struct {
+	NoConsecutiveCmp bool // (I): no two compares in a row
+	CmpSymmetry      bool // (II): cmp arguments in index order
+	NoSelfOps        bool // dst ≠ src
+	FirstIsCmp       bool // cmd[0] = cmp (partial skeleton)
+	OnlyInitialized  bool // never read an unwritten scratch register
+}
+
+// fd is a one-hot finite-domain variable: lits[k] ⇔ value k.
+type fd struct{ lits []sat.Lit }
+
+type encoder struct {
+	s   *sat.Solver
+	set *isa.Set
+}
+
+func (e *encoder) newFD(domain int) fd {
+	v := fd{lits: make([]sat.Lit, domain)}
+	atLeast := make([]sat.Lit, domain)
+	for k := 0; k < domain; k++ {
+		v.lits[k] = sat.Pos(e.s.NewVar())
+		atLeast[k] = v.lits[k]
+	}
+	e.s.AddClause(atLeast...)
+	for a := 0; a < domain; a++ {
+		for b := a + 1; b < domain; b++ {
+			e.s.AddClause(v.lits[a].Not(), v.lits[b].Not())
+		}
+	}
+	return v
+}
+
+func (e *encoder) newBool() sat.Lit { return sat.Pos(e.s.NewVar()) }
+
+// fixFD pins an fd to one value.
+func (e *encoder) fixFD(x fd, k int) {
+	e.s.AddClause(x.lits[k])
+}
+
+// traceVars holds the per-example execution trace variables.
+type traceVars struct {
+	val    [][]fd    // val[t][r]: value of register r before step t
+	lt, gt []sat.Lit // flags before step t
+}
+
+// progVars holds the program variables.
+type progVars struct {
+	enc Encoding
+	// Dense: sel[t] over the legal instruction list.
+	sel []fd
+	// Raw: cmd/dst/src selectors.
+	cmd, dst, src []fd
+}
+
+// instance is one complete encoding of the synthesis problem.
+type instance struct {
+	e     *encoder
+	set   *isa.Set
+	len   int
+	prog  progVars
+	goal  Goal
+	heur  Heuristics
+	nCmds int
+	ops   []isa.Op
+}
+
+func newInstance(set *isa.Set, length int, encoding Encoding, goal Goal, heur Heuristics) *instance {
+	e := &encoder{s: sat.New(), set: set}
+	in := &instance{e: e, set: set, len: length, goal: goal, heur: heur}
+	in.prog.enc = encoding
+	switch set.Kind {
+	case isa.KindCmov:
+		in.ops = []isa.Op{isa.Mov, isa.Cmp, isa.Cmovl, isa.Cmovg}
+	case isa.KindMinMax:
+		in.ops = []isa.Op{isa.Mov, isa.Min, isa.Max}
+	}
+	in.nCmds = len(in.ops)
+	r := set.Regs()
+	switch encoding {
+	case EncodingDense:
+		in.prog.sel = make([]fd, length)
+		for t := range in.prog.sel {
+			in.prog.sel[t] = e.newFD(set.NumInstrs())
+		}
+	case EncodingRaw:
+		in.prog.cmd = make([]fd, length)
+		in.prog.dst = make([]fd, length)
+		in.prog.src = make([]fd, length)
+		for t := 0; t < length; t++ {
+			in.prog.cmd[t] = e.newFD(in.nCmds)
+			in.prog.dst[t] = e.newFD(r)
+			in.prog.src[t] = e.newFD(r)
+		}
+		in.addHeuristics()
+	}
+	return in
+}
+
+// selLits returns, for timestep t and concrete instruction in, the
+// literals whose conjunction means "instruction in is selected at t"
+// (one literal for dense, three for raw).
+func (in *instance) selLits(t int, instr isa.Instr, id int) []sat.Lit {
+	if in.prog.enc == EncodingDense {
+		return []sat.Lit{in.prog.sel[t].lits[id]}
+	}
+	ci := -1
+	for i, op := range in.ops {
+		if op == instr.Op {
+			ci = i
+		}
+	}
+	return []sat.Lit{
+		in.prog.cmd[t].lits[ci],
+		in.prog.dst[t].lits[instr.Dst],
+		in.prog.src[t].lits[instr.Src],
+	}
+}
+
+// legal returns the instruction list the encoding ranges over: the
+// symmetry-reduced set for dense, the full raw product for raw.
+func (in *instance) legal() []isa.Instr {
+	if in.prog.enc == EncodingDense {
+		return in.set.Instrs()
+	}
+	r := in.set.Regs()
+	var out []isa.Instr
+	for _, op := range in.ops {
+		for d := 0; d < r; d++ {
+			for s := 0; s < r; s++ {
+				out = append(out, isa.Instr{Op: op, Dst: uint8(d), Src: uint8(s)})
+			}
+		}
+	}
+	return out
+}
+
+func (in *instance) addHeuristics() {
+	h := in.heur
+	cmpIdx := -1
+	for i, op := range in.ops {
+		if op == isa.Cmp {
+			cmpIdx = i
+		}
+	}
+	r := in.set.Regs()
+	if h.NoConsecutiveCmp && cmpIdx >= 0 {
+		for t := 0; t+1 < in.len; t++ {
+			in.e.s.AddClause(in.prog.cmd[t].lits[cmpIdx].Not(), in.prog.cmd[t+1].lits[cmpIdx].Not())
+		}
+	}
+	if h.CmpSymmetry && cmpIdx >= 0 {
+		for t := 0; t < in.len; t++ {
+			for d := 0; d < r; d++ {
+				for s := 0; s <= d; s++ {
+					in.e.s.AddClause(in.prog.cmd[t].lits[cmpIdx].Not(),
+						in.prog.dst[t].lits[d].Not(), in.prog.src[t].lits[s].Not())
+				}
+			}
+		}
+	}
+	if h.NoSelfOps {
+		for t := 0; t < in.len; t++ {
+			for d := 0; d < r; d++ {
+				in.e.s.AddClause(in.prog.dst[t].lits[d].Not(), in.prog.src[t].lits[d].Not())
+			}
+		}
+	}
+	if h.FirstIsCmp && cmpIdx >= 0 {
+		in.e.fixFD(in.prog.cmd[0], cmpIdx)
+	}
+	if h.OnlyInitialized {
+		// A scratch register may be read at step t only if some earlier
+		// step wrote it (writing ops are everything but cmp).
+		for sc := in.set.N; sc < r; sc++ {
+			written := make([]sat.Lit, in.len+1)
+			written[0] = in.e.newBool()
+			in.e.s.AddClause(written[0].Not()) // initially unwritten
+			for t := 0; t < in.len; t++ {
+				w := in.e.newBool()
+				written[t+1] = w
+				// w ↔ written[t] ∨ (dst=sc ∧ cmd writes)
+				writesLit := in.e.newBool()
+				// writesLit ↔ dst[t]=sc ∧ cmd ≠ cmp
+				if cmpIdx >= 0 {
+					in.e.s.AddClause(writesLit.Not(), in.prog.dst[t].lits[sc])
+					in.e.s.AddClause(writesLit.Not(), in.prog.cmd[t].lits[cmpIdx].Not())
+					in.e.s.AddClause(writesLit, in.prog.dst[t].lits[sc].Not(), in.prog.cmd[t].lits[cmpIdx])
+				} else {
+					in.e.s.AddClause(writesLit.Not(), in.prog.dst[t].lits[sc])
+					in.e.s.AddClause(writesLit, in.prog.dst[t].lits[sc].Not())
+				}
+				in.e.s.AddClause(w.Not(), written[t], writesLit)
+				in.e.s.AddClause(w, written[t].Not())
+				in.e.s.AddClause(w, writesLit.Not())
+				// Reading sc at t requires written[t].
+				in.e.s.AddClause(in.prog.src[t].lits[sc].Not(), written[t])
+			}
+		}
+	}
+}
+
+// addExample encodes the execution trace of one input and its goal.
+func (in *instance) addExample(input []int) {
+	set := in.set
+	e := in.e
+	r := set.Regs()
+	n := set.N
+	d := n + 1 // value domain 0..n
+
+	tv := traceVars{val: make([][]fd, in.len+1)}
+	hasFlags := set.HasFlags()
+	if hasFlags {
+		tv.lt = make([]sat.Lit, in.len+1)
+		tv.gt = make([]sat.Lit, in.len+1)
+	}
+	for t := 0; t <= in.len; t++ {
+		tv.val[t] = make([]fd, r)
+		for reg := 0; reg < r; reg++ {
+			tv.val[t][reg] = e.newFD(d)
+		}
+		if hasFlags {
+			tv.lt[t] = e.newBool()
+			tv.gt[t] = e.newBool()
+		}
+	}
+
+	// Initial state.
+	for i, v := range input {
+		e.fixFD(tv.val[0][i], v)
+	}
+	for sc := n; sc < r; sc++ {
+		e.fixFD(tv.val[0][sc], 0)
+	}
+	if hasFlags {
+		e.s.AddClause(tv.lt[0].Not())
+		e.s.AddClause(tv.gt[0].Not())
+	}
+
+	// Transitions.
+	legal := in.legal()
+	for t := 0; t < in.len; t++ {
+		for id, instr := range legal {
+			sel := in.selLits(t, instr, id)
+			neg := make([]sat.Lit, len(sel))
+			for i, l := range sel {
+				neg[i] = l.Not()
+			}
+			in.addTransition(neg, tv, t, instr)
+		}
+	}
+
+	in.addGoal(tv, input)
+}
+
+// imply adds clause (¬sel... ∨ extra...).
+func (in *instance) imply(negSel []sat.Lit, extra ...sat.Lit) {
+	clause := append(append([]sat.Lit(nil), negSel...), extra...)
+	in.e.s.AddClause(clause...)
+}
+
+// copyVal asserts sel → (dst-at-t+1 equals src-at-t) for one register.
+func (in *instance) copyVal(negSel []sat.Lit, from, to fd) {
+	for k := range from.lits {
+		in.imply(append(negSel, from.lits[k].Not()), to.lits[k])
+	}
+}
+
+func (in *instance) addTransition(negSel []sat.Lit, tv traceVars, t int, instr isa.Instr) {
+	set := in.set
+	r := set.Regs()
+	hasFlags := set.HasFlags()
+	dst, src := int(instr.Dst), int(instr.Src)
+
+	keepReg := func(reg int) {
+		in.copyVal(negSel, tv.val[t][reg], tv.val[t+1][reg])
+	}
+	keepFlags := func() {
+		if !hasFlags {
+			return
+		}
+		in.imply(append(negSel, tv.lt[t].Not()), tv.lt[t+1])
+		in.imply(append(negSel, tv.lt[t]), tv.lt[t+1].Not())
+		in.imply(append(negSel, tv.gt[t].Not()), tv.gt[t+1])
+		in.imply(append(negSel, tv.gt[t]), tv.gt[t+1].Not())
+	}
+
+	switch instr.Op {
+	case isa.Mov:
+		for reg := 0; reg < r; reg++ {
+			if reg == dst {
+				in.copyVal(negSel, tv.val[t][src], tv.val[t+1][dst])
+			} else {
+				keepReg(reg)
+			}
+		}
+		keepFlags()
+	case isa.Cmp:
+		for reg := 0; reg < r; reg++ {
+			keepReg(reg)
+		}
+		// Flags from the value pair.
+		a, b := tv.val[t][dst], tv.val[t][src]
+		for x := range a.lits {
+			for y := range b.lits {
+				cond := append(negSel, a.lits[x].Not(), b.lits[y].Not())
+				if x < y {
+					in.imply(cond, tv.lt[t+1])
+					in.imply(cond, tv.gt[t+1].Not())
+				} else if x > y {
+					in.imply(cond, tv.gt[t+1])
+					in.imply(cond, tv.lt[t+1].Not())
+				} else {
+					in.imply(cond, tv.lt[t+1].Not())
+					in.imply(cond, tv.gt[t+1].Not())
+				}
+			}
+		}
+	case isa.Cmovl, isa.Cmovg:
+		flag := tv.lt[t]
+		if instr.Op == isa.Cmovg {
+			flag = tv.gt[t]
+		}
+		for reg := 0; reg < r; reg++ {
+			if reg == dst {
+				// flag set → copy, flag clear → keep.
+				in.copyVal(append(negSel, flag.Not()), tv.val[t][src], tv.val[t+1][dst])
+				in.copyVal(append(negSel, flag), tv.val[t][dst], tv.val[t+1][dst])
+			} else {
+				keepReg(reg)
+			}
+		}
+		keepFlags()
+	case isa.Min, isa.Max:
+		a, b := tv.val[t][dst], tv.val[t][src]
+		for reg := 0; reg < r; reg++ {
+			if reg != dst {
+				keepReg(reg)
+			}
+		}
+		for x := range a.lits {
+			for y := range b.lits {
+				res := x
+				if (instr.Op == isa.Min && y < x) || (instr.Op == isa.Max && y > x) {
+					res = y
+				}
+				cond := append(negSel, a.lits[x].Not(), b.lits[y].Not())
+				in.imply(cond, tv.val[t+1][dst].lits[res])
+			}
+		}
+	default:
+		panic(fmt.Sprintf("smt: cannot encode op %v", instr.Op))
+	}
+}
+
+func (in *instance) addGoal(tv traceVars, input []int) {
+	e := in.e
+	n := in.set.N
+	final := tv.val[in.len]
+
+	exact := func() {
+		for i := 0; i < n; i++ {
+			e.fixFD(final[i], i+1)
+		}
+	}
+	ascending := func() {
+		for i := 0; i+1 < n; i++ {
+			for x := 0; x <= n; x++ {
+				for y := 0; y < x; y++ {
+					e.s.AddClause(final[i].lits[x].Not(), final[i+1].lits[y].Not())
+				}
+			}
+		}
+	}
+	counts := func(with0 bool) {
+		// Every value 1..n occurs exactly once among r1..rn.
+		for v := 1; v <= n; v++ {
+			atLeast := make([]sat.Lit, n)
+			for i := 0; i < n; i++ {
+				atLeast[i] = final[i].lits[v]
+			}
+			e.s.AddClause(atLeast...)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					e.s.AddClause(final[i].lits[v].Not(), final[j].lits[v].Not())
+				}
+			}
+		}
+		if with0 {
+			for i := 0; i < n; i++ {
+				e.s.AddClause(final[i].lits[0].Not())
+			}
+		}
+	}
+
+	switch in.goal {
+	case GoalExact:
+		exact()
+	case GoalAscCounts0:
+		ascending()
+		counts(true)
+	case GoalAscCounts:
+		ascending()
+		counts(false)
+	case GoalAscExact:
+		ascending()
+		counts(true)
+		exact()
+	}
+}
+
+// decode reads the synthesized program out of a satisfying model.
+func (in *instance) decode() isa.Program {
+	p := make(isa.Program, in.len)
+	s := in.e.s
+	value := func(x fd) int {
+		for k, l := range x.lits {
+			if s.Value(l.Var()) {
+				return k
+			}
+		}
+		return -1
+	}
+	for t := 0; t < in.len; t++ {
+		if in.prog.enc == EncodingDense {
+			p[t] = in.set.Instrs()[value(in.prog.sel[t])]
+		} else {
+			p[t] = isa.Instr{
+				Op:  in.ops[value(in.prog.cmd[t])],
+				Dst: uint8(value(in.prog.dst[t])),
+				Src: uint8(value(in.prog.src[t])),
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,199 @@
+package smt
+
+import (
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/sat"
+	"sortsynth/internal/verify"
+)
+
+// Status is the synthesis verdict.
+type Status uint8
+
+// Verdicts.
+const (
+	Found  Status = iota // a correct program was synthesized
+	NoProg               // proven: no program of this length satisfies the goal
+	Budget               // solver budget (conflicts/time) exhausted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Found:
+		return "found"
+	case NoProg:
+		return "no-program"
+	case Budget:
+		return "budget"
+	}
+	return "status?"
+}
+
+// Options configures a solver-based synthesis run.
+type Options struct {
+	Length   int
+	Goal     Goal
+	Encoding Encoding
+	Heur     Heuristics
+
+	// Examples overrides the initial example set (default: CEGIS starts
+	// with the single reversed permutation; PERM uses all permutations).
+	Examples [][]int
+
+	// CEGISArbitrary draws counterexamples from the full weak-order space
+	// instead of restricting them to permutations of 1..n (the paper's
+	// "arbitrary inputs" vs "inputs in range 1..n" CEGIS rows).
+	CEGISArbitrary bool
+
+	// Incremental reuses one solver across CEGIS iterations: each new
+	// counterexample's constraints are added to the existing formula and
+	// learned clauses carry over, instead of re-encoding from scratch.
+	Incremental bool
+
+	MaxConflicts int64
+	Timeout      time.Duration
+}
+
+// Result reports a solver-based synthesis outcome.
+type Result struct {
+	Status     Status
+	Program    isa.Program
+	Iterations int // CEGIS refinement rounds (1 for PERM)
+	Conflicts  int64
+	Elapsed    time.Duration
+}
+
+// SynthPerm runs the SMT-PERM protocol: one query with every permutation
+// of 1..n as an example. A Found program is correct by construction
+// (§2.3: the permutation suite is complete for distinct values).
+func SynthPerm(set *isa.Set, opt Options) *Result {
+	start := time.Now()
+	in := newInstance(set, opt.Length, opt.Encoding, opt.Goal, opt.Heur)
+	examples := opt.Examples
+	if examples == nil {
+		examples = perm.All(set.N)
+	}
+	for _, ex := range examples {
+		in.addExample(ex)
+	}
+	in.e.s.MaxConflicts = opt.MaxConflicts
+	in.e.s.Timeout = opt.Timeout
+	res := &Result{Iterations: 1}
+	switch in.e.s.Solve() {
+	case sat.Sat:
+		res.Status = Found
+		res.Program = in.decode()
+	case sat.Unsat:
+		res.Status = NoProg
+	default:
+		res.Status = Budget
+	}
+	res.Conflicts = in.e.s.Stats().Conflicts
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// SynthCEGIS runs counterexample-guided synthesis: synthesize against the
+// current example set, verify on the complete suite, and add the failing
+// input until verification passes. The verification oracle is exhaustive
+// execution (sound and complete here), standing in for the SMT solver's
+// model-based counterexample generation.
+func SynthCEGIS(set *isa.Set, opt Options) *Result {
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+	}
+	examples := opt.Examples
+	if examples == nil {
+		// Start with the hardest single example: the reversed array.
+		rev := make([]int, set.N)
+		for i := range rev {
+			rev[i] = set.N - i
+		}
+		examples = [][]int{rev}
+	}
+	res := &Result{}
+	var in *instance // reused across iterations in incremental mode
+	pending := examples
+	for {
+		res.Iterations++
+		if in == nil {
+			in = newInstance(set, opt.Length, opt.Encoding, opt.Goal, opt.Heur)
+			pending = examples
+		} else {
+			// Incremental: keep the formula and learned clauses, undo the
+			// previous model's decisions, add only the new example.
+			in.e.s.ResetSearch()
+		}
+		for _, ex := range pending {
+			in.addExample(ex)
+		}
+		pending = nil
+		in.e.s.MaxConflicts = opt.MaxConflicts
+		if !deadline.IsZero() {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				res.Status = Budget
+				res.Elapsed = time.Since(start)
+				return res
+			}
+			in.e.s.Timeout = remain
+		}
+		verdict := in.e.s.Solve()
+		res.Conflicts += in.e.s.Stats().Conflicts
+		switch verdict {
+		case sat.Unsat:
+			res.Status = NoProg
+			res.Elapsed = time.Since(start)
+			return res
+		case sat.Unknown:
+			res.Status = Budget
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		cand := in.decode()
+		var ce []int
+		if opt.CEGISArbitrary {
+			ce = verify.DuplicateCounterexample(set, cand)
+		} else {
+			ce = verify.Counterexample(set, cand)
+		}
+		if ce == nil {
+			res.Status = Found
+			res.Program = cand
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		if opt.Incremental {
+			pending = [][]int{ce}
+		} else {
+			examples = append(examples, ce)
+			in = nil // re-encode everything next round
+		}
+	}
+}
+
+// FindMinimal searches for the shortest program by increasing the length
+// from lo to hi with the given protocol ("perm" or "cegis"). It returns
+// the first Found result, or the last non-Found result.
+func FindMinimal(set *isa.Set, opt Options, lo, hi int, cegis bool) *Result {
+	var last *Result
+	for l := lo; l <= hi; l++ {
+		opt.Length = l
+		if cegis {
+			last = SynthCEGIS(set, opt)
+		} else {
+			last = SynthPerm(set, opt)
+		}
+		if last.Status == Found {
+			return last
+		}
+		if last.Status == Budget {
+			return last
+		}
+	}
+	return last
+}

@@ -1,0 +1,218 @@
+// Package sortnet builds sorting networks and compiles them to the two
+// kernel instruction sets.
+//
+// Sorting networks are the classical way to obtain oblivious sorting
+// kernels (paper §2.1): an arrangement of compare-and-swap (CAS)
+// operations whose order is independent of the data. The package provides
+// the textbook constructions (insertion, Batcher odd-even merge,
+// Bose-Nelson) and the known size-optimal networks for n ≤ 8, plus the
+// standard CAS code patterns:
+//
+//	cmov ISA (4 instructions)     min/max ISA (3 instructions)
+//	    mov  s1 ri                    mov s1 ri
+//	    cmp  ri rj                    min ri rj
+//	    cmovg ri rj                   max rj s1
+//	    cmovg rj s1
+//
+// which yield kernels of length 4·|CAS| and 3·|CAS| respectively — the
+// baselines the synthesized kernels beat by one instruction (§2.1).
+package sortnet
+
+import (
+	"fmt"
+
+	"sortsynth/internal/isa"
+)
+
+// CAS is a compare-and-swap between channels I < J: after the operation
+// the smaller value is at I, the larger at J.
+type CAS struct{ I, J int }
+
+// Network is an oblivious sorting network: a sequence of CAS operations
+// on n channels.
+type Network struct {
+	N   int
+	Ops []CAS
+}
+
+// Size returns the number of compare-and-swap operations.
+func (w Network) Size() int { return len(w.Ops) }
+
+// Depth returns the number of parallel layers under greedy layering.
+func (w Network) Depth() int {
+	ready := make([]int, w.N) // earliest free layer per channel
+	depth := 0
+	for _, c := range w.Ops {
+		l := max(ready[c.I], ready[c.J]) + 1
+		ready[c.I], ready[c.J] = l, l
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// Apply runs the network on a copy of in and returns the result.
+func (w Network) Apply(in []int) []int {
+	out := make([]int, len(in))
+	copy(out, in)
+	for _, c := range w.Ops {
+		if out[c.I] > out[c.J] {
+			out[c.I], out[c.J] = out[c.J], out[c.I]
+		}
+	}
+	return out
+}
+
+// Sorts01 verifies the network with the 0-1 principle: a network sorts
+// all inputs iff it sorts all 2^n vectors of zeros and ones (the sorting
+// lemma cited in paper §2.3, applicable here because networks are built
+// from single compare-and-swap operations).
+func (w Network) Sorts01() bool {
+	for bits := 0; bits < 1<<w.N; bits++ {
+		in := make([]int, w.N)
+		for i := range in {
+			in[i] = bits >> i & 1
+		}
+		out := w.Apply(in)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Insertion returns the insertion-sort network with n(n-1)/2 comparators.
+func Insertion(n int) Network {
+	w := Network{N: n}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			w.Ops = append(w.Ops, CAS{j - 1, j})
+		}
+	}
+	return w
+}
+
+// Batcher returns Batcher's odd-even mergesort network for any n,
+// obtained from the power-of-two construction by dropping comparators
+// that touch the (virtually +∞) padding channels.
+func Batcher(n int) Network {
+	w := Network{N: n}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	for k := 1; k < p; k *= 2 {
+		for j := k; j >= 1; j /= 2 {
+			for lo := j % k; lo <= p-1-j; lo += 2 * j {
+				lim := min(j-1, p-lo-j-1)
+				for i := 0; i <= lim; i++ {
+					if (i+lo)/(k*2) == (i+lo+j)/(k*2) {
+						a, b := i+lo, i+lo+j
+						if b < n {
+							w.Ops = append(w.Ops, CAS{a, b})
+						}
+					}
+				}
+			}
+		}
+	}
+	return w
+}
+
+// BoseNelson returns the Bose-Nelson network for n channels.
+func BoseNelson(n int) Network {
+	w := Network{N: n}
+	var pbracket func(i, x, j, y int)
+	p := func(i, j int) { w.Ops = append(w.Ops, CAS{i, j}) }
+	pbracket = func(i, x, j, y int) {
+		switch {
+		case x == 1 && y == 1:
+			p(i, j)
+		case x == 1 && y == 2:
+			p(i, j+1)
+			p(i, j)
+		case x == 2 && y == 1:
+			p(i, j)
+			p(i+1, j)
+		default:
+			a := x / 2
+			b := y / 2
+			if x%2 == 0 {
+				b = (y + 1) / 2
+			}
+			pbracket(i, a, j, b)
+			pbracket(i+a, x-a, j+b, y-b)
+			pbracket(i+a, x-a, j, b)
+		}
+	}
+	var pstar func(i, m int)
+	pstar = func(i, m int) {
+		if m > 1 {
+			a := m / 2
+			pstar(i, a)
+			pstar(i+a, m-a)
+			pbracket(i, a, i+a, m-a)
+		}
+	}
+	pstar(0, n)
+	return w
+}
+
+// optimalOps lists size-optimal networks for n ≤ 8 (sizes 0, 1, 3, 5, 9,
+// 12, 16, 19 — optimality proven for all of these).
+var optimalOps = map[int][]CAS{
+	1: {},
+	2: {{0, 1}},
+	3: {{1, 2}, {0, 2}, {0, 1}},
+	4: {{0, 1}, {2, 3}, {0, 2}, {1, 3}, {1, 2}},
+	5: {{0, 1}, {3, 4}, {2, 4}, {2, 3}, {1, 4}, {0, 3}, {0, 2}, {1, 3}, {1, 2}},
+	6: {{1, 2}, {4, 5}, {0, 2}, {3, 5}, {0, 1}, {3, 4}, {2, 5}, {0, 3}, {1, 4}, {2, 4}, {1, 3}, {2, 3}},
+	7: {{1, 2}, {3, 4}, {5, 6}, {0, 2}, {3, 5}, {4, 6}, {0, 1}, {4, 5}, {2, 6}, {0, 4}, {1, 5}, {0, 3}, {2, 5}, {1, 3}, {2, 4}, {2, 3}},
+	8: {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {1, 3}, {4, 6}, {5, 7}, {1, 2}, {5, 6}, {0, 4}, {3, 7}, {1, 5}, {2, 6}, {1, 4}, {3, 6}, {2, 4}, {3, 5}, {3, 4}},
+}
+
+// Optimal returns a size-optimal sorting network for n ≤ 8.
+func Optimal(n int) Network {
+	ops, ok := optimalOps[n]
+	if !ok {
+		panic(fmt.Sprintf("sortnet: no optimal network recorded for n=%d", n))
+	}
+	return Network{N: n, Ops: append([]CAS(nil), ops...)}
+}
+
+// CompileCmov emits the 4-instruction cmov compare-and-swap pattern for
+// every CAS of the network, using scratch register s1 of a machine with
+// w.N sorted registers.
+func (w Network) CompileCmov() isa.Program {
+	s1 := uint8(w.N) // first scratch register
+	var p isa.Program
+	for _, c := range w.Ops {
+		ri, rj := uint8(c.I), uint8(c.J)
+		p = append(p,
+			isa.Instr{Op: isa.Mov, Dst: s1, Src: ri},
+			isa.Instr{Op: isa.Cmp, Dst: ri, Src: rj},
+			isa.Instr{Op: isa.Cmovg, Dst: ri, Src: rj},
+			isa.Instr{Op: isa.Cmovg, Dst: rj, Src: s1},
+		)
+	}
+	return p
+}
+
+// CompileMinMax emits the 3-instruction min/max compare-and-swap pattern
+// for every CAS of the network.
+func (w Network) CompileMinMax() isa.Program {
+	s1 := uint8(w.N)
+	var p isa.Program
+	for _, c := range w.Ops {
+		ri, rj := uint8(c.I), uint8(c.J)
+		p = append(p,
+			isa.Instr{Op: isa.Mov, Dst: s1, Src: ri},
+			isa.Instr{Op: isa.Min, Dst: ri, Src: rj},
+			isa.Instr{Op: isa.Max, Dst: rj, Src: s1},
+		)
+	}
+	return p
+}

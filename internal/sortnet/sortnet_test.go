@@ -1,0 +1,159 @@
+package sortnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/state"
+)
+
+func TestNetworksSort01(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for _, tc := range []struct {
+			name string
+			net  Network
+		}{
+			{"insertion", Insertion(n)},
+			{"batcher", Batcher(n)},
+			{"bosenelson", BoseNelson(n)},
+			{"optimal", Optimal(n)},
+		} {
+			if !tc.net.Sorts01() {
+				t.Errorf("%s(%d) fails the 0-1 test", tc.name, n)
+			}
+		}
+	}
+}
+
+func TestOptimalSizes(t *testing.T) {
+	// Known minimal comparator counts.
+	want := map[int]int{1: 0, 2: 1, 3: 3, 4: 5, 5: 9, 6: 12, 7: 16, 8: 19}
+	for n, size := range want {
+		if got := Optimal(n).Size(); got != size {
+			t.Errorf("Optimal(%d).Size() = %d, want %d", n, got, size)
+		}
+	}
+}
+
+func TestInsertionSize(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		if got, want := Insertion(n).Size(), n*(n-1)/2; got != want {
+			t.Errorf("Insertion(%d).Size() = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDepthSanity(t *testing.T) {
+	// Depth is at most size and at least 1 for nonempty networks, and the
+	// optimal n=4 network has the well-known depth 3.
+	if d := Optimal(4).Depth(); d != 3 {
+		t.Errorf("Optimal(4).Depth() = %d, want 3", d)
+	}
+	for n := 2; n <= 8; n++ {
+		w := Batcher(n)
+		if d := w.Depth(); d < 1 || d > w.Size() {
+			t.Errorf("Batcher(%d).Depth() = %d out of range", n, d)
+		}
+	}
+}
+
+func TestApplyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(20) - 10
+		}
+		out := Batcher(n).Apply(in)
+		for i := 1; i < n; i++ {
+			if out[i-1] > out[i] {
+				t.Fatalf("Batcher(%d) failed on %v: %v", n, in, out)
+			}
+		}
+	}
+}
+
+func TestCompiledKernelsSort(t *testing.T) {
+	// The compiled kernels must (a) sort every permutation and (b) have
+	// the paper's sizes: 4·|CAS| for cmov, 3·|CAS| for min/max
+	// (§2.1, §5.4: 9/15/27 min/max instructions for n = 3/4/5).
+	for n := 2; n <= 5; n++ {
+		net := Optimal(n)
+		cm := net.CompileCmov()
+		mm := net.CompileMinMax()
+		if len(cm) != 4*net.Size() {
+			t.Errorf("n=%d: cmov kernel has %d instructions, want %d", n, len(cm), 4*net.Size())
+		}
+		if len(mm) != 3*net.Size() {
+			t.Errorf("n=%d: minmax kernel has %d instructions, want %d", n, len(mm), 3*net.Size())
+		}
+		cset := isa.NewCmov(n, 1)
+		mset := isa.NewMinMax(n, 1)
+		for _, in := range perm.All(n) {
+			if out := state.RunInts(cset, cm, in); !perm.IsSorted(out) {
+				t.Fatalf("n=%d cmov kernel fails on %v: %v", n, in, out)
+			}
+			if out := state.RunInts(mset, mm, in); !perm.IsSorted(out) {
+				t.Fatalf("n=%d minmax kernel fails on %v: %v", n, in, out)
+			}
+		}
+	}
+}
+
+func TestCompiledKernelsBeyondPaperRange(t *testing.T) {
+	// The kernel compiler works past the paper's n ≤ 5: validate n = 6..8
+	// network kernels with the generic interpreter on sampled
+	// permutations and random duplicate-carrying inputs.
+	rng := rand.New(rand.NewSource(21))
+	for n := 6; n <= 8; n++ {
+		net := Optimal(n)
+		cm := net.CompileCmov()
+		mm := net.CompileMinMax()
+		cset := isa.NewCmov(n, 1)
+		mset := isa.NewMinMax(n, 1)
+		for trial := 0; trial < 300; trial++ {
+			in := make([]int, n)
+			for i := range in {
+				in[i] = rng.Intn(2*n) - n
+			}
+			if out := state.RunInts(cset, cm, in); !perm.IsSorted(out) {
+				t.Fatalf("n=%d cmov network fails on %v: %v", n, in, out)
+			}
+			if out := state.RunInts(mset, mm, in); !perm.IsSorted(out) {
+				t.Fatalf("n=%d minmax network fails on %v: %v", n, in, out)
+			}
+		}
+	}
+}
+
+func TestCompiledInstructionsAreLegal(t *testing.T) {
+	// Every compiled instruction must be part of the enumerated
+	// instruction set (cmp argument order etc.), so network kernels live
+	// in the same search space as synthesized ones.
+	for n := 2; n <= 5; n++ {
+		cset := isa.NewCmov(n, 1)
+		for _, in := range Optimal(n).CompileCmov() {
+			if cset.InstrID(in) < 0 {
+				t.Errorf("n=%d: compiled cmov instruction %v not in instruction set", n, in)
+			}
+		}
+		mset := isa.NewMinMax(n, 1)
+		for _, in := range Optimal(n).CompileMinMax() {
+			if mset.InstrID(in) < 0 {
+				t.Errorf("n=%d: compiled minmax instruction %v not in instruction set", n, in)
+			}
+		}
+	}
+}
+
+func TestOptimalPanicsBeyond8(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Optimal(9) did not panic")
+		}
+	}()
+	Optimal(9)
+}

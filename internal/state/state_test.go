@@ -1,0 +1,269 @@
+package state
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := NewMachine(isa.NewCmov(3, 1))
+	regs := []int{3, 1, 2, 0}
+	a := m.Pack(regs, true, false)
+	if got := m.Unpack(a); !slices.Equal(got, regs) {
+		t.Errorf("Unpack = %v, want %v", got, regs)
+	}
+	lt, gt := m.Flags(a)
+	if !lt || gt {
+		t.Errorf("Flags = %v,%v, want true,false", lt, gt)
+	}
+	for i, want := range regs {
+		if got := m.Reg(a, i); got != want {
+			t.Errorf("Reg(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPaperExampleN2(t *testing.T) {
+	// The execution table of paper §2.2: sorting [2,1] with
+	// mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1.
+	set := isa.NewCmov(2, 1)
+	m := NewMachine(set)
+	p, err := isa.ParseProgram("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.PackRegs([]int{2, 1})
+
+	a = m.Step(a, p[0])
+	if got := m.Unpack(a); !slices.Equal(got, []int{2, 1, 1}) {
+		t.Fatalf("after mov s1 r2: %v", got)
+	}
+	a = m.Step(a, p[1])
+	if lt, gt := m.Flags(a); lt || !gt {
+		t.Fatalf("after cmp r1 r2: lt=%v gt=%v", lt, gt)
+	}
+	a = m.Step(a, p[2])
+	if got := m.Unpack(a); !slices.Equal(got, []int{2, 2, 1}) {
+		t.Fatalf("after cmovg r2 r1: %v", got)
+	}
+	a = m.Step(a, p[3])
+	if got := m.Unpack(a); !slices.Equal(got, []int{1, 2, 1}) {
+		t.Fatalf("after cmovg r1 s1: %v", got)
+	}
+	if !m.Sorted(a) {
+		t.Error("final assignment not recognized as sorted")
+	}
+}
+
+func TestStepMatchesRunInts(t *testing.T) {
+	// Property: the packed step function agrees with the reference integer
+	// interpreter on random programs over values 0..n.
+	for _, set := range []*isa.Set{isa.NewCmov(3, 1), isa.NewCmov(4, 1), isa.NewMinMax(3, 1)} {
+		m := NewMachine(set)
+		rng := rand.New(rand.NewSource(1))
+		instrs := set.Instrs()
+		for trial := 0; trial < 200; trial++ {
+			p := make(isa.Program, rng.Intn(12))
+			for i := range p {
+				p[i] = instrs[rng.Intn(len(instrs))]
+			}
+			vals := rng.Perm(set.N)
+			for i := range vals {
+				vals[i]++
+			}
+			a := m.PackRegs(vals)
+			a = m.RunAsg(a, p)
+			want := RunInts(set, p, vals)
+			for i := 0; i < set.N; i++ {
+				if got := m.Reg(a, i); got != want[i] {
+					t.Fatalf("%v: program %s on %v: packed r%d = %d, interpreter %d",
+						set, p.FormatInline(set.N), vals, i+1, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortedAndProj(t *testing.T) {
+	m := NewMachine(isa.NewCmov(3, 1))
+	if !m.Sorted(m.Pack([]int{1, 2, 3, 7}, true, false)) {
+		t.Error("sorted assignment with dirty scratch/flags not recognized")
+	}
+	if m.Sorted(m.PackRegs([]int{2, 1, 3})) {
+		t.Error("unsorted assignment recognized as sorted")
+	}
+	a := m.Pack([]int{3, 1, 2, 5}, false, true)
+	b := m.Pack([]int{3, 1, 2, 0}, true, false)
+	if m.Proj(a) != m.Proj(b) {
+		t.Error("Proj should ignore scratch and flags")
+	}
+}
+
+func TestViable(t *testing.T) {
+	m := NewMachine(isa.NewCmov(3, 1))
+	if !m.Viable(m.PackRegs([]int{1, 2, 3})) {
+		t.Error("initial assignment not viable")
+	}
+	if !m.Viable(m.Pack([]int{2, 2, 3, 1}, false, false)) {
+		t.Error("value saved in scratch should be viable")
+	}
+	// Paper §3.3 example: mov r1 r2 on 1 2 3 0 erases the 1.
+	if m.Viable(m.Pack([]int{2, 2, 3, 0}, false, false)) {
+		t.Error("assignment with erased value 1 reported viable")
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	m := NewMachine(isa.NewCmov(3, 1))
+	init := m.Initial()
+	if len(init) != perm.Factorial(3) {
+		t.Fatalf("initial state has %d assignments, want 6", len(init))
+	}
+	if !slices.IsSorted(init) {
+		t.Error("initial state not canonical")
+	}
+	if got := m.PermCount(init); got != 6 {
+		t.Errorf("PermCount(initial) = %d, want 6", got)
+	}
+	if m.AllSorted(init) {
+		t.Error("initial state reported sorted")
+	}
+	if !m.AllViable(init) {
+		t.Error("initial state reported unviable")
+	}
+}
+
+func TestApplyCanonicalizes(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	m := NewMachine(set)
+	// cmp r1 r2 on the two permutations of 1..2 yields two assignments
+	// differing only in flags.
+	s := m.Apply(nil, m.Initial(), isa.Instr{Op: isa.Cmp, Dst: 0, Src: 1})
+	if len(s) != 2 {
+		t.Fatalf("got %d assignments, want 2", len(s))
+	}
+	if !slices.IsSorted(s) {
+		t.Error("Apply result not sorted")
+	}
+	// A compare-and-swap merges both permutations into the sorted one:
+	// mov s1 r2; cmp r1 r2 (wait, swap uses r1>r2) — use the paper §2.2
+	// program which sorts n=2 completely.
+	p, err := isa.ParseProgram("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = m.Initial()
+	buf := State(nil)
+	for _, in := range p {
+		buf = m.Apply(buf, s, in)
+		s = buf.Clone()
+	}
+	if !m.AllSorted(s) {
+		t.Errorf("paper n=2 kernel does not sort: %v", s)
+	}
+	if m.PermCount(s) != 1 {
+		t.Errorf("PermCount after sorting = %d, want 1", m.PermCount(s))
+	}
+}
+
+func TestCanonicalizeProperty(t *testing.T) {
+	// Canonicalize = sort + dedup for arbitrary inputs.
+	f := func(raw []uint32) bool {
+		s := make(State, len(raw))
+		for i, v := range raw {
+			s[i] = Asg(v)
+		}
+		Canonicalize(&s)
+		if !slices.IsSorted(s) {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[i-1] {
+				return false
+			}
+		}
+		// Every input element present in output.
+		for _, v := range raw {
+			if !slices.Contains(s, Asg(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	m := NewMachine(isa.NewCmov(3, 1))
+	s1 := m.Initial()
+	s2 := m.Apply(nil, s1, isa.Instr{Op: isa.Cmp, Dst: 0, Src: 1})
+	if Hash(s1) == Hash(s2) {
+		t.Error("different states share 64-bit hash (suspicious)")
+	}
+	k1, k2 := HashKey(s1), HashKey(s2)
+	if k1 == k2 {
+		t.Error("different states share 128-bit key")
+	}
+	if Hash(s1) != Hash(s1.Clone()) || HashKey(s1) != HashKey(s1.Clone()) {
+		t.Error("hash not deterministic across clones")
+	}
+}
+
+func TestRunIntsArbitraryValues(t *testing.T) {
+	// The paper's §2.2 kernel for n=2 must sort arbitrary integers, not
+	// just 1..n, because kernels are constant-free.
+	set := isa.NewCmov(2, 1)
+	p, err := isa.ParseProgram("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b int16) bool {
+		out := RunInts(set, p, []int{int(a), int(b)})
+		return out[0] <= out[1] && ((out[0] == int(a) && out[1] == int(b)) || (out[0] == int(b) && out[1] == int(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxStep(t *testing.T) {
+	set := isa.NewMinMax(2, 1)
+	m := NewMachine(set)
+	a := m.PackRegs([]int{2, 1})
+	a = m.Step(a, isa.Instr{Op: isa.Mov, Dst: 2, Src: 0}) // s1 = r1 = 2
+	a = m.Step(a, isa.Instr{Op: isa.Min, Dst: 0, Src: 1}) // r1 = min(2,1) = 1
+	a = m.Step(a, isa.Instr{Op: isa.Max, Dst: 1, Src: 2}) // r2 = max(1,2) = 2
+	if got := m.Unpack(a); !slices.Equal(got, []int{1, 2, 2}) {
+		t.Errorf("minmax compare-exchange = %v, want [1 2 2]", got)
+	}
+	if !m.Sorted(a) {
+		t.Error("minmax result not sorted")
+	}
+}
+
+func BenchmarkApplyN4(b *testing.B) {
+	m := NewMachine(isa.NewCmov(4, 1))
+	s := m.Initial()
+	in := isa.Instr{Op: isa.Cmp, Dst: 0, Src: 1}
+	var buf State
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Apply(buf, s, in)
+	}
+}
+
+func BenchmarkHashN5(b *testing.B) {
+	m := NewMachine(isa.NewCmov(5, 1))
+	s := m.Initial()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Hash(s)
+	}
+}

@@ -1,0 +1,183 @@
+// Package stoke is a reimplementation of the Stoke-style stochastic
+// superoptimizer used as a baseline in paper §5.2: Metropolis–Hastings
+// MCMC over fixed-length programs with a test-case cost function.
+//
+// Modes match the paper's experiment matrix:
+//
+//   - cold start: begin from a random program (synthesis mode);
+//   - warm start: begin from a given program, e.g. a sorting-network
+//     kernel (optimization mode);
+//   - the test oracle is either the full permutation suite or a random
+//     subset.
+//
+// Moves: replace a random instruction, swap two instructions, change one
+// opcode, or change one operand. The cost of a candidate is the summed
+// sortedness violation over the test cases; zero cost on the full suite
+// means a correct kernel.
+package stoke
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+)
+
+// Options configures an MCMC run.
+type Options struct {
+	Length int
+	// Warm, if non-nil, seeds the chain (warm start); otherwise the chain
+	// starts from a random program (cold start). Warm programs longer
+	// than Length are truncated; shorter ones padded with random
+	// instructions.
+	Warm isa.Program
+	// TestSubset, if > 0, draws that many random permutations as the
+	// test oracle instead of the full suite (the paper's "random test
+	// suite" row). Final acceptance is always checked on the full suite.
+	TestSubset int
+	// Beta is the inverse temperature (default 1.0).
+	Beta float64
+	// MaxProposals bounds the chain length (default 1e6).
+	MaxProposals int64
+	Timeout      time.Duration
+	Seed         int64
+}
+
+// Result reports an MCMC run.
+type Result struct {
+	Program   isa.Program // correct kernel, or nil
+	Proposals int64
+	Accepted  int64
+	BestCost  int
+	Elapsed   time.Duration
+}
+
+// cost measures how unsorted the outputs are across the test inputs:
+// for each test, the number of positions where the output differs from
+// the sorted sequence, plus a penalty for erased values.
+func cost(m *state.Machine, tests []state.Asg, p isa.Program) int {
+	c := 0
+	for _, a := range tests {
+		out := m.RunAsg(a, p)
+		if m.Sorted(out) {
+			continue
+		}
+		// Position-wise mismatch against 1..n.
+		for i := 0; i < m.Set.N; i++ {
+			if m.Reg(out, i) != i+1 {
+				c++
+			}
+		}
+		if !m.Viable(out) {
+			c += m.Set.N
+		}
+	}
+	return c
+}
+
+// Run executes the MCMC search.
+func Run(set *isa.Set, opt Options) *Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	m := state.NewMachine(set)
+	instrs := set.Instrs()
+
+	// Test suite.
+	full := m.Initial()
+	tests := full
+	if opt.TestSubset > 0 && opt.TestSubset < len(full) {
+		idx := rng.Perm(len(full))[:opt.TestSubset]
+		tests = make([]state.Asg, len(idx))
+		for i, j := range idx {
+			tests[i] = full[j]
+		}
+	}
+
+	// Initial program.
+	cur := make(isa.Program, opt.Length)
+	for i := range cur {
+		if opt.Warm != nil && i < len(opt.Warm) {
+			cur[i] = opt.Warm[i]
+		} else {
+			cur[i] = instrs[rng.Intn(len(instrs))]
+		}
+	}
+
+	beta := opt.Beta
+	if beta == 0 {
+		beta = 1
+	}
+	maxProp := opt.MaxProposals
+	if maxProp == 0 {
+		maxProp = 1_000_000
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+	}
+
+	res := &Result{BestCost: math.MaxInt}
+	curCost := cost(m, tests, cur)
+	cand := make(isa.Program, opt.Length)
+	for res.Proposals = 0; res.Proposals < maxProp; res.Proposals++ {
+		if curCost == 0 {
+			// Validate on the full suite (subset oracles can accept
+			// incorrect programs — the paper's observation).
+			if cost(m, full, cur) == 0 {
+				res.Program = cur.Clone()
+				break
+			}
+			// Subset-correct but wrong: add penalty by switching to the
+			// full suite for the rest of the run.
+			tests = full
+			curCost = cost(m, tests, cur)
+		}
+		if !deadline.IsZero() && res.Proposals%1024 == 0 && time.Now().After(deadline) {
+			break
+		}
+		copy(cand, cur)
+		switch rng.Intn(4) {
+		case 0: // replace a random instruction
+			cand[rng.Intn(len(cand))] = instrs[rng.Intn(len(instrs))]
+		case 1: // swap two instructions
+			i, j := rng.Intn(len(cand)), rng.Intn(len(cand))
+			cand[i], cand[j] = cand[j], cand[i]
+		case 2: // change an opcode, keep operands when legal
+			i := rng.Intn(len(cand))
+			in := instrs[rng.Intn(len(instrs))]
+			cand[i].Op = in.Op
+			if set.InstrID(cand[i]) < 0 {
+				cand[i] = in
+			}
+		case 3: // change one operand
+			i := rng.Intn(len(cand))
+			if rng.Intn(2) == 0 {
+				cand[i].Dst = uint8(rng.Intn(set.Regs()))
+			} else {
+				cand[i].Src = uint8(rng.Intn(set.Regs()))
+			}
+			if set.InstrID(cand[i]) < 0 {
+				continue // illegal (self-op or cmp order): reject
+			}
+		}
+		candCost := cost(m, tests, cand)
+		if candCost <= curCost || rng.Float64() < math.Exp(-beta*float64(candCost-curCost)) {
+			cur, cand = cand, cur
+			curCost = candCost
+			res.Accepted++
+		}
+		if curCost < res.BestCost {
+			res.BestCost = curCost
+		}
+	}
+	if res.Program == nil && curCost == 0 && cost(m, full, cur) == 0 {
+		res.Program = cur.Clone()
+	}
+	if res.Program != nil {
+		res.BestCost = 0
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

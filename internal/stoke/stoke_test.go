@@ -1,0 +1,90 @@
+package stoke
+
+import (
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/sortnet"
+	"sortsynth/internal/state"
+	"sortsynth/internal/verify"
+)
+
+func TestCostZeroOnCorrectKernel(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	m := state.NewMachine(set)
+	net := sortnet.Optimal(3).CompileCmov()
+	if c := cost(m, m.Initial(), net); c != 0 {
+		t.Errorf("cost of correct kernel = %d, want 0", c)
+	}
+}
+
+func TestCostPositiveOnBrokenKernel(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	m := state.NewMachine(set)
+	p, _ := isa.ParseProgram("mov r1 r2", 3)
+	if c := cost(m, m.Initial(), p); c <= 0 {
+		t.Errorf("cost of broken kernel = %d, want > 0", c)
+	}
+}
+
+func TestColdStartN2(t *testing.T) {
+	// n=2 cold start is easy for MCMC; it should find a kernel quickly.
+	set := isa.NewCmov(2, 1)
+	res := Run(set, Options{Length: 4, Seed: 1, MaxProposals: 500_000})
+	if res.Program == nil {
+		t.Fatalf("cold start failed on n=2 (best cost %d)", res.BestCost)
+	}
+	if !verify.Sorts(set, res.Program) {
+		t.Fatal("stoke returned an incorrect program")
+	}
+}
+
+func TestWarmStartKeepsCorrectProgram(t *testing.T) {
+	// Warm-started from a correct kernel of exactly the target length,
+	// the chain must terminate immediately with that kernel.
+	set := isa.NewCmov(3, 1)
+	net := sortnet.Optimal(3).CompileCmov()
+	res := Run(set, Options{Length: len(net), Warm: net, Seed: 2})
+	if res.Program == nil {
+		t.Fatal("warm start lost a correct seed program")
+	}
+	if !verify.Sorts(set, res.Program) {
+		t.Fatal("warm result incorrect")
+	}
+	if res.Proposals != 0 {
+		t.Errorf("expected immediate acceptance, got %d proposals", res.Proposals)
+	}
+}
+
+func TestWarmStartCannotReachLength11(t *testing.T) {
+	// The paper's headline Stoke result: warm-starting from the
+	// 12-instruction network kernel truncated/padded to 11 instructions,
+	// stochastic search does not find an optimal kernel within a modest
+	// budget. (A lucky seed could in principle succeed; the budget is
+	// kept small enough that failure is the overwhelmingly likely
+	// outcome, mirroring the paper's observation.)
+	set := isa.NewCmov(3, 1)
+	net := sortnet.Optimal(3).CompileCmov()
+	res := Run(set, Options{Length: 11, Warm: net[:11], Seed: 3, MaxProposals: 50_000})
+	if res.Program != nil && !verify.Sorts(set, res.Program) {
+		t.Fatal("returned incorrect program")
+	}
+	t.Logf("warm length-11: found=%v best cost %d after %d proposals", res.Program != nil, res.BestCost, res.Proposals)
+}
+
+func TestSubsetOracleStillValidatesOnFullSuite(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	res := Run(set, Options{Length: 4, Seed: 4, TestSubset: 1, MaxProposals: 500_000})
+	if res.Program != nil && !verify.Sorts(set, res.Program) {
+		t.Fatal("subset oracle accepted an incorrect program")
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	a := Run(set, Options{Length: 4, Seed: 7, MaxProposals: 10_000})
+	b := Run(set, Options{Length: 4, Seed: 7, MaxProposals: 10_000})
+	if a.Proposals != b.Proposals || a.Accepted != b.Accepted || a.BestCost != b.BestCost {
+		t.Error("same seed produced different runs")
+	}
+}

@@ -1,0 +1,237 @@
+// Package tables precomputes, for every possible single register
+// assignment, the length of the shortest program sorting that assignment
+// alone (paper §3.1).
+//
+// The single-assignment space is tiny (at most 3·(n+1)^(n+m) entries), so
+// the distances are tabulated once per machine by fixpoint relaxation over
+// the instruction step function. The table yields three search
+// ingredients:
+//
+//   - an admissible A* heuristic: max over the assignments of a state of
+//     the assignment's distance is a lower bound on the remaining program
+//     length (paper §3.1, third heuristic);
+//   - the per-assignment viability budget check: if any assignment cannot
+//     be sorted within the remaining instruction budget, the partial
+//     program cannot be completed (paper §3.3);
+//   - the first-optimal-instruction masks that drive the
+//     non-optimality-preserving action guide (paper §3.2).
+package tables
+
+import (
+	"sync"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+)
+
+// Infinite marks assignments that can never be sorted (a value of 1..n was
+// erased).
+const Infinite = 255
+
+// MaskWords is the number of uint64 words in a first-instruction mask,
+// enough for every machine the packed representation supports.
+const MaskWords = 3
+
+// Mask is a bitset over the instruction IDs of a machine's instruction
+// set.
+type Mask [MaskWords]uint64
+
+// Has reports whether instruction id is in the mask.
+func (m *Mask) Has(id int) bool { return m[id>>6]&(1<<(id&63)) != 0 }
+
+func (m *Mask) set(id int) { m[id>>6] |= 1 << (id & 63) }
+
+// Or folds other into m.
+func (m *Mask) Or(other Mask) {
+	for i := range m {
+		m[i] |= other[i]
+	}
+}
+
+// Table holds the precomputed per-assignment data for one machine.
+type Table struct {
+	m     *state.Machine
+	npow  [9]uint32 // (n+1)^i
+	base  uint32    // (n+1)^regs
+	dist  []uint8
+	first []Mask
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Table{}
+)
+
+// For returns the (cached) table for the machine's instruction set and
+// test suite.
+func For(m *state.Machine) *Table {
+	key := m.Set.String() + "/" + m.Suite.String()
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if t, ok := cache[key]; ok {
+		return t
+	}
+	t := build(m)
+	cache[key] = t
+	return t
+}
+
+// index maps a packed assignment to its compact table index.
+func (t *Table) index(a state.Asg) uint32 {
+	regs := t.m.Set.Regs()
+	idx := (uint32(t.m.Tag(a))*4 + uint32(a&3)) * t.base
+	for i := 0; i < regs; i++ {
+		idx += uint32(t.m.Reg(a, i)) * t.npow[i]
+	}
+	return idx
+}
+
+func build(m *state.Machine) *Table {
+	set := m.Set
+	n, regs := set.N, set.Regs()
+	t := &Table{m: m}
+	t.npow[0] = 1
+	for i := 1; i <= regs; i++ {
+		t.npow[i] = t.npow[i-1] * uint32(n+1)
+	}
+	t.base = t.npow[regs]
+	// Flag codes 0..2 used (3 allocated for indexing simplicity), one
+	// block per goal tag.
+	size := int(t.base) * 4 * m.NumTags()
+	t.dist = make([]uint8, size)
+	t.first = make([]Mask, size)
+
+	// Enumerate every assignment by odometer over the register values,
+	// then seed the fixpoint.
+	asgs := make([]state.Asg, 0, int(t.base)*3*m.NumTags())
+	vals := make([]int, regs)
+	for {
+		a := m.Pack(vals, false, false)
+		for tag := 0; tag < m.NumTags(); tag++ {
+			at := m.WithTag(a, tag)
+			for _, fl := range flagCodes(set) {
+				asgs = append(asgs, at|state.Asg(fl))
+			}
+		}
+		i := 0
+		for i < regs {
+			vals[i]++
+			if vals[i] <= n {
+				break
+			}
+			vals[i] = 0
+			i++
+		}
+		if i == regs {
+			break
+		}
+	}
+
+	for i := range t.dist {
+		t.dist[i] = Infinite
+	}
+	for _, a := range asgs {
+		switch {
+		case m.Sorted(a):
+			t.dist[t.index(a)] = 0
+		case m.Viable(a):
+			t.dist[t.index(a)] = Infinite - 1 // unknown yet, finite
+		}
+	}
+
+	instrs := set.Instrs()
+	for changed := true; changed; {
+		changed = false
+		for _, a := range asgs {
+			idx := t.index(a)
+			d := t.dist[idx]
+			if d == 0 || d == Infinite {
+				continue
+			}
+			best := d
+			for _, in := range instrs {
+				nd := t.dist[t.index(m.Step(a, in))]
+				if nd < Infinite-1 && nd+1 < best {
+					best = nd + 1
+				}
+			}
+			if best < d {
+				t.dist[idx] = best
+				changed = true
+			}
+		}
+	}
+
+	// First-optimal-instruction masks. The paper's action guide restricts
+	// the search to instructions that start an optimal completion of some
+	// individual assignment (§3.2). For a single assignment, cmp never
+	// shortens the completion (data movement alone is optimal), so a guide
+	// built literally from the distances would exclude cmp and make the
+	// multi-permutation search unsolvable; cmp instructions are therefore
+	// always included in the guide mask of flag-carrying machines.
+	var cmpMask Mask
+	for id, in := range instrs {
+		if in.Op == isa.Cmp {
+			cmpMask.set(id)
+		}
+	}
+	for _, a := range asgs {
+		idx := t.index(a)
+		d := t.dist[idx]
+		if d == 0 || d >= Infinite-1 {
+			continue
+		}
+		mask := cmpMask
+		for id, in := range instrs {
+			if nd := t.dist[t.index(m.Step(a, in))]; nd == d-1 {
+				mask.set(id)
+			}
+		}
+		t.first[idx] = mask
+	}
+	return t
+}
+
+func flagCodes(set *isa.Set) []uint8 {
+	if set.HasFlags() {
+		return []uint8{0, 1, 2}
+	}
+	return []uint8{0}
+}
+
+// Dist returns the length of the shortest program sorting assignment a
+// alone, or Infinite if a can never be sorted.
+func (t *Table) Dist(a state.Asg) int {
+	d := t.dist[t.index(a)]
+	if d >= Infinite-1 {
+		return Infinite
+	}
+	return int(d)
+}
+
+// MaxDist returns the maximum assignment distance in s — an admissible
+// lower bound on the number of instructions any completion still needs.
+// It returns Infinite if some assignment is dead.
+func (t *Table) MaxDist(s state.State) int {
+	max := 0
+	for _, a := range s {
+		d := t.dist[t.index(a)]
+		if d >= Infinite-1 {
+			return Infinite
+		}
+		if int(d) > max {
+			max = int(d)
+		}
+	}
+	return max
+}
+
+// GuideMask returns the union over the assignments of s of the
+// first-optimal-instruction masks (plus all cmp instructions, see build).
+func (t *Table) GuideMask(s state.State) Mask {
+	var m Mask
+	for _, a := range s {
+		m.Or(t.first[t.index(a)])
+	}
+	return m
+}

@@ -1,0 +1,178 @@
+package tables
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+)
+
+func TestDistSortedIsZero(t *testing.T) {
+	m := state.NewMachine(isa.NewCmov(3, 1))
+	tab := For(m)
+	a := m.Pack([]int{1, 2, 3, 2}, true, false)
+	if got := tab.Dist(a); got != 0 {
+		t.Errorf("Dist(sorted) = %d, want 0", got)
+	}
+}
+
+func TestDistDeadIsInfinite(t *testing.T) {
+	m := state.NewMachine(isa.NewCmov(3, 1))
+	tab := For(m)
+	// Value 1 erased.
+	a := m.Pack([]int{2, 2, 3, 0}, false, false)
+	if got := tab.Dist(a); got != Infinite {
+		t.Errorf("Dist(dead) = %d, want Infinite", got)
+	}
+}
+
+func TestViableAssignmentsHaveFiniteDist(t *testing.T) {
+	// With one scratch register, every viable assignment can be sorted by
+	// data movement alone, so every viable assignment must have a finite
+	// distance.
+	m := state.NewMachine(isa.NewCmov(3, 1))
+	tab := For(m)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		regs := make([]int, 4)
+		for i := range regs {
+			regs[i] = rng.Intn(4)
+		}
+		a := m.Pack(regs, false, false)
+		d := tab.Dist(a)
+		if m.Viable(a) {
+			if d == Infinite {
+				t.Fatalf("viable assignment %v has infinite distance", regs)
+			}
+		} else if d != Infinite {
+			t.Fatalf("dead assignment %v has finite distance %d", regs, d)
+		}
+	}
+}
+
+func TestDistIsRealizable(t *testing.T) {
+	// Property: from any viable assignment, greedily following
+	// distance-decreasing instructions reaches a sorted assignment in
+	// exactly Dist steps.
+	for _, set := range []*isa.Set{isa.NewCmov(3, 1), isa.NewMinMax(3, 1)} {
+		m := state.NewMachine(set)
+		tab := For(m)
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 200; trial++ {
+			regs := make([]int, set.Regs())
+			for i := range regs {
+				regs[i] = rng.Intn(set.N + 1)
+			}
+			a := m.Pack(regs, false, false)
+			if !m.Viable(a) {
+				continue
+			}
+			d := tab.Dist(a)
+			for step := 0; step < d; step++ {
+				cur := tab.Dist(a)
+				found := false
+				for _, in := range set.Instrs() {
+					if b := m.Step(a, in); tab.Dist(b) == cur-1 {
+						a, found = b, true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%v: no distance-decreasing instruction from %v (dist %d)", set, m.Unpack(a), cur)
+				}
+			}
+			if !m.Sorted(a) {
+				t.Fatalf("%v: greedy descent did not sort %v", set, regs)
+			}
+		}
+	}
+}
+
+func TestDistLowerBoundProperty(t *testing.T) {
+	// Property: applying any instruction changes the distance by at most 1
+	// upward from optimal, i.e. dist(s) <= 1 + dist(step(s,i)).
+	m := state.NewMachine(isa.NewCmov(3, 1))
+	tab := For(m)
+	rng := rand.New(rand.NewSource(3))
+	instrs := m.Set.Instrs()
+	for trial := 0; trial < 1000; trial++ {
+		regs := make([]int, 4)
+		for i := range regs {
+			regs[i] = rng.Intn(4)
+		}
+		a := m.Pack(regs, false, false)
+		if !m.Viable(a) {
+			continue
+		}
+		in := instrs[rng.Intn(len(instrs))]
+		b := m.Step(a, in)
+		db := tab.Dist(b)
+		if db == Infinite {
+			continue
+		}
+		if tab.Dist(a) > 1+db {
+			t.Fatalf("triangle inequality violated: dist(%v)=%d, dist(step)=%d", regs, tab.Dist(a), db)
+		}
+	}
+}
+
+func TestMaxDist(t *testing.T) {
+	m := state.NewMachine(isa.NewCmov(3, 1))
+	tab := For(m)
+	init := m.Initial()
+	got := tab.MaxDist(init)
+	if got <= 0 || got == Infinite {
+		t.Fatalf("MaxDist(initial) = %d, want finite positive", got)
+	}
+	// The admissible bound can never exceed the known optimal length 11.
+	if got > 11 {
+		t.Errorf("MaxDist(initial) = %d exceeds optimal program length 11", got)
+	}
+}
+
+func TestGuideMaskIncludesCmpAndOptimalMoves(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	m := state.NewMachine(set)
+	tab := For(m)
+	mask := tab.GuideMask(m.Initial())
+	hasCmp, hasMove := false, false
+	for id, in := range set.Instrs() {
+		if !mask.Has(id) {
+			continue
+		}
+		if in.Op == isa.Cmp {
+			hasCmp = true
+		} else {
+			hasMove = true
+		}
+	}
+	if !hasCmp {
+		t.Error("guide mask excludes cmp instructions")
+	}
+	if !hasMove {
+		t.Error("guide mask contains no data-movement instruction")
+	}
+}
+
+func TestCacheReturnsSameTable(t *testing.T) {
+	m := state.NewMachine(isa.NewCmov(3, 1))
+	if For(m) != For(m) {
+		t.Error("For did not cache the table")
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	var m Mask
+	m.set(3)
+	m.set(70)
+	if !m.Has(3) || !m.Has(70) || m.Has(4) {
+		t.Error("Mask set/has wrong")
+	}
+	var o Mask
+	o.set(100)
+	m.Or(o)
+	if !m.Has(100) || !m.Has(3) {
+		t.Error("Mask Or wrong")
+	}
+}

@@ -1,0 +1,210 @@
+// Package tsne is a from-scratch t-distributed stochastic neighbor
+// embedding, used to reproduce Figure 2 of the paper (the 2-D layout of
+// the n=3 solution space under different cut constants).
+//
+// The implementation follows van der Maaten & Hinton (2008): pairwise
+// affinities with per-point perplexity calibration by binary search,
+// symmetrization, early exaggeration, and momentum gradient descent on
+// the Student-t low-dimensional similarities.
+package tsne
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Options configures an embedding run.
+type Options struct {
+	Perplexity float64 // default 50 (the paper's Figure 2 uses p=50)
+	Iterations int     // default 300 (the paper's a70_p50_i300 run)
+	LearnRate  float64 // default 200
+	Seed       int64
+}
+
+// Embed computes a 2-D embedding of the given points (rows are points).
+func Embed(points [][]float64, opt Options) [][2]float64 {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	perp := opt.Perplexity
+	if perp == 0 {
+		perp = 50
+	}
+	if perp > float64(n-1)/3 {
+		perp = math.Max(2, float64(n-1)/3)
+	}
+	iters := opt.Iterations
+	if iters == 0 {
+		iters = 300
+	}
+	lr := opt.LearnRate
+	if lr == 0 {
+		lr = 200
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Pairwise squared distances.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := 0; j < i; j++ {
+			var s float64
+			for k := range points[i] {
+				diff := points[i][k] - points[j][k]
+				s += diff * diff
+			}
+			d2[i][j] = s
+			d2[j][i] = s
+		}
+	}
+
+	// Conditional affinities with perplexity calibration.
+	p := make([][]float64, n)
+	logPerp := math.Log(perp)
+	for i := range p {
+		p[i] = make([]float64, n)
+		lo, hi := 0.0, math.Inf(1)
+		beta := 1.0
+		for iter := 0; iter < 50; iter++ {
+			var sum, hsum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					p[i][j] = 0
+					continue
+				}
+				v := math.Exp(-d2[i][j] * beta)
+				p[i][j] = v
+				sum += v
+				hsum += v * d2[i][j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			// Shannon entropy of the conditional distribution.
+			h := math.Log(sum) + beta*hsum/sum
+			if math.Abs(h-logPerp) < 1e-5 {
+				break
+			}
+			if h > logPerp {
+				lo = beta
+				if math.IsInf(hi, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		var sum float64
+		for j := range p[i] {
+			sum += p[i][j]
+		}
+		if sum == 0 {
+			sum = 1e-12
+		}
+		for j := range p[i] {
+			p[i][j] /= sum
+		}
+	}
+	// Symmetrize.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			p[i][j], p[j][i] = v, v
+		}
+	}
+
+	// Initialize embedding.
+	y := make([][2]float64, n)
+	for i := range y {
+		y[i][0] = rng.NormFloat64() * 1e-2
+		y[i][1] = rng.NormFloat64() * 1e-2
+	}
+	vel := make([][2]float64, n)
+	grad := make([][2]float64, n)
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+
+	const earlyExaggeration = 4.0
+	const exaggerationUntil = 100
+	for iter := 0; iter < iters; iter++ {
+		exag := 1.0
+		if iter < exaggerationUntil {
+			exag = earlyExaggeration
+		}
+		// Student-t similarities.
+		var qsum float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				v := 1 / (1 + dx*dx + dy*dy)
+				q[i][j], q[j][i] = v, v
+				qsum += 2 * v
+			}
+		}
+		if qsum == 0 {
+			qsum = 1e-12
+		}
+		// Gradient.
+		for i := range grad {
+			grad[i] = [2]float64{}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mult := (exag*p[i][j] - q[i][j]/qsum) * q[i][j]
+				grad[i][0] += 4 * mult * (y[i][0] - y[j][0])
+				grad[i][1] += 4 * mult * (y[i][1] - y[j][1])
+			}
+		}
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+		for i := range y {
+			vel[i][0] = momentum*vel[i][0] - lr*grad[i][0]
+			vel[i][1] = momentum*vel[i][1] - lr*grad[i][1]
+			y[i][0] += vel[i][0]
+			y[i][1] += vel[i][1]
+		}
+		// Re-center.
+		var cx, cy float64
+		for i := range y {
+			cx += y[i][0]
+			cy += y[i][1]
+		}
+		cx /= float64(n)
+		cy /= float64(n)
+		for i := range y {
+			y[i][0] -= cx
+			y[i][1] -= cy
+		}
+	}
+	return y
+}
+
+// ProgramFeatures encodes fixed-length programs as one-hot feature
+// vectors for the embedding: one block per instruction slot with a 1 at
+// the instruction's dense ID.
+func ProgramFeatures(ids [][]int, numInstr int) [][]float64 {
+	out := make([][]float64, len(ids))
+	for i, prog := range ids {
+		v := make([]float64, len(prog)*numInstr)
+		for t, id := range prog {
+			v[t*numInstr+id] = 1
+		}
+		out[i] = v
+	}
+	return out
+}

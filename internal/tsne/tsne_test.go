@@ -1,0 +1,96 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+)
+
+// clusters generates two well-separated Gaussian-ish blobs.
+func clusters() ([][]float64, []int) {
+	var pts [][]float64
+	var labels []int
+	for i := 0; i < 30; i++ {
+		// Deterministic lattice jitter; no RNG needed.
+		dx := float64(i%5) * 0.01
+		dy := float64(i/5) * 0.01
+		pts = append(pts, []float64{0 + dx, 0 + dy, 0})
+		labels = append(labels, 0)
+		pts = append(pts, []float64{10 + dx, 10 + dy, 10})
+		labels = append(labels, 1)
+	}
+	return pts, labels
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	pts, labels := clusters()
+	y := Embed(pts, Options{Perplexity: 10, Iterations: 300, Seed: 1})
+	if len(y) != len(pts) {
+		t.Fatalf("embedding has %d points, want %d", len(y), len(pts))
+	}
+	// Mean intra-cluster distance must be well below inter-cluster.
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := range y {
+		for j := 0; j < i; j++ {
+			dx := y[i][0] - y[j][0]
+			dy := y[i][1] - y[j][1]
+			d := math.Hypot(dx, dy)
+			if labels[i] == labels[j] {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if inter < 2*intra {
+		t.Errorf("clusters not separated: intra %.3f vs inter %.3f", intra, inter)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	pts, _ := clusters()
+	a := Embed(pts, Options{Seed: 7, Iterations: 50})
+	b := Embed(pts, Options{Seed: 7, Iterations: 50})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+}
+
+func TestEmbedEmptyAndSingle(t *testing.T) {
+	if y := Embed(nil, Options{}); y != nil {
+		t.Error("Embed(nil) should be nil")
+	}
+	y := Embed([][]float64{{1, 2}}, Options{Iterations: 10})
+	if len(y) != 1 {
+		t.Error("single point embedding wrong size")
+	}
+	if math.IsNaN(y[0][0]) || math.IsNaN(y[0][1]) {
+		t.Error("NaN in single-point embedding")
+	}
+}
+
+func TestNoNaNs(t *testing.T) {
+	pts, _ := clusters()
+	y := Embed(pts, Options{Perplexity: 5, Iterations: 200, Seed: 3})
+	for i, p := range y {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+			t.Fatalf("point %d is not finite: %v", i, p)
+		}
+	}
+}
+
+func TestProgramFeatures(t *testing.T) {
+	f := ProgramFeatures([][]int{{0, 2}, {1, 1}}, 3)
+	if len(f) != 2 || len(f[0]) != 6 {
+		t.Fatalf("feature shape wrong: %d x %d", len(f), len(f[0]))
+	}
+	if f[0][0] != 1 || f[0][5] != 1 || f[1][1] != 1 || f[1][4] != 1 {
+		t.Errorf("one-hot encoding wrong: %v", f)
+	}
+}

@@ -1,0 +1,152 @@
+package uarch
+
+import (
+	"testing"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/sortnet"
+)
+
+func TestScoreWeights(t *testing.T) {
+	p, err := isa.ParseProgram("mov s1 r1; cmp r1 r2; cmovl r1 r2; cmovg r2 s1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Score(p); got != 1+2+4+4 {
+		t.Errorf("Score = %d, want 11", got)
+	}
+}
+
+func TestCriticalPathChainVsParallel(t *testing.T) {
+	set := isa.NewCmov(4, 1)
+	// Serial chain: each cmp depends on the previous cmov's result.
+	chain, _ := isa.ParseProgram("cmp r1 r2; cmovg r1 r2; cmp r1 r3; cmovg r1 r3; cmp r1 r4; cmovg r1 r4", 4)
+	// Parallel: two independent chains.
+	par, _ := isa.ParseProgram("cmp r1 r2; cmovg r1 r2; cmp r3 r4; cmovg r3 r4", 4)
+	if cp := CriticalPath(set, chain); cp != 6 {
+		t.Errorf("chain critical path = %d, want 6", cp)
+	}
+	if cp := CriticalPath(set, par); cp != 2 {
+		t.Errorf("parallel critical path = %d, want 2", cp)
+	}
+}
+
+func TestMovEliminated(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	p, _ := isa.ParseProgram("mov s1 r1; mov r1 r2; mov r2 s1", 2)
+	if cp := CriticalPath(set, p); cp != 0 {
+		t.Errorf("mov-only critical path = %d, want 0 (rename elimination)", cp)
+	}
+	a := Analyze(set, p)
+	if a.Uops != 0 || a.Instructions != 3 {
+		t.Errorf("Analyze = %+v, want 0 uops / 3 instructions", a)
+	}
+}
+
+func TestThroughputOrdering(t *testing.T) {
+	// A longer kernel of the same shape must not be faster; a kernel with
+	// fewer uops should be at least as fast as its sorting-network
+	// superset.
+	set := isa.NewCmov(3, 1)
+	net := sortnet.Optimal(3).CompileCmov() // 12 instructions
+	opt := enum.ConfigBest()
+	opt.MaxLen = 11
+	res := enum.Run(set, opt)
+	if res.Length != 11 {
+		t.Fatal("synthesis failed")
+	}
+	synth := res.Program
+	tn, ts := Throughput(set, net), Throughput(set, synth)
+	if ts > tn+0.5 {
+		t.Errorf("synthesized kernel throughput %.2f worse than network %.2f", ts, tn)
+	}
+	if tn <= 0 || ts <= 0 {
+		t.Errorf("throughputs must be positive: %v %v", tn, ts)
+	}
+}
+
+func TestMinMaxBeatsCmovModel(t *testing.T) {
+	// §5.4: min/max kernels are faster than cmov kernels. The model must
+	// reproduce the direction: fewer instructions and no flag bottleneck.
+	cset := isa.NewCmov(3, 1)
+	mset := isa.NewMinMax(3, 1)
+	cm := Analyze(cset, sortnet.Optimal(3).CompileCmov())
+	mm := Analyze(mset, sortnet.Optimal(3).CompileMinMax())
+	if mm.Throughput >= cm.Throughput {
+		t.Errorf("minmax throughput %.2f not better than cmov %.2f", mm.Throughput, cm.Throughput)
+	}
+	if mm.CriticalPath > cm.CriticalPath {
+		t.Errorf("minmax critical path %d worse than cmov %d", mm.CriticalPath, cm.CriticalPath)
+	}
+}
+
+func TestSynthesizedMinMaxHasBetterDependenceStructure(t *testing.T) {
+	// §5.4: uiCA showed the synthesized min/max kernel has a better
+	// dependence structure (more ILP) than the network implementation.
+	set := isa.NewMinMax(3, 1)
+	opt := enum.ConfigBest()
+	opt.MaxLen = 8
+	res := enum.Run(set, opt)
+	if res.Length != 8 {
+		t.Fatal("synthesis failed")
+	}
+	syn := Analyze(set, res.Program)
+	net := Analyze(set, sortnet.Optimal(3).CompileMinMax())
+	if syn.ILP < net.ILP {
+		t.Errorf("synthesized ILP %.2f below network ILP %.2f", syn.ILP, net.ILP)
+	}
+	if syn.Throughput > net.Throughput {
+		t.Errorf("synthesized throughput %.2f worse than network %.2f", syn.Throughput, net.Throughput)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	a := Analyze(set, nil)
+	if a.Instructions != 0 || a.Throughput != 0 || a.CriticalPath != 0 {
+		t.Errorf("Analyze(nil) = %+v", a)
+	}
+}
+
+func TestProfileRankingStability(t *testing.T) {
+	// The headline ranking — synthesized min/max kernel at least as fast
+	// as its network implementation — must hold on both core profiles,
+	// and the little core must never be faster than the big one.
+	set := isa.NewMinMax(3, 1)
+	opt := enum.ConfigBest()
+	opt.MaxLen = 8
+	res := enum.Run(set, opt)
+	if res.Length != 8 {
+		t.Fatal("synthesis failed")
+	}
+	net := sortnet.Optimal(3).CompileMinMax()
+	for _, prof := range []Profile{BigCore, LittleCore} {
+		syn := ThroughputProfile(set, res.Program, prof)
+		nw := ThroughputProfile(set, net, prof)
+		if syn > nw+1e-9 {
+			t.Errorf("%s: synthesized %.2f slower than network %.2f", prof.Name, syn, nw)
+		}
+	}
+	if big, little := ThroughputProfile(set, net, BigCore), ThroughputProfile(set, net, LittleCore); little < big {
+		t.Errorf("little core faster than big core: %.2f vs %.2f", little, big)
+	}
+}
+
+func TestLittleCorePaysForMoves(t *testing.T) {
+	// Without move elimination, a mov-heavy kernel slows down relative to
+	// the big core.
+	set := isa.NewCmov(2, 1)
+	p, _ := isa.ParseProgram("mov s1 r1; mov r1 r2; mov r2 s1", 2)
+	if ThroughputProfile(set, p, LittleCore) <= ThroughputProfile(set, p, BigCore) {
+		t.Error("moves should cost cycles on the little core")
+	}
+}
+
+func TestThroughputDeterministic(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	p := sortnet.Optimal(3).CompileCmov()
+	if Throughput(set, p) != Throughput(set, p) {
+		t.Error("Throughput not deterministic")
+	}
+}

@@ -1,0 +1,173 @@
+// Package verify checks sorting-kernel correctness and classifies
+// solution sets.
+//
+// Correctness follows paper §2.3: a constant-free kernel is correct for
+// all inputs iff it sorts every permutation of 1..n, so the permutation
+// test suite is both sound and complete. For defense in depth the package
+// also offers randomized checking on arbitrary integers (including
+// duplicates), which exercises the same property the formal criterion
+// implies.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"strings"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/state"
+)
+
+// Sorts reports whether p sorts every permutation of 1..n on the given
+// machine — the paper's correctness criterion (equation 1 specialised to
+// the permutation test suite).
+func Sorts(set *isa.Set, p isa.Program) bool {
+	m := state.NewMachine(set)
+	for _, a := range m.Initial() {
+		if !m.Sorted(m.RunAsg(a, p)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortsDuplicates reports whether p also sorts every input with repeated
+// values. Testing all canonical weak orders (perm.WeakOrders) is sound
+// and complete for arbitrary integers. This is strictly stronger than the
+// paper's §2.3 criterion: permutations of distinct values never make cmp
+// leave both flags clear, so a kernel can pass all n! permutations yet
+// mis-sort ties (see EXPERIMENTS.md).
+func SortsDuplicates(set *isa.Set, p isa.Program) bool {
+	return DuplicateCounterexample(set, p) == nil
+}
+
+// DuplicateCounterexample returns a weak-order input that p fails to
+// sort correctly (ascending and multiset-preserving), or nil.
+func DuplicateCounterexample(set *isa.Set, p isa.Program) []int {
+	for _, in := range perm.WeakOrders(set.N) {
+		if !outputValid(in, state.RunInts(set, p, in)) {
+			return in
+		}
+	}
+	return nil
+}
+
+// Counterexample returns a permutation of 1..n that p fails to sort, or
+// nil if p is correct.
+func Counterexample(set *isa.Set, p isa.Program) []int {
+	for _, in := range perm.All(set.N) {
+		out := state.RunInts(set, p, in)
+		if !perm.IsSorted(out) {
+			return in
+		}
+	}
+	return nil
+}
+
+// SortsRandom checks p on count random inputs drawn from [-bound, bound]
+// (duplicates included), verifying the full §2.3 criterion: the output is
+// ascending and a multiset permutation of the input. It returns the first
+// failing input, or nil.
+func SortsRandom(set *isa.Set, p isa.Program, count int, bound int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < count; t++ {
+		in := make([]int, set.N)
+		for i := range in {
+			in[i] = rng.Intn(2*bound+1) - bound
+		}
+		out := state.RunInts(set, p, in)
+		if !outputValid(in, out) {
+			return in
+		}
+	}
+	return nil
+}
+
+func outputValid(in, out []int) bool {
+	if !perm.IsSorted(out) {
+		return false
+	}
+	a := slices.Clone(in)
+	b := slices.Clone(out)
+	sort.Ints(a)
+	sort.Ints(b)
+	return slices.Equal(a, b)
+}
+
+// Equivalent reports whether p and q compute the same r1..rn outputs on
+// every permutation of 1..n. By the constant-freeness argument of §2.3
+// this implies behavioural equivalence on all inputs.
+func Equivalent(set *isa.Set, p, q isa.Program) bool {
+	m := state.NewMachine(set)
+	for _, a := range m.Initial() {
+		pa, qa := m.RunAsg(a, p), m.RunAsg(a, q)
+		if m.Proj(pa) != m.Proj(qa) {
+			return false
+		}
+	}
+	return true
+}
+
+// CommandKey returns the canonical key of a program's command
+// combination: how often each command mnemonic occurs. The paper observes
+// that the 5602 optimal n=3 solutions use only 23 distinct command
+// combinations (§5.1) — most solutions are reorderings and register
+// renamings of one another, which leave the command counts unchanged.
+func CommandKey(p isa.Program) [isa.NumOps]int {
+	return p.OpCounts()
+}
+
+// DistinctCommandKeys returns the number of distinct command combinations
+// among the given programs.
+func DistinctCommandKeys(programs []isa.Program) int {
+	seen := make(map[[isa.NumOps]int]struct{}, 64)
+	for _, p := range programs {
+		seen[CommandKey(p)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// InstructionMultisetKey returns a finer canonical key: the multiset of
+// concrete instructions, ignoring only instruction order. Useful for
+// analyzing how much of the solution space is pure reordering.
+func InstructionMultisetKey(set *isa.Set, p isa.Program) string {
+	lines := make([]string, len(p))
+	for i, in := range p {
+		lines[i] = in.Format(set.N)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ";")
+}
+
+// InstrMix summarises a program's instruction mix the way the paper's
+// §5.3 tables report it: compare, plain move, and conditional-move
+// counts, plus everything else.
+type InstrMix struct {
+	Cmp, Mov, CMov, Other int
+}
+
+// Mix returns the instruction mix of p.
+func Mix(p isa.Program) InstrMix {
+	var m InstrMix
+	for _, in := range p {
+		switch in.Op {
+		case isa.Cmp:
+			m.Cmp++
+		case isa.Mov:
+			m.Mov++
+		case isa.Cmovl, isa.Cmovg:
+			m.CMov++
+		default:
+			m.Other++
+		}
+	}
+	return m
+}
+
+// String renders the mix as "cmp=3 mov=8 cmov=6 other=0".
+func (m InstrMix) String() string {
+	return fmt.Sprintf("cmp=%d mov=%d cmov=%d other=%d", m.Cmp, m.Mov, m.CMov, m.Other)
+}

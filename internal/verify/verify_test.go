@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"testing"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/sortnet"
+)
+
+// paperKernelN3 is the 11-instruction kernel of paper §2.1 (middle
+// column), mapped rax→r1, rbx→r2, rcx→r3, rdi→s1. Note x86 "cmp rcx, rdi"
+// compares first operand against second, i.e. cmp r3 s1 in our syntax.
+const paperKernelN3 = `
+mov s1 r1
+cmp r3 s1
+cmovl s1 r3
+cmovl r3 r1
+cmp r2 r3
+mov r1 r2
+cmovg r2 r3
+cmovg r3 r1
+cmp r1 s1
+cmovl r2 s1
+cmovg r1 s1
+`
+
+func TestPaperExampleKernelSorts(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	p, err := isa.ParseProgram(paperKernelN3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 11 {
+		t.Fatalf("paper kernel has %d instructions, want 11", len(p))
+	}
+	if !Sorts(set, p) {
+		t.Fatalf("paper §2.1 kernel does not sort: counterexample %v", Counterexample(set, p))
+	}
+	if in := SortsRandom(set, p, 2000, 10000, 1); in != nil {
+		t.Fatalf("paper kernel fails on random input %v", in)
+	}
+	mix := Mix(p)
+	if mix.Cmp != 3 || mix.Mov != 2 || mix.CMov != 6 {
+		t.Errorf("paper kernel mix = %v, want cmp=3 mov=2 cmov=6", mix)
+	}
+}
+
+func TestPaperMinMaxKernelSorts(t *testing.T) {
+	// Paper §2.1 rightmost column (xmm0→r1, xmm1→r2, xmm2→r3, xmm7→s1):
+	// an 8-instruction min/max kernel, one movdqa shorter than the
+	// 9-instruction network implementation.
+	set := isa.NewMinMax(3, 1)
+	p, err := isa.ParseProgram(`
+		movdqa s1 r2
+		pminud s1 r3
+		pmaxud r3 r2
+		movdqa r2 r3
+		pminud r2 r1
+		pmaxud r3 r1
+		pmaxud r2 s1
+		pminud r1 s1`, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 8 {
+		t.Fatalf("minmax kernel has %d instructions, want 8", len(p))
+	}
+	if !Sorts(set, p) {
+		t.Fatalf("paper min/max kernel does not sort: counterexample %v", Counterexample(set, p))
+	}
+}
+
+func TestCounterexampleOnBrokenKernel(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	p, _ := isa.ParseProgram("mov r1 r2", 3)
+	if ce := Counterexample(set, p); ce == nil {
+		t.Error("broken kernel has no counterexample")
+	}
+	if Sorts(set, p) {
+		t.Error("broken kernel reported correct")
+	}
+}
+
+func TestSortsRandomCatchesNonPermutation(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	// r1 = r2: output ascending but loses an element.
+	p, _ := isa.ParseProgram("cmp r1 r2; cmovg r1 r2", 2)
+	if in := SortsRandom(set, p, 500, 100, 42); in == nil {
+		t.Error("element-erasing kernel passed the random multiset check")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	net := sortnet.Optimal(3).CompileCmov()
+	paper, _ := isa.ParseProgram(paperKernelN3, 3)
+	if !Equivalent(set, net, paper) {
+		t.Error("two correct sorting kernels must be output-equivalent")
+	}
+	broken, _ := isa.ParseProgram("mov r1 r2", 3)
+	if Equivalent(set, net, broken) {
+		t.Error("network equivalent to broken kernel")
+	}
+}
+
+func TestDistinctCommandKeysN3(t *testing.T) {
+	// Paper §5.1: the 5602 optimal n=3 solutions use only 23 distinct
+	// command combinations.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	set := isa.NewCmov(3, 1)
+	opt := enum.ConfigAllSolutions()
+	opt.MaxLen = 11
+	res := enum.Run(set, opt)
+	if res.SolutionCount != 5602 {
+		t.Fatalf("enumerated %d solutions, want 5602", res.SolutionCount)
+	}
+	got := DistinctCommandKeys(res.Programs)
+	if got != 23 {
+		t.Errorf("distinct command combinations = %d, paper reports 23", got)
+	}
+	// The finer instruction-multiset metric shows most solutions are pure
+	// reorderings: far fewer multisets than programs.
+	seen := make(map[string]struct{})
+	for _, p := range res.Programs {
+		seen[InstructionMultisetKey(set, p)] = struct{}{}
+	}
+	if len(seen) >= len(res.Programs)/2 {
+		t.Errorf("instruction multisets = %d of %d programs; expected heavy reordering redundancy", len(seen), len(res.Programs))
+	}
+}
+
+func TestMixOther(t *testing.T) {
+	p := isa.Program{{Op: isa.Min, Dst: 0, Src: 1}, {Op: isa.Max, Dst: 1, Src: 0}}
+	if m := Mix(p); m.Other != 2 || m.Cmp != 0 {
+		t.Errorf("Mix = %v", m)
+	}
+}

@@ -1,0 +1,76 @@
+package verify
+
+import (
+	"fmt"
+
+	"sortsynth/internal/isa"
+)
+
+// Sorts01MinMax verifies a min/max kernel with the 0-1 principle,
+// evaluating all 2^n zero/one inputs simultaneously in one machine word.
+//
+// Paper §2.3 notes the 0-1 sorting lemma applies to compare-and-swap
+// networks but not to the cmov instruction set, forcing the n!
+// permutation suite there. Min/max kernels, however, are monotone
+// circuits (min and max are monotone, mov is the identity), and the 0-1
+// principle holds for any monotone sorter: if every 0/1 input comes out
+// sorted, every input does. On {0,1}, min is AND and max is OR, so each
+// register can carry a 2^n-bit vector — one bit per test input — and the
+// whole suite executes in len(p) word operations.
+//
+// It panics if p contains flag-based instructions (cmp/cmov), for which
+// the principle is unsound.
+func Sorts01MinMax(set *isa.Set, p isa.Program) bool {
+	n := set.N
+	if n > 6 {
+		panic("verify: 0-1 check supports n ≤ 6 (2^n bits per word)")
+	}
+	tests := 1 << n
+	// regs[r] bit t = value of register r under 0/1 input t, where input
+	// t assigns bit i of t to r_{i+1}.
+	regs := make([]uint64, set.Regs())
+	for i := 0; i < n; i++ {
+		var pat uint64
+		for t := 0; t < tests; t++ {
+			if t>>i&1 == 1 {
+				pat |= 1 << t
+			}
+		}
+		regs[i] = pat
+	}
+	for _, in := range p {
+		switch in.Op {
+		case isa.Mov:
+			regs[in.Dst] = regs[in.Src]
+		case isa.Min:
+			regs[in.Dst] &= regs[in.Src]
+		case isa.Max:
+			regs[in.Dst] |= regs[in.Src]
+		default:
+			panic(fmt.Sprintf("verify: 0-1 principle unsound for %v (flag semantics)", in.Op))
+		}
+	}
+	// Sorted output for input t: register r_j holds 1 iff at least n−j
+	// of the input bits are 1 (the j-th smallest of the 0/1 multiset).
+	for j := 0; j < n; j++ {
+		var want uint64
+		for t := 0; t < tests; t++ {
+			ones := popcount(uint(t))
+			if ones >= n-j {
+				want |= 1 << t
+			}
+		}
+		if regs[j] != want {
+			return false
+		}
+	}
+	return true
+}
+
+func popcount(x uint) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,84 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/sortnet"
+)
+
+func TestSorts01AcceptsNetworks(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		set := isa.NewMinMax(n, 1)
+		p := sortnet.Optimal(n).CompileMinMax()
+		if !Sorts01MinMax(set, p) {
+			t.Errorf("n=%d network kernel rejected by 0-1 check", n)
+		}
+	}
+}
+
+func TestSorts01RejectsBroken(t *testing.T) {
+	set := isa.NewMinMax(3, 1)
+	p, _ := isa.ParseProgram("min r1 r2; max r2 r1", 3)
+	if Sorts01MinMax(set, p) {
+		t.Error("broken kernel accepted")
+	}
+}
+
+func TestSorts01MatchesGeneralVerifier(t *testing.T) {
+	// Property: on random min/max programs, the bit-parallel 0-1 check
+	// agrees with exhaustive duplicate verification — the 0-1 principle
+	// for monotone sorters, validated empirically.
+	for _, n := range []int{2, 3, 4} {
+		set := isa.NewMinMax(n, 1)
+		instrs := set.Instrs()
+		rng := rand.New(rand.NewSource(int64(n)))
+		agreeSort := 0
+		for trial := 0; trial < 400; trial++ {
+			p := make(isa.Program, rng.Intn(3*n*n))
+			for i := range p {
+				p[i] = instrs[rng.Intn(len(instrs))]
+			}
+			got := Sorts01MinMax(set, p)
+			want := SortsDuplicates(set, p)
+			if got != want {
+				t.Fatalf("n=%d: 0-1 says %v, exhaustive says %v for\n%s", n, got, want, p.Format(n))
+			}
+			if got {
+				agreeSort++
+			}
+		}
+		_ = agreeSort
+	}
+}
+
+func TestSorts01PanicsOnCmov(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for flag-based instructions")
+		}
+	}()
+	set := isa.NewCmov(3, 1)
+	p, _ := isa.ParseProgram("cmp r1 r2; cmovg r1 r2", 3)
+	Sorts01MinMax(set, p)
+}
+
+func TestSorts01FrozenKernels(t *testing.T) {
+	// The synthesized min/max kernels must pass the 0-1 check too.
+	for _, tc := range []struct {
+		n    int
+		text string
+	}{
+		{3, "mov s1 r3; max r3 r1; min r1 s1; mov s1 r2; min r2 r3; max r3 s1; max r2 r1; min r1 s1"},
+	} {
+		set := isa.NewMinMax(tc.n, 1)
+		p, err := isa.ParseProgram(tc.text, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Sorts01MinMax(set, p) {
+			t.Errorf("n=%d synthesized min/max kernel rejected", tc.n)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package viz renders the paper's figures as SVG files and emits the
+// underlying data as CSV: the search-progress curves of Figure 1 and the
+// t-SNE scatter of Figure 2.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line or point set.
+type Series struct {
+	Name  string
+	Color string // CSS color
+	X, Y  []float64
+}
+
+const (
+	width   = 760.0
+	height  = 460.0
+	margin  = 56.0
+	plotW   = width - 2*margin
+	plotH   = height - 2*margin
+	bgStyle = "font-family:sans-serif;font-size:12px"
+)
+
+func bounds(series []Series) (x0, x1, y0, y1 float64) {
+	x0, y0 = math.Inf(1), math.Inf(1)
+	x1, y1 = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x0 = math.Min(x0, s.X[i])
+			x1 = math.Max(x1, s.X[i])
+			y0 = math.Min(y0, s.Y[i])
+			y1 = math.Max(y1, s.Y[i])
+		}
+	}
+	if math.IsInf(x0, 1) {
+		x0, x1, y0, y1 = 0, 1, 0, 1
+	}
+	if x0 == x1 {
+		x1 = x0 + 1
+	}
+	if y0 == y1 {
+		y1 = y0 + 1
+	}
+	return
+}
+
+func project(x, y, x0, x1, y0, y1 float64) (px, py float64) {
+	px = margin + (x-x0)/(x1-x0)*plotW
+	py = height - margin - (y-y0)/(y1-y0)*plotH
+	return
+}
+
+// header writes the SVG prolog with axes and title.
+func header(w io.Writer, title, xlabel, ylabel string, x0, x1, y0, y1 float64) {
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" style="%s">`+"\n", width, height, bgStyle)
+	fmt.Fprintf(w, `<rect width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%g" y="24" text-anchor="middle" font-size="15">%s</text>`+"\n", width/2, escape(title))
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(w, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", margin, margin, margin, height-margin)
+	fmt.Fprintf(w, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", width/2, height-12, escape(xlabel))
+	fmt.Fprintf(w, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n", height/2, height/2, escape(ylabel))
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		fx := x0 + (x1-x0)*float64(i)/4
+		fy := y0 + (y1-y0)*float64(i)/4
+		px, _ := project(fx, y0, x0, x1, y0, y1)
+		_, py := project(x0, fy, x0, x1, y0, y1)
+		fmt.Fprintf(w, `<text x="%g" y="%g" text-anchor="middle" font-size="10">%s</text>`+"\n", px, height-margin+16, fmtTick(fx))
+		fmt.Fprintf(w, `<text x="%g" y="%g" text-anchor="end" font-size="10">%s</text>`+"\n", margin-6, py+4, fmtTick(fy))
+	}
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// LineChart renders line series (Figure 1 style).
+func LineChart(w io.Writer, title, xlabel, ylabel string, series []Series) {
+	x0, x1, y0, y1 := bounds(series)
+	header(w, title, xlabel, ylabel, x0, x1, y0, y1)
+	for si, s := range series {
+		var b strings.Builder
+		for i := range s.X {
+			px, py := project(s.X[i], s.Y[i], x0, x1, y0, y1)
+			if i == 0 {
+				fmt.Fprintf(&b, "M%.1f %.1f", px, py)
+			} else {
+				fmt.Fprintf(&b, " L%.1f %.1f", px, py)
+			}
+		}
+		fmt.Fprintf(w, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", b.String(), s.Color)
+		fmt.Fprintf(w, `<text x="%g" y="%g" fill="%s">%s</text>`+"\n", width-margin-140, margin+16*float64(si+1), s.Color, escape(s.Name))
+	}
+	fmt.Fprintln(w, "</svg>")
+}
+
+// Scatter renders point series (Figure 2 style).
+func Scatter(w io.Writer, title, xlabel, ylabel string, series []Series) {
+	x0, x1, y0, y1 := bounds(series)
+	header(w, title, xlabel, ylabel, x0, x1, y0, y1)
+	for si, s := range series {
+		for i := range s.X {
+			px, py := project(s.X[i], s.Y[i], x0, x1, y0, y1)
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s" fill-opacity="0.7"/>`+"\n", px, py, s.Color)
+		}
+		fmt.Fprintf(w, `<text x="%g" y="%g" fill="%s">%s (%d)</text>`+"\n", width-margin-170, margin+16*float64(si+1), s.Color, escape(s.Name), len(s.X))
+	}
+	fmt.Fprintln(w, "</svg>")
+}
+
+// CSV writes series as long-form CSV (series,x,y).
+func CSV(w io.Writer, series []Series) {
+	fmt.Fprintln(w, "series,x,y")
+	for _, s := range series {
+		for i := range s.X {
+			fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i])
+		}
+	}
+}

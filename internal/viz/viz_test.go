@@ -1,0 +1,70 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() []Series {
+	return []Series{
+		{Name: "open states", Color: "steelblue", X: []float64{0, 1, 2, 3}, Y: []float64{1, 10, 100, 50}},
+		{Name: "solutions & more", Color: "darkorange", X: []float64{0, 1, 2, 3}, Y: []float64{0, 0, 5, 20}},
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, "Figure 1", "time", "count", sample())
+	svg := b.String()
+	for _, want := range []string{"<svg", "</svg>", "<path", "steelblue", "darkorange", "Figure 1", "solutions &amp; more"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("SVG contains NaN coordinates")
+	}
+}
+
+func TestScatterWellFormed(t *testing.T) {
+	var b strings.Builder
+	Scatter(&b, "Figure 2 <tsne>", "x", "y", sample())
+	svg := b.String()
+	if !strings.Contains(svg, "<circle") {
+		t.Error("no points rendered")
+	}
+	if strings.Contains(svg, "<tsne>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;tsne&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	CSV(&b, sample())
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+8 {
+		t.Fatalf("CSV has %d lines, want 9", len(lines))
+	}
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, "empty", "x", "y", nil)
+	if !strings.Contains(b.String(), "</svg>") {
+		t.Error("empty chart not closed")
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	var b strings.Builder
+	Scatter(&b, "deg", "x", "y", []Series{{Name: "p", Color: "red", X: []float64{5, 5}, Y: []float64{3, 3}}})
+	if strings.Contains(b.String(), "NaN") {
+		t.Error("degenerate range produced NaN")
+	}
+}

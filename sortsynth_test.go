@@ -1,0 +1,126 @@
+package sortsynth_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sortsynth"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	set := sortsynth.NewCmovSet(3, 1)
+	bound, ok := sortsynth.KnownOptimalLength(set)
+	if !ok || bound != 11 {
+		t.Fatalf("KnownOptimalLength = %d, %v", bound, ok)
+	}
+	res := sortsynth.SynthesizeBest(set, bound)
+	if res.Length != 11 {
+		t.Fatalf("synthesized length %d, want 11", res.Length)
+	}
+	if !sortsynth.Verify(set, res.Program) {
+		t.Fatal("synthesized kernel does not verify")
+	}
+	a := sortsynth.Analyze(set, res.Program)
+	if a.Instructions != 11 || a.Score <= 0 || a.Throughput <= 0 {
+		t.Errorf("Analyze = %+v", a)
+	}
+}
+
+func TestEnumerateAllFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	set := sortsynth.NewCmovSet(3, 1)
+	res := sortsynth.EnumerateAll(set, 11, 100)
+	if res.SolutionCount != 5602 {
+		t.Fatalf("SolutionCount = %d, want 5602", res.SolutionCount)
+	}
+	if len(res.Programs) != 100 {
+		t.Errorf("materialized %d programs, want capped 100", len(res.Programs))
+	}
+}
+
+func TestProveNoKernelFacade(t *testing.T) {
+	// There is provably no 3-instruction kernel for n=2.
+	set := sortsynth.NewCmovSet(2, 1)
+	ok, res := sortsynth.ProveNoKernel(set, 3)
+	if !ok {
+		t.Fatalf("lower-bound proof failed: %+v", res)
+	}
+	// And there is a 4-instruction kernel, so the proof must fail at 4.
+	ok, res = sortsynth.ProveNoKernel(set, 4)
+	if ok {
+		t.Fatal("claimed no length-4 kernel exists for n=2")
+	}
+	if res.Length != 4 {
+		t.Errorf("found length %d during disproof, want 4", res.Length)
+	}
+}
+
+func TestParseAndCounterexample(t *testing.T) {
+	set := sortsynth.NewCmovSet(2, 1)
+	p, err := sortsynth.Parse("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce := sortsynth.Counterexample(set, p); ce != nil {
+		t.Errorf("correct kernel has counterexample %v", ce)
+	}
+	broken, _ := sortsynth.Parse("mov r1 r2", 2)
+	if ce := sortsynth.Counterexample(set, broken); ce == nil {
+		t.Error("broken kernel has no counterexample")
+	}
+	if sortsynth.VerifyDuplicates(set, broken) {
+		t.Error("broken kernel passes duplicate verification")
+	}
+}
+
+func TestSynthesizeMinimalFacade(t *testing.T) {
+	set := sortsynth.NewMinMaxSet(3, 1)
+	res := sortsynth.SynthesizeMinimal(set, time.Minute)
+	if res.Length != 8 || !res.Proof {
+		t.Fatalf("minimal min/max: length %d, certified %v", res.Length, res.Proof)
+	}
+	if !sortsynth.Verify(set, res.Program) {
+		t.Fatal("kernel incorrect")
+	}
+}
+
+func TestDenoteAndAsmFacade(t *testing.T) {
+	set := sortsynth.NewCmovSet(3, 1)
+	res := sortsynth.SynthesizeBest(set, 11)
+	if res.Length != 11 {
+		t.Fatal("synthesis failed")
+	}
+	exprs := sortsynth.Denote(set, res.Program)
+	if len(exprs) != 3 {
+		t.Fatalf("Denote returned %d expressions", len(exprs))
+	}
+	// r1 of any correct kernel is the minimum of all inputs.
+	b, _ := sortsynth.Parse("mov s1 r1; cmp r1 r2; cmovg r1 r2; cmp r1 r3; cmovg r1 r3", 3)
+	minExpr := sortsynth.Denote(set, b)[0]
+	if !sortsynth.ExprEquiv(3, exprs[0], minExpr) {
+		t.Errorf("r1 = %s is not the 3-way minimum", exprs[0])
+	}
+	asm := sortsynth.AsmX86(set, res.Program)
+	if !strings.Contains(asm, "rax") || strings.Count(asm, "\n") != 11 {
+		t.Errorf("assembly rendering wrong:\n%s", asm)
+	}
+	// A minimal kernel is a fixpoint of the classical optimizer.
+	if got := sortsynth.Optimize(set, res.Program); len(got) != 11 {
+		t.Errorf("Optimize shrank a minimal kernel to %d", len(got))
+	}
+}
+
+func TestMinMaxFacade(t *testing.T) {
+	set := sortsynth.NewMinMaxSet(3, 1)
+	bound, ok := sortsynth.KnownOptimalLength(set)
+	if !ok || bound != 8 {
+		t.Fatalf("minmax bound = %d", bound)
+	}
+	res := sortsynth.SynthesizeBest(set, bound)
+	if res.Length != 8 || !sortsynth.Verify(set, res.Program) {
+		t.Fatalf("minmax synthesis failed: length %d", res.Length)
+	}
+}
