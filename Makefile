@@ -1,0 +1,27 @@
+GO ?= go
+
+# check is the tier-1 gate: everything builds, vets clean, and the full
+# test suite (including the sortsynthd service tests) passes under the
+# race detector.
+.PHONY: check
+check: build vet race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchtime=100ms -run=^$$ .

@@ -136,6 +136,18 @@ func main() {
 	}
 
 	res := sortsynth.Synthesize(set, opt)
+	if res.TimedOut || res.Cancelled {
+		why := "timed out"
+		if res.Cancelled {
+			why = "was cancelled"
+		}
+		if *all && res.Length >= 0 {
+			log.Fatalf("search %s after %v: enumeration incomplete (found kernels of length %d, but the count and set are partial); increase -timeout",
+				why, res.Elapsed.Round(time.Millisecond), res.Length)
+		}
+		log.Fatalf("search %s after %v (expanded %d states, no kernel of length ≤ %d found); increase -timeout",
+			why, res.Elapsed.Round(time.Millisecond), res.Expanded, bound)
+	}
 	if res.Length < 0 {
 		log.Fatalf("no kernel of length ≤ %d found (expanded %d states in %v)", bound, res.Expanded, res.Elapsed)
 	}

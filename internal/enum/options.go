@@ -100,6 +100,10 @@ type Options struct {
 	StateBudget int64
 
 	// Timeout aborts the search after the given wall time (0 = none).
+	//
+	// Deprecated: prefer RunContext with context.WithTimeout. A non-zero
+	// Timeout is kept working by wiring it to context.WithTimeout inside
+	// RunContext, so existing callers behave exactly as before.
 	Timeout time.Duration
 
 	// Trace, if non-nil, receives periodic search samples (Figure 1).

@@ -1,10 +1,10 @@
 package enum
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
-	"time"
 
 	"sortsynth/internal/isa"
 	"sortsynth/internal/state"
@@ -17,8 +17,8 @@ import (
 // dedup map, and the next level proceeds. Level order gives Dijkstra
 // semantics, so the first level containing a solution is optimal and — in
 // AllSolutions mode — complete once merged.
-func runParallel(set *isa.Set, opt Options) *Result {
-	s := newSearcher(set, opt)
+func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
+	s := newSearcher(ctx, set, opt)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -42,8 +42,7 @@ func runParallel(set *isa.Set, opt Options) *Result {
 		if g >= s.bound || g > 250 {
 			break
 		}
-		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-			s.res.TimedOut = true
+		if s.stopped() {
 			return s.finish()
 		}
 		if s.opt.StateBudget > 0 && s.res.Expanded >= s.opt.StateBudget {
@@ -70,7 +69,10 @@ func runParallel(set *isa.Set, opt Options) *Result {
 				var buf state.State
 				var out []childCand
 				var lgen, lpr, lcut int64
-				for _, fe := range frontier[lo:hi] {
+				for fi, fe := range frontier[lo:hi] {
+					if fi&63 == 63 && s.ctx.Err() != nil {
+						break // cancelled mid-level; the caller re-checks after the join
+					}
 					var guide tables.Mask
 					if s.opt.UseActionGuide {
 						guide = s.tab.GuideMask(fe.st)
@@ -127,6 +129,12 @@ func runParallel(set *isa.Set, opt Options) *Result {
 			}(w, lo, hi)
 		}
 		wg.Wait()
+		if s.stopped() {
+			// Discard the partially expanded level: merging it would break
+			// the level-completeness invariant the Dijkstra semantics rely
+			// on, and the result is already marked cancelled/timed out.
+			return s.finish()
+		}
 		s.res.Expanded += int64(len(frontier))
 		s.res.Generated += generated
 		s.res.Pruned += pruned

@@ -2,6 +2,8 @@ package enum
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"math"
 	"time"
 
@@ -38,6 +40,11 @@ type Result struct {
 	Exhausted bool
 	Proof     bool
 	TimedOut  bool
+	// Cancelled reports that the search stopped because the context
+	// passed to RunContext was cancelled (client disconnect, shutdown).
+	// Deadline expiry — from Options.Timeout or a context deadline — is
+	// reported as TimedOut instead.
+	Cancelled bool
 
 	Elapsed time.Duration
 }
@@ -98,7 +105,7 @@ type searcher struct {
 	optLen   int
 	res      *Result
 	start    time.Time
-	deadline time.Time
+	ctx      context.Context
 	buf      state.State
 	done     bool // single-solution mode: stop at the first solution
 }
@@ -108,15 +115,30 @@ type searcher struct {
 // AllSolutions it exhausts the (pruned) search space at the optimal
 // length and enumerates all optimal programs.
 func Run(set *isa.Set, opt Options) *Result {
-	if opt.Workers > 1 {
-		return runParallel(set, opt)
+	return RunContext(context.Background(), set, opt)
+}
+
+// RunContext is Run with cancellation: the search loop periodically
+// checks ctx alongside its other stop conditions, so client disconnects
+// and graceful shutdowns stop the search promptly. A context deadline is
+// reported as Result.TimedOut, a plain cancellation as Result.Cancelled.
+// Options.Timeout, when set, is wired to context.WithTimeout and keeps
+// its historical meaning.
+func RunContext(ctx context.Context, set *isa.Set, opt Options) *Result {
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
 	}
-	s := newSearcher(set, opt)
+	if opt.Workers > 1 {
+		return runParallel(ctx, set, opt)
+	}
+	s := newSearcher(ctx, set, opt)
 	s.search()
 	return s.finish()
 }
 
-func newSearcher(set *isa.Set, opt Options) *searcher {
+func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 	suite := state.SuitePermutations
 	if opt.DuplicateSafe {
 		suite = state.SuiteWeakOrders
@@ -126,6 +148,7 @@ func newSearcher(set *isa.Set, opt Options) *searcher {
 		m:     m,
 		set:   set,
 		opt:   opt,
+		ctx:   ctx,
 		dedup: make(map[state.Key128]int32, 1<<12),
 		bound: unbounded,
 		res:   &Result{Length: -1},
@@ -144,9 +167,6 @@ func newSearcher(set *isa.Set, opt Options) *searcher {
 	s.bestPerm = make([]int32, size)
 	for i := range s.bestPerm {
 		s.bestPerm[i] = math.MaxInt32
-	}
-	if opt.Timeout > 0 {
-		s.deadline = s.start.Add(opt.Timeout)
 	}
 	s.optLen = -1
 
@@ -184,8 +204,7 @@ func (s *searcher) search() {
 		}
 		sampleCountdown--
 		if sampleCountdown <= 0 {
-			if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-				s.res.TimedOut = true
+			if s.stopped() {
 				return
 			}
 			if tr := s.opt.Trace; tr != nil {
@@ -223,6 +242,21 @@ func (s *searcher) search() {
 		}
 	}
 	s.res.Exhausted = true
+}
+
+// stopped reports whether the search context is done and records the
+// stop reason on the result (deadline → TimedOut, cancel → Cancelled).
+func (s *searcher) stopped() bool {
+	err := s.ctx.Err()
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.res.TimedOut = true
+	} else {
+		s.res.Cancelled = true
+	}
+	return true
 }
 
 // expandChild applies in to the parent state and routes the successor
@@ -359,7 +393,7 @@ func (s *searcher) finish() *Result {
 			r.SolutionCount = 1
 		}
 	}
-	r.Proof = r.Exhausted && !r.TimedOut &&
+	r.Proof = r.Exhausted && !r.TimedOut && !r.Cancelled &&
 		s.opt.Cut == CutNone && !s.opt.UseActionGuide &&
 		(s.opt.StateBudget == 0 || r.Expanded < s.opt.StateBudget)
 	if tr := s.opt.Trace; tr != nil {

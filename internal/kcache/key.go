@@ -1,0 +1,83 @@
+// Package kcache is the two-tier kernel cache behind sortsynthd: an
+// in-memory LRU in front of a content-addressed on-disk store. A
+// synthesized kernel is a pure function of (instruction set, n, m,
+// search options), so entries are keyed by a canonical hash of exactly
+// the option fields that can influence the synthesized artifact, and a
+// cached kernel can be served forever.
+package kcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+)
+
+// Key identifies one synthesis artifact: the instruction-set
+// instantiation plus the search options.
+type Key struct {
+	ISA string // "cmov" or "minmax"
+	N   int    // sorted registers (array length)
+	M   int    // scratch registers
+	Opt enum.Options
+}
+
+// KeyFor builds the cache key for a synthesis run on set with opt.
+func KeyFor(set *isa.Set, opt enum.Options) Key {
+	name := "cmov"
+	if set.Kind == isa.KindMinMax {
+		name = "minmax"
+	}
+	return Key{ISA: name, N: set.N, M: set.M, Opt: opt}
+}
+
+// Canonical returns the canonical text form of the key — the string that
+// is hashed for content addressing and stored inside each entry for
+// verification on load.
+//
+// Only artifact-determining fields participate. Execution-only knobs are
+// deliberately excluded so that operationally different but semantically
+// identical requests share an entry:
+//
+//   - Timeout, StateBudget, Trace: affect whether the search finishes,
+//     not what the finished search produces (sortsynthd never caches an
+//     unfinished result);
+//   - Workers: the parallel engine's sequential merge preserves the
+//     sequential engine's dedup and path-DAG semantics, so the artifact
+//     is the same.
+//
+// Normalizations keep distinct spellings of the same search identical:
+// a zero Weight means 1, and CutK is meaningless when the cut is off.
+func (k Key) Canonical() string {
+	o := k.Opt
+	w := o.Weight
+	if w == 0 {
+		w = 1
+	}
+	cutK := o.CutK
+	if o.Cut == enum.CutNone {
+		cutK = 0
+	}
+	return fmt.Sprintf(
+		"v1|isa=%s|n=%d|m=%d|heur=%d|w=%s|cut=%d|k=%s|dist=%t|guide=%t|erase=%t|maxlen=%d|all=%t|maxsols=%d|dupsafe=%t",
+		k.ISA, k.N, k.M,
+		o.Heuristic,
+		strconv.FormatFloat(w, 'g', -1, 64),
+		o.Cut,
+		strconv.FormatFloat(cutK, 'g', -1, 64),
+		o.UseDistPrune, o.UseActionGuide, o.ViabilityErase,
+		o.MaxLen,
+		o.AllSolutions, o.MaxSolutions,
+		o.DuplicateSafe,
+	)
+}
+
+// Hash returns the hex SHA-256 of the canonical key: the entry's content
+// address, used as both the LRU map key and the on-disk file name.
+func (k Key) Hash() string {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}

@@ -64,6 +64,21 @@ func Contenders(n int) []Kernel {
 	panic(fmt.Sprintf("kernels: no contenders for n=%d", n))
 }
 
+// Lookup returns the contender registered under name for array length n,
+// without the caller having to scan Contenders(n). It reports false for
+// unknown names and for lengths outside the registry's 3..5 range.
+func Lookup(name string, n int) (Kernel, bool) {
+	if n < 3 || n > 5 {
+		return Kernel{}, false
+	}
+	for _, k := range Contenders(n) {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
 // paperEnumN3Prog is the synthesized kernel printed in paper §2.1
 // (middle column), mapped rax→r1, rbx→r2, rcx→r3, rdi→s1.
 const paperEnumN3Prog = `

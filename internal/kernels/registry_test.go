@@ -101,6 +101,27 @@ func TestContendersDistinctNames(t *testing.T) {
 	}
 }
 
+func TestLookup(t *testing.T) {
+	for n := 3; n <= 5; n++ {
+		for _, want := range Contenders(n) {
+			got, ok := Lookup(want.Name, n)
+			if !ok {
+				t.Errorf("Lookup(%q, %d) not found", want.Name, n)
+				continue
+			}
+			if got.Name != want.Name || got.N != n {
+				t.Errorf("Lookup(%q, %d) = %q/N=%d", want.Name, n, got.Name, got.N)
+			}
+		}
+	}
+	if _, ok := Lookup("enum", 7); ok {
+		t.Error("Lookup found a contender for n=7")
+	}
+	if _, ok := Lookup("no_such_kernel", 3); ok {
+		t.Error("Lookup found a bogus name")
+	}
+}
+
 func TestStdMatchesSort(t *testing.T) {
 	a := []int{5, -2, 9, 0}
 	b := slices.Clone(a)

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the number of finite histogram buckets; the implicit
+// last bucket is +Inf.
+const numBuckets = 16
+
+// latencyBuckets are the upper bounds (in milliseconds) of the
+// per-endpoint latency histograms.
+var latencyBuckets = [numBuckets]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	count  atomic.Int64
+	sumUS  atomic.Int64 // total microseconds, for the mean
+	bucket [numBuckets + 1]atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.count.Add(1)
+	h.sumUS.Add(d.Microseconds())
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			h.bucket[i].Add(1)
+			return
+		}
+	}
+	h.bucket[numBuckets].Add(1)
+}
+
+// bucketSnapshot is one histogram bucket in the /metrics JSON.
+type bucketSnapshot struct {
+	LE    any   `json:"le"` // upper bound in ms, or "+Inf"
+	Count int64 `json:"count"`
+}
+
+type histogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumMS   float64          `json:"sum_ms"`
+	Buckets []bucketSnapshot `json:"buckets"`
+}
+
+func (h *histogram) snapshot() histogramSnapshot {
+	s := histogramSnapshot{
+		Count: h.count.Load(),
+		SumMS: float64(h.sumUS.Load()) / 1000,
+	}
+	for i, ub := range latencyBuckets {
+		s.Buckets = append(s.Buckets, bucketSnapshot{LE: ub, Count: h.bucket[i].Load()})
+	}
+	s.Buckets = append(s.Buckets, bucketSnapshot{LE: "+Inf", Count: h.bucket[numBuckets].Load()})
+	return s
+}
+
+// metrics holds the expvar-style service counters surfaced by /metrics.
+type metrics struct {
+	start time.Time
+
+	// Request-level cache outcomes (the kcache tier split lives in
+	// kcache.Stats and is merged into the /metrics payload).
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	searchesStarted   atomic.Int64
+	searchesCompleted atomic.Int64
+	searchesCancelled atomic.Int64
+	searchesTimedOut  atomic.Int64
+	inFlight          atomic.Int64
+	coalesced         atomic.Int64 // requests that joined an existing flight
+	nodesExpanded     atomic.Int64
+
+	latency map[string]*histogram // keyed by route pattern
+}
+
+func newMetrics(routes []string) *metrics {
+	m := &metrics{start: time.Now(), latency: make(map[string]*histogram, len(routes))}
+	for _, r := range routes {
+		m.latency[r] = &histogram{}
+	}
+	return m
+}
+
+// instrument wraps h to record the endpoint's latency histogram.
+func (m *metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.latency[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.observe(time.Since(start))
+	}
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"sortsynth/internal/kcache"
+)
+
+// flight is one in-progress synthesis shared by every caller that asked
+// for the same cache key while it was running.
+type flight struct {
+	done    chan struct{} // closed after entry/err are set
+	entry   *kcache.Entry
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// flightGroup coalesces concurrent synthesis calls per key, so a
+// thundering herd of identical requests triggers exactly one search.
+// Unlike the classic singleflight, a flight runs under its own context
+// derived from the group's base context: it survives any single caller's
+// disconnect, but is cancelled as soon as the last waiting caller goes
+// away — or the base context (server shutdown) is cancelled.
+type flightGroup struct {
+	base context.Context
+	mu   sync.Mutex
+	m    map[string]*flight
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, m: make(map[string]*flight)}
+}
+
+// Do returns fn's result for key, running fn at most once concurrently
+// per key. shared reports whether this caller joined a flight started by
+// an earlier caller. If ctx is cancelled while waiting, the caller
+// detaches with ctx.Err(); the detachment of the last waiter cancels the
+// flight's context, which stops the underlying search promptly.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (*kcache.Entry, error)) (entry *kcache.Entry, shared bool, err error) {
+	g.mu.Lock()
+	f, joined := g.m[key]
+	if !joined {
+		fctx, cancel := context.WithCancel(g.base)
+		f = &flight{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = f
+		go func() {
+			f.entry, f.err = fn(fctx)
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			cancel()
+			close(f.done)
+		}()
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.entry, joined, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, joined, ctx.Err()
+	}
+}

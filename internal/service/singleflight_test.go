@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sortsynth/internal/kcache"
+)
+
+func TestFlightGroupRunsOnce(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	var calls atomic.Int64
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (*kcache.Entry, error) {
+		calls.Add(1)
+		<-release
+		return &kcache.Entry{Length: 11}, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, shared, err := g.Do(context.Background(), "k", fn)
+			if err != nil || e.Length != 11 {
+				t.Errorf("Do = %v, %v", e, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let every caller join before the flight completes.
+	for {
+		g.mu.Lock()
+		f := g.m["k"]
+		ready := f != nil && f.waiters == n
+		g.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("shared = %d, want %d", got, n-1)
+	}
+}
+
+func TestFlightGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	var calls atomic.Int64
+	for _, key := range []string{"a", "b"} {
+		_, shared, err := g.Do(context.Background(), key, func(ctx context.Context) (*kcache.Entry, error) {
+			calls.Add(1)
+			return &kcache.Entry{}, nil
+		})
+		if err != nil || shared {
+			t.Errorf("key %q: shared=%v err=%v", key, shared, err)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("fn ran %d times, want 2", calls.Load())
+	}
+}
+
+func TestFlightGroupCancelsWhenLastWaiterLeaves(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	fnCancelled := make(chan struct{})
+	fn := func(ctx context.Context) (*kcache.Entry, error) {
+		<-ctx.Done()
+		close(fnCancelled)
+		return nil, ctx.Err()
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, ctx := range []context.Context{ctx1, ctx2} {
+		wg.Add(1)
+		go func(ctx context.Context) {
+			defer wg.Done()
+			_, _, err := g.Do(ctx, "k", fn)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("Do err = %v, want canceled", err)
+			}
+		}(ctx)
+	}
+	// Wait until both callers joined the flight.
+	for {
+		g.mu.Lock()
+		f := g.m["k"]
+		ready := f != nil && f.waiters == 2
+		g.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel1()
+	select {
+	case <-fnCancelled:
+		t.Fatal("flight cancelled while a waiter remains")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	cancel2()
+	select {
+	case <-fnCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight not cancelled after the last waiter left")
+	}
+	wg.Wait()
+}
+
+func TestFlightGroupBaseContextCancelsFlights(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	g := newFlightGroup(base)
+	started := make(chan struct{})
+	fn := func(ctx context.Context) (*kcache.Entry, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, errShuttingDown
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", fn)
+		done <- err
+	}()
+	<-started
+	cancelBase()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errShuttingDown) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight survived base-context cancellation")
+	}
+}

@@ -1,0 +1,260 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/kcache"
+)
+
+// synthesizeRequest is the POST /v1/synthesize body.
+type synthesizeRequest struct {
+	ISA string `json:"isa"` // "cmov" (default) or "minmax"
+	N   int    `json:"n"`
+	M   *int   `json:"m"` // scratch registers; default 1
+
+	// MaxLen bounds the program length; 0 means the known optimal length
+	// for the set (an error if none is known).
+	MaxLen int `json:"max_len"`
+
+	// Config selects the search configuration: "best" (default, paper
+	// config III), "base", "dijkstra", or "distmax" (admissible A*).
+	Config string `json:"config"`
+
+	DuplicateSafe bool `json:"duplicate_safe"`
+
+	// All enumerates every optimal kernel (ConfigAllSolutions);
+	// MaxSolutions caps the materialized programs (default 10).
+	All          bool `json:"all"`
+	MaxSolutions int  `json:"max_solutions"`
+
+	// TimeoutMS caps how long this request waits (0 = server default).
+	// The search itself keeps running as long as any identical request
+	// is still waiting on it.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// searchStats reports what a synthesis cost.
+type searchStats struct {
+	Expanded  int64   `json:"expanded"`
+	Generated int64   `json:"generated"`
+	SearchMS  float64 `json:"search_ms"` // the original search's wall time
+	ServedMS  float64 `json:"served_ms"` // this request's wall time
+}
+
+// synthesizeResponse is the POST /v1/synthesize reply.
+type synthesizeResponse struct {
+	Kernel        string      `json:"kernel"`
+	Programs      []string    `json:"programs,omitempty"`
+	Length        int         `json:"length"`
+	SolutionCount int64       `json:"solution_count"`
+	Cached        bool        `json:"cached"`
+	Coalesced     bool        `json:"coalesced,omitempty"`
+	Key           string      `json:"key"`
+	Stats         searchStats `json:"stats"`
+}
+
+// noKernelError reports an exhausted search: no kernel exists within the
+// requested bound.
+type noKernelError struct{ bound int }
+
+func (e noKernelError) Error() string {
+	return fmt.Sprintf("no kernel of length ≤ %d exists for this set", e.bound)
+}
+
+var errSearchTimeout = errors.New("search timed out")
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req synthesizeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m := 1
+	if req.M != nil {
+		m = *req.M
+	}
+	set, err := s.setFor(req.ISA, req.N, m)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := s.buildOptions(set, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := kcache.KeyFor(set, opt)
+	hash := key.Hash()
+
+	if e, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, responseFor(e, hash, true, false, start))
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	// Bound this caller's wait; the flight itself runs under the group's
+	// base context and its own SearchTimeout.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	entry, shared, err := s.flights.Do(ctx, hash, func(fctx context.Context) (*kcache.Entry, error) {
+		return s.runSearch(fctx, key, set, opt)
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeSearchError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, responseFor(entry, hash, false, shared, start))
+}
+
+// buildOptions maps the request onto the named enum configurations.
+func (s *Server) buildOptions(set *isa.Set, req *synthesizeRequest) (enum.Options, error) {
+	var opt enum.Options
+	switch req.Config {
+	case "", "best":
+		opt = enum.ConfigBest()
+	case "base":
+		opt = enum.ConfigBase()
+	case "dijkstra":
+		opt = enum.ConfigDijkstra()
+	case "distmax":
+		opt = enum.Options{Heuristic: enum.HeurDistMax, UseDistPrune: true, ViabilityErase: true}
+	default:
+		return opt, fmt.Errorf("unknown config %q (want best, base, dijkstra or distmax)", req.Config)
+	}
+	if req.All {
+		opt = enum.ConfigAllSolutions()
+		opt.MaxSolutions = 10
+		if req.MaxSolutions > 0 {
+			opt.MaxSolutions = min(req.MaxSolutions, 1000)
+		}
+	} else if req.MaxSolutions != 0 {
+		return opt, errors.New("max_solutions requires \"all\": true")
+	}
+	opt.DuplicateSafe = req.DuplicateSafe
+	opt.MaxLen = req.MaxLen
+	if opt.MaxLen == 0 {
+		l, ok := knownOptimalLength(set)
+		if !ok {
+			return opt, fmt.Errorf("no known optimal length for %s; pass max_len", set)
+		}
+		opt.MaxLen = l
+	}
+	// The server-side wall cap. Excluded from the cache key, so it never
+	// fragments the artifact space.
+	opt.Timeout = s.cfg.SearchTimeout
+	return opt, nil
+}
+
+// knownOptimalLength mirrors sortsynth.KnownOptimalLength (the root
+// package cannot be imported from internal/ without a cycle).
+func knownOptimalLength(set *isa.Set) (int, bool) {
+	if set.M != 1 {
+		return 0, false
+	}
+	var table map[int]int
+	if set.Kind == isa.KindCmov {
+		table = map[int]int{2: 4, 3: 11, 4: 20, 5: 33}
+	} else {
+		table = map[int]int{2: 3, 3: 8, 4: 15, 5: 26}
+	}
+	l, ok := table[set.N]
+	return l, ok
+}
+
+// runSearch executes one coalesced synthesis under the bounded worker
+// pool and stores the artifact in the cache on success.
+func (s *Server) runSearch(ctx context.Context, key kcache.Key, set *isa.Set, opt enum.Options) (*kcache.Entry, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	s.metrics.searchesStarted.Add(1)
+	s.metrics.inFlight.Add(1)
+	res := enum.RunContext(ctx, set, opt)
+	s.metrics.inFlight.Add(-1)
+	s.metrics.searchesCompleted.Add(1)
+	s.metrics.nodesExpanded.Add(res.Expanded)
+
+	switch {
+	case res.Cancelled:
+		s.metrics.searchesCancelled.Add(1)
+		return nil, errShuttingDown
+	case res.TimedOut:
+		s.metrics.searchesTimedOut.Add(1)
+		return nil, errSearchTimeout
+	case res.Length < 0:
+		return nil, noKernelError{bound: opt.MaxLen}
+	}
+
+	entry := &kcache.Entry{
+		Program:       res.Program.Format(set.N),
+		Length:        res.Length,
+		SolutionCount: res.SolutionCount,
+		Expanded:      res.Expanded,
+		Generated:     res.Generated,
+		ElapsedNS:     int64(res.Elapsed),
+	}
+	for _, p := range res.Programs {
+		entry.Programs = append(entry.Programs, p.Format(set.N))
+	}
+	if err := s.cache.Put(key, entry); err != nil {
+		// A failed disk write only costs a future re-synthesis; the
+		// entry is still served from memory and to this request.
+		_ = err
+	}
+	return entry, nil
+}
+
+// writeSearchError maps flight errors onto HTTP statuses.
+func (s *Server) writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
+	var noKernel noKernelError
+	switch {
+	case r.Context().Err() != nil:
+		// The client is gone; the status is for the log only.
+		writeError(w, http.StatusRequestTimeout, "client disconnected: %v", err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, errSearchTimeout):
+		writeError(w, http.StatusGatewayTimeout, "%v", errSearchTimeout)
+	case errors.Is(err, errShuttingDown), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "%v", errShuttingDown)
+	case errors.As(err, &noKernel):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func responseFor(e *kcache.Entry, hash string, cached, coalesced bool, start time.Time) synthesizeResponse {
+	return synthesizeResponse{
+		Kernel:        e.Program,
+		Programs:      e.Programs,
+		Length:        e.Length,
+		SolutionCount: e.SolutionCount,
+		Cached:        cached,
+		Coalesced:     coalesced,
+		Key:           hash,
+		Stats: searchStats{
+			Expanded:  e.Expanded,
+			Generated: e.Generated,
+			SearchMS:  float64(e.ElapsedNS) / float64(time.Millisecond),
+			ServedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		},
+	}
+}

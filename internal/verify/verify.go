@@ -56,11 +56,14 @@ func DuplicateCounterexample(set *isa.Set, p isa.Program) []int {
 }
 
 // Counterexample returns a permutation of 1..n that p fails to sort, or
-// nil if p is correct.
+// nil if p is correct. Failing means the output is not the ascending
+// rearrangement of the input: merely checking ascending order would
+// accept value-destroying programs ("mov r1 r2" leaves every register
+// equal, which is trivially ordered), so the multiset check is part of
+// the criterion, exactly as in SortsRandom.
 func Counterexample(set *isa.Set, p isa.Program) []int {
 	for _, in := range perm.All(set.N) {
-		out := state.RunInts(set, p, in)
-		if !perm.IsSorted(out) {
+		if !outputValid(in, state.RunInts(set, p, in)) {
 			return in
 		}
 	}

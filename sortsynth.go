@@ -23,6 +23,7 @@
 package sortsynth
 
 import (
+	"context"
 	"time"
 
 	"sortsynth/internal/enum"
@@ -96,6 +97,14 @@ func KnownOptimalLength(set *Set) (int, bool) {
 
 // Synthesize runs the enumerative search with explicit options.
 func Synthesize(set *Set, opt Options) *Result { return enum.Run(set, opt) }
+
+// SynthesizeContext is Synthesize with cancellation: the search stops
+// promptly when ctx is cancelled (Result.Cancelled) or its deadline
+// expires (Result.TimedOut). This is what sortsynthd uses to abort
+// searches on client disconnect and graceful shutdown.
+func SynthesizeContext(ctx context.Context, set *Set, opt Options) *Result {
+	return enum.RunContext(ctx, set, opt)
+}
 
 // SynthesizeBest synthesizes one minimal kernel with the paper's best
 // configuration (III): permutation-count guidance, per-assignment
