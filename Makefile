@@ -22,6 +22,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the kernel microbenchmarks plus the synthesis-throughput
+# benchmark (n=3 and n=4, best configuration, at 1 / GOMAXPROCS / 8
+# workers), which writes BENCH_enum.json at the repository root.
 .PHONY: bench
-bench:
+bench: bench-kernels bench-enum
+
+.PHONY: bench-kernels
+bench-kernels:
 	$(GO) test -bench=. -benchtime=100ms -run=^$$ .
+
+.PHONY: bench-enum
+bench-enum:
+	$(GO) run ./cmd/experiments -table=enumbench

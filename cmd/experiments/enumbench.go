@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"sortsynth/internal/bench"
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+)
+
+// seqMergeBaselineN4MS is the n=4 best-config wall time of the previous
+// parallel engine (per-level sequential merge, per-candidate state
+// clones) at 8 workers on this repository's reference host, measured
+// before the sharded merge landed. BENCH_enum.json records the current
+// engine's speedup against it.
+const seqMergeBaselineN4MS = 1940.0
+
+// enumBenchReport is the BENCH_enum.json payload.
+type enumBenchReport struct {
+	GOMAXPROCS   int                       `json:"gomaxprocs"`
+	Measurements []bench.SearchMeasurement `json:"measurements"`
+
+	// IdenticalAcrossWorkers is true when every parallel worker count
+	// produced the same kernel text for the same (isa, n) — the
+	// sharded-merge determinism contract, checked on the measured runs
+	// themselves. The workers=1 runs use the sequential engine, whose
+	// traversal order may surface a different kernel of the same
+	// optimal length, so they are excluded from the comparison.
+	IdenticalAcrossWorkers bool `json:"identical_across_workers"`
+
+	// Speedup of the current 8-worker n=4 run over the sequential-merge
+	// parallel engine this PR replaced.
+	SeqMergeBaselineN4MS float64 `json:"seq_merge_baseline_n4_ms"`
+	SpeedupVsSeqMergeN4  float64 `json:"speedup_vs_seq_merge_n4"`
+}
+
+func init() {
+	register("enumbench", "synthesis throughput at 1 / GOMAXPROCS / 8 workers (writes BENCH_enum.json)", false, func(c *ctx) error {
+		c.section("Synthesis throughput, best configuration (III)")
+
+		// workers=2 rides along so the byte-identity check always sees at
+		// least two parallel counts, even where GOMAXPROCS(0) == 1.
+		workerSet := []int{1, 2, runtime.GOMAXPROCS(0), 8}
+		cases := []struct {
+			n, maxLen int
+			rounds    int
+		}{
+			{3, 11, 5},
+			{4, 20, 2},
+		}
+
+		rep := enumBenchReport{
+			GOMAXPROCS:             runtime.GOMAXPROCS(0),
+			IdenticalAcrossWorkers: true,
+			SeqMergeBaselineN4MS:   seqMergeBaselineN4MS,
+		}
+		var t tableWriter
+		t.row("n", "workers", "wall", "expanded", "expanded/s", "length")
+		for _, tc := range cases {
+			set := isa.NewCmov(tc.n, 1)
+			parKernel := ""
+			seen := map[int]bool{}
+			for _, w := range workerSet {
+				if seen[w] {
+					continue // GOMAXPROCS may coincide with 1 or 8
+				}
+				seen[w] = true
+				opt := enum.ConfigBest()
+				opt.MaxLen = tc.maxLen
+				opt.Workers = w
+				m, err := bench.MeasureSearch(set, opt, tc.rounds)
+				if err != nil {
+					return fmt.Errorf("n=%d workers=%d: %w", tc.n, w, err)
+				}
+				if w > 1 {
+					if parKernel == "" {
+						parKernel = m.Kernel
+					} else if m.Kernel != parKernel {
+						rep.IdenticalAcrossWorkers = false
+					}
+				}
+				rep.Measurements = append(rep.Measurements, m)
+				t.row(fmt.Sprint(tc.n), fmt.Sprint(w),
+					fmt.Sprintf("%.1fms", m.WallMS),
+					fmt.Sprint(m.Expanded),
+					fmt.Sprintf("%.0f", m.ExpandedPerSec),
+					fmt.Sprint(m.Length))
+				if tc.n == 4 && w == 8 {
+					rep.SpeedupVsSeqMergeN4 = seqMergeBaselineN4MS / m.WallMS
+				}
+			}
+		}
+		t.flush(c.w)
+		c.printf("\nparallel kernels byte-identical across worker counts: %v\n", rep.IdenticalAcrossWorkers)
+		if rep.SpeedupVsSeqMergeN4 > 0 {
+			c.printf("n=4 ×8 vs sequential-merge parallel baseline (%.0f ms): %.2fx\n",
+				seqMergeBaselineN4MS, rep.SpeedupVsSeqMergeN4)
+		}
+
+		// BENCH_enum.json lands in the working directory (the repository
+		// root under `make bench`) so the headline numbers are versioned
+		// next to the code they measure.
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_enum.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		c.printf("wrote BENCH_enum.json\n")
+		return nil
+	})
+}

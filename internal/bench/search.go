@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+)
+
+// SearchMeasurement is one synthesis-throughput data point: a full
+// search of the given set at a fixed worker count, reported in the
+// units the engine comparison cares about (wall time and expanded
+// states per second). The kernel text is included so callers can check
+// that every worker count produced byte-identical output.
+type SearchMeasurement struct {
+	ISA            string  `json:"isa"`
+	N              int     `json:"n"`
+	Workers        int     `json:"workers"`
+	MaxLen         int     `json:"max_len"`
+	Length         int     `json:"length"`
+	Kernel         string  `json:"kernel"`
+	Expanded       int64   `json:"expanded"`
+	Generated      int64   `json:"generated"`
+	WallMS         float64 `json:"wall_ms"`
+	ExpandedPerSec float64 `json:"expanded_per_sec"`
+}
+
+// MeasureSearch runs the search rounds times and reports the fastest
+// run (search work is deterministic for a fixed configuration, so
+// best-of-N isolates scheduler and allocator noise). Workers ≤ 1
+// selects the sequential engine; the parallel engine is defined to
+// produce byte-identical results at every worker count.
+func MeasureSearch(set *isa.Set, opt enum.Options, rounds int) (SearchMeasurement, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var best *enum.Result
+	for r := 0; r < rounds; r++ {
+		res := enum.Run(set, opt)
+		if res.Err != nil {
+			return SearchMeasurement{}, res.Err
+		}
+		if res.Length < 0 {
+			return SearchMeasurement{}, fmt.Errorf("%v: no kernel within %d", set, opt.MaxLen)
+		}
+		if best == nil || res.Elapsed < best.Elapsed {
+			best = res
+		}
+	}
+	m := SearchMeasurement{
+		ISA:       set.Kind.String(),
+		N:         set.N,
+		Workers:   opt.Workers,
+		MaxLen:    opt.MaxLen,
+		Length:    best.Length,
+		Kernel:    best.Program.FormatInline(set.N),
+		Expanded:  best.Expanded,
+		Generated: best.Generated,
+		WallMS:    float64(best.Elapsed) / float64(time.Millisecond),
+	}
+	if sec := best.Elapsed.Seconds(); sec > 0 {
+		m.ExpandedPerSec = float64(best.Expanded) / sec
+	}
+	return m, nil
+}

@@ -75,6 +75,112 @@ func TestAllSolutionsMatchesBruteForceMinMaxN2(t *testing.T) {
 	}
 }
 
+// TestParallelCrosscheckMatrix runs the n=3 all-solutions enumeration
+// across the full cut × worker matrix and pins the sharded-merge
+// determinism contract (DESIGN.md §8): every parallel run must produce
+// byte-identical results — Length, SolutionCount, and the ordered
+// program list — regardless of worker count, and the solution *set*
+// must equal the sequential engine's. The cut cases matter most: the
+// k-cut compares each state against the level's best permutation count,
+// so any drift in the merge order or the cut reference would change
+// which states survive. Runs under -race via `make check`.
+func TestParallelCrosscheckMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	set := isa.NewCmov(3, 1)
+	cuts := []struct {
+		name string
+		cut  CutMode
+		k    float64
+	}{
+		{"nocut", CutNone, 0},
+		{"k=2", CutFactor, 2},
+		{"k=1.5", CutFactor, 1.5},
+		{"k=1", CutFactor, 1},
+	}
+	programs := func(res *Result) []string {
+		out := make([]string, len(res.Programs))
+		for i, p := range res.Programs {
+			out[i] = p.FormatInline(set.N)
+		}
+		return out
+	}
+	for _, tc := range cuts {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := ConfigAllSolutions()
+			opt.MaxLen = 11
+			opt.Cut, opt.CutK = tc.cut, tc.k
+
+			seq := Run(set, opt)
+			if seq.Err != nil || seq.Length != 11 {
+				t.Fatalf("sequential: length=%d err=%v", seq.Length, seq.Err)
+			}
+			seqSet := make(map[string]bool, len(seq.Programs))
+			for _, p := range programs(seq) {
+				if seqSet[p] {
+					t.Fatalf("sequential enumerated duplicate %s", p)
+				}
+				seqSet[p] = true
+			}
+
+			var first []string
+			for _, workers := range []int{2, 4, 8} {
+				opt.Workers = workers
+				par := Run(set, opt)
+				if par.Err != nil {
+					t.Fatalf("workers=%d: %v", workers, par.Err)
+				}
+				if par.Length != seq.Length || par.SolutionCount != seq.SolutionCount {
+					t.Fatalf("workers=%d: length=%d count=%d, sequential %d/%d",
+						workers, par.Length, par.SolutionCount, seq.Length, seq.SolutionCount)
+				}
+				got := programs(par)
+				// Parallel runs are byte-identical across worker counts:
+				// same programs in the same order.
+				if first == nil {
+					first = got
+				} else if len(got) != len(first) {
+					t.Fatalf("workers=%d enumerated %d programs, workers=2 %d", workers, len(got), len(first))
+				} else {
+					for i := range got {
+						if got[i] != first[i] {
+							t.Fatalf("workers=%d program %d = %s, workers=2 has %s", workers, i, got[i], first[i])
+						}
+					}
+				}
+				// And set-equal to the sequential engine.
+				if len(got) != len(seqSet) {
+					t.Fatalf("workers=%d enumerated %d programs, sequential %d", workers, len(got), len(seqSet))
+				}
+				for _, p := range got {
+					if !seqSet[p] {
+						t.Fatalf("workers=%d enumerated %s, absent from sequential set", workers, p)
+					}
+				}
+				// Every enumerated kernel must actually sort.
+				for i := 0; i < len(par.Programs); i += 61 {
+					crosscheckSorts(t, set, par.Programs[i])
+				}
+			}
+			t.Logf("%s: %d solutions identical across workers 2/4/8, set-equal to sequential", tc.name, seq.SolutionCount)
+		})
+	}
+}
+
+// crosscheckSorts verifies p on every permutation of 1..n.
+func crosscheckSorts(t *testing.T, set *isa.Set, p isa.Program) {
+	t.Helper()
+	m := state.NewMachine(set)
+	s := m.Initial().Clone()
+	for _, in := range p {
+		s = m.Apply(nil, s, in)
+	}
+	if !m.AllSorted(s) {
+		t.Fatalf("enumerated program does not sort: %s", p.FormatInline(set.N))
+	}
+}
+
 func TestCPEnumerationAgreesWithSearchN2(t *testing.T) {
 	// A third, independent implementation: the CP model restricted to the
 	// same legal instruction space (no self-ops, cmp argument order) must

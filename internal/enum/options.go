@@ -79,8 +79,11 @@ type Options struct {
 	// subsumed by UseDistPrune and on by default in the named configs.
 	ViabilityErase bool
 
-	// MaxLen bounds the program length (inclusive). 0 means unbounded.
-	// The search also tightens the bound to the best solution found.
+	// MaxLen bounds the program length (inclusive). 0 means unbounded
+	// (in practice bounded by MaxDepth, the engines' depth ceiling).
+	// Values above MaxDepth are rejected with a *DepthLimitError in
+	// Result.Err rather than silently truncated. The search also tightens
+	// the bound to the best solution found.
 	MaxLen int
 
 	// AllSolutions keeps searching after the first solution and records
@@ -93,7 +96,11 @@ type Options struct {
 	// way.
 	MaxSolutions int
 
-	// Workers > 1 runs the level-synchronous parallel Dijkstra variant.
+	// Workers > 1 runs the level-synchronous parallel Dijkstra variant
+	// with a sharded parallel merge (see parallel.go and DESIGN.md §8);
+	// ≤ 0 means GOMAXPROCS when that engine is selected. The solution
+	// set, SolutionCount, and all Result counters are identical for
+	// every worker count.
 	Workers int
 
 	// StateBudget caps the number of expanded states (0 = unlimited).

@@ -11,12 +11,76 @@ import (
 	"sortsynth/internal/tables"
 )
 
-// runParallel is the level-synchronous parallel Dijkstra variant
+// The parallel engine is the level-synchronous parallel Dijkstra variant
 // (ablation row "dijkstra, parallel"): all states of program length g are
-// expanded concurrently, the successors are merged sequentially into the
-// dedup map, and the next level proceeds. Level order gives Dijkstra
+// expanded concurrently and their successors are merged into the dedup
+// layer, then the next level proceeds. Level order gives Dijkstra
 // semantics, so the first level containing a solution is optimal and — in
 // AllSolutions mode — complete once merged.
+//
+// Unlike the original implementation, which merged every level under a
+// single goroutine, the merge itself is parallel (DESIGN.md §8): the
+// dedup map is sharded by the high bits of the state's 128-bit hash key
+// into mergeShards independent maps, workers partition their candidates
+// by owning shard during expansion, and one merge task per shard
+// deduplicates its partition without locks. Every candidate carries its
+// global sequence number — its position in the frontier-order candidate
+// stream the old sequential merge consumed — so a final stitch pass can
+// append the surviving nodes to the path DAG in exactly that order. Node
+// IDs, extra-edge order, solution order, and therefore SolutionCount and
+// the enumerated program set are bit-for-bit independent of both the
+// worker count and the shard count.
+
+// mergeShards is the number of dedup shards. It is a fixed constant
+// rather than the worker count so shard ownership and map layouts never
+// vary with Options.Workers; determinism does not require that (dedup
+// outcomes are per-key and IDs are assigned in sequence order), but it
+// keeps per-worker-count runs directly comparable.
+const (
+	mergeShardBits = 5
+	mergeShards    = 1 << mergeShardBits
+)
+
+// parCand is one successor produced by an expansion worker, addressed
+// into the worker's append-only state arena.
+type parCand struct {
+	key     state.Key128
+	parent  int32
+	local   int32 // per-worker candidate ordinal; global seq = base[w] + local
+	off     int32 // state = arena[off : off+n]
+	n       int32
+	pc      int32
+	instrID uint16
+	sorted  bool
+}
+
+// pendingNode is a shard-local node created during the merge of one
+// level, awaiting its global ID from the stitch pass. Within a shard the
+// list is ordered by seq (workers are drained in index order and local
+// ordinals increase), which the stitch's k-way merge relies on.
+type pendingNode struct {
+	seq  int64
+	node node // primary edge, depth, sorted flag; extra filled by dedup hits
+	key  state.Key128
+	st   state.State // arena-backed; nil for sorted states
+	pc   int32
+}
+
+// mergeShard is one slice of the dedup layer: a persistent key→ID map
+// plus the per-level pending list. Provisional IDs of nodes created this
+// level are stored as -(pendIndex+1) until the stitch assigns real ones.
+type mergeShard struct {
+	dedup   map[state.Key128]int32
+	pend    []pendingNode
+	deduped int64
+}
+
+// frontierEntry is one expandable node of the current level.
+type frontierEntry struct {
+	id int32
+	st state.State
+}
+
 func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 	s := newSearcher(ctx, set, opt)
 	workers := opt.Workers
@@ -25,38 +89,74 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 	}
 	instrs := set.Instrs()
 
-	type frontierEntry struct {
-		id int32
-		st state.State
+	shards := make([]mergeShard, mergeShards)
+	for i := range shards {
+		shards[i].dedup = make(map[state.Key128]int32, 1<<8)
 	}
-	type childCand struct {
-		parent  int32
-		instrID uint16
-		st      state.State
-		sorted  bool
-		pc      int
-	}
+	init := s.m.Initial().Clone()
+	key0 := state.HashKey(init)
+	shards[key0.Shard(mergeShardBits)].dedup[key0] = 0
 
-	frontier := []frontierEntry{{id: 0, st: s.m.Initial().Clone()}}
-	for g := 0; len(frontier) > 0; g++ {
-		if g >= s.bound || g > 250 {
-			break
-		}
+	// Per-worker reusable buffers. Arenas double-buffer across levels:
+	// the buffers written at level g back the frontier states read at
+	// level g+1 and are recycled at level g+2.
+	buckets := make([][mergeShards][]parCand, workers)
+	arenas := make([][]state.Asg, workers)
+	arenasOld := make([][]state.Asg, workers)
+	counts := make([]int64, workers)
+	base := make([]int64, workers+1)
+	heads := make([]int, mergeShards)
+
+	frontier := []frontierEntry{{id: 0, st: init}}
+	var next []frontierEntry
+
+	for g := 0; len(frontier) > 0 && g < s.bound; g++ {
 		if s.stopped() {
 			return s.finish()
 		}
 		if s.opt.StateBudget > 0 && s.res.Expanded >= s.opt.StateBudget {
 			return s.finish()
 		}
+		for w := range counts {
+			counts[w] = 0
+			for si := range buckets[w] {
+				buckets[w][si] = buckets[w][si][:0]
+			}
+		}
 
-		// Expand the level in parallel. Workers apply the viability and
-		// cut filters; the cut reference is the completed previous level,
-		// which makes the parallel cut deterministic.
-		results := make([][]childCand, workers)
-		var wg sync.WaitGroup
+		// Phase 1: expand the level in parallel. Workers apply the
+		// viability and cut filters, hash each survivor, copy its state
+		// into the worker's arena, and file it under the owning shard.
+		// The cut reference is the completed previous level, which makes
+		// the parallel cut deterministic. Everything level-invariant —
+		// bound budget, cut limit, option flags — is hoisted out of the
+		// per-candidate funnel.
+		m, tab := s.m, s.tab
+		useGuide, useDist, viaErase := s.opt.UseActionGuide, s.opt.UseDistPrune, s.opt.ViabilityErase
+		var dist []uint8
+		var lutLo, lutHi []uint32
+		if useDist {
+			dist, lutLo, lutHi = tab.DistLUT()
+		}
+		cutOn := s.opt.Cut != CutNone
+		budget := s.bound - (g + 1)
+		fused := useDist && budget >= 0
+		limit := math.Inf(1)
+		intLimit := math.MaxInt
+		if cutOn {
+			if ref := s.bestPerm[g]; ref != math.MaxInt32 {
+				if s.opt.Cut == CutFactor {
+					limit = s.opt.CutK * float64(ref)
+				} else {
+					limit = float64(ref) + s.opt.CutK
+				}
+				intLimit = int(math.Floor(limit))
+			}
+		}
 		chunk := (len(frontier) + workers - 1) / workers
-		var generated, pruned, cut int64
+		var wg sync.WaitGroup
 		var mu sync.Mutex
+		var generated, pruned, cut int64
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
 			if lo >= len(frontier) {
@@ -66,61 +166,89 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
+				bkt := &buckets[w]
+				arena := arenas[w][:0]
 				var buf state.State
-				var out []childCand
+				var local int32
 				var lgen, lpr, lcut int64
 				for fi, fe := range frontier[lo:hi] {
 					if fi&63 == 63 && s.ctx.Err() != nil {
 						break // cancelled mid-level; the caller re-checks after the join
 					}
 					var guide tables.Mask
-					if s.opt.UseActionGuide {
-						guide = s.tab.GuideMask(fe.st)
+					if useGuide {
+						guide = tab.GuideMask(fe.st)
 					}
 					for id, in := range instrs {
-						if s.opt.UseActionGuide && !guide.Has(id) {
+						if useGuide && !guide.Has(id) {
 							continue
 						}
-						buf = s.m.Apply(buf, fe.st, in)
-						lgen++
-						cand := childCand{parent: fe.id, instrID: uint16(id)}
-						cand.sorted = s.m.AllSorted(buf)
-						if !cand.sorted {
-							if g+1 >= s.bound {
+						// The raw successor keeps the parent's order; the
+						// prune predicates and the cut's exceeds-test are
+						// order-insensitive, so the canonicalizing sort is
+						// deferred until a candidate survives all of them.
+						// With dist-pruning on, the prune is fused into the
+						// apply itself and aborts at the first over-budget
+						// assignment.
+						var sorted bool
+						if fused {
+							var ok bool
+							buf, ok = m.ApplyDist(buf, fe.st, in, dist, lutLo, lutHi, budget)
+							lgen++
+							if !ok {
 								lpr++
 								continue
 							}
-							if s.opt.UseDistPrune {
-								lb := s.tab.MaxDist(buf)
-								if lb == tables.Infinite || (s.bound != unbounded && g+1+lb > s.bound) {
+							sorted = m.AllSorted(buf)
+						} else {
+							buf = m.ApplyRaw(buf, fe.st, in)
+							lgen++
+							sorted = m.AllSorted(buf)
+							if !sorted {
+								// Dead end at the bound; the fused branch
+								// prunes these through the dist check.
+								if budget <= 0 {
 									lpr++
 									continue
 								}
-							} else if s.opt.ViabilityErase && !s.m.AllViable(buf) {
-								lpr++
-								continue
-							}
-							if s.opt.Cut != CutNone {
-								cand.pc = s.m.PermCount(buf)
-								if ref := s.bestPerm[g]; ref != math.MaxInt32 {
-									var limit float64
-									if s.opt.Cut == CutFactor {
-										limit = s.opt.CutK * float64(ref)
-									} else {
-										limit = float64(ref) + s.opt.CutK
-									}
-									if float64(cand.pc) > limit {
-										lcut++
-										continue
-									}
+								if viaErase && !m.AllViable(buf) {
+									lpr++
+									continue
 								}
 							}
 						}
-						cand.st = buf.Clone()
-						out = append(out, cand)
+						var pc int32
+						if !sorted && intLimit != math.MaxInt && m.PermCountExceeds(buf, intLimit) {
+							lcut++
+							continue
+						}
+						state.Canonicalize(&buf)
+						if !sorted && cutOn {
+							pc = int32(m.PermCount(buf))
+							if float64(pc) > limit {
+								lcut++
+								continue
+							}
+						}
+						key := state.HashKey(buf)
+						off := int32(len(arena))
+						arena = append(arena, buf...)
+						si := key.Shard(mergeShardBits)
+						bkt[si] = append(bkt[si], parCand{
+							key:     key,
+							parent:  fe.id,
+							local:   local,
+							off:     off,
+							n:       int32(len(buf)),
+							pc:      pc,
+							instrID: uint16(id),
+							sorted:  sorted,
+						})
+						local++
 					}
 				}
-				results[w] = out
+				arenas[w] = arena
+				counts[w] = int64(local)
 				mu.Lock()
 				generated += lgen
 				pruned += lpr
@@ -140,37 +268,100 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 		s.res.Pruned += pruned
 		s.res.CutCount += cut
 
-		// Sequential merge preserves the exact dedup/path-DAG semantics of
-		// the sequential engine.
-		next := frontier[:0]
-		cg := g + 1
-		for _, out := range results {
-			for _, cand := range out {
-				key := state.HashKey(cand.st)
-				if id, ok := s.dedup[key]; ok {
-					s.res.Deduped++
-					if s.opt.AllSolutions && int(s.nodes[id].g) == cg {
-						s.nodes[id].extra = append(s.nodes[id].extra, edge{parent: cand.parent, instr: cand.instrID})
-					}
-					continue
-				}
-				id := int32(len(s.nodes))
-				s.nodes = append(s.nodes, node{
-					edge:   edge{parent: cand.parent, instr: cand.instrID},
-					g:      uint8(cg),
-					sorted: cand.sorted,
-				})
-				s.dedup[key] = id
-				if cand.sorted {
-					s.recordSolution(id, cg)
-					continue
-				}
-				if s.opt.Cut != CutNone && cg < len(s.bestPerm) && int32(cand.pc) < s.bestPerm[cg] {
-					s.bestPerm[cg] = int32(cand.pc)
-				}
-				next = append(next, frontierEntry{id: id, st: cand.st})
-			}
+		for w := 0; w < workers; w++ {
+			base[w+1] = base[w] + counts[w]
 		}
+		cg := g + 1
+
+		// Phase 2: merge each shard independently. Draining the workers'
+		// buckets in worker order visits a shard's candidates in global
+		// sequence order, so dedup decisions and extra-edge order are
+		// exactly those of a sequential merge of the full stream —
+		// deduplication only ever interacts among equal keys, and equal
+		// keys share a shard.
+		mergeWorkers := min(workers, mergeShards)
+		var mwg sync.WaitGroup
+		for mw := 0; mw < mergeWorkers; mw++ {
+			mwg.Add(1)
+			go func(mw int) {
+				defer mwg.Done()
+				for si := mw; si < mergeShards; si += mergeWorkers {
+					sh := &shards[si]
+					sh.pend = sh.pend[:0]
+					for w := 0; w < workers; w++ {
+						for ci := range buckets[w][si] {
+							c := &buckets[w][si][ci]
+							if id, ok := sh.dedup[c.key]; ok {
+								sh.deduped++
+								// id < 0 marks a node created this level;
+								// nonnegative IDs are from earlier levels
+								// (shallower depth — no optimal edge).
+								if id < 0 && s.opt.AllSolutions {
+									p := &sh.pend[-id-1]
+									p.node.extra = append(p.node.extra, edge{parent: c.parent, instr: c.instrID})
+								}
+								continue
+							}
+							var st state.State
+							if !c.sorted {
+								st = state.State(arenas[w][c.off : c.off+c.n])
+							}
+							sh.dedup[c.key] = -int32(len(sh.pend)) - 1
+							sh.pend = append(sh.pend, pendingNode{
+								seq:  base[w] + int64(c.local),
+								node: node{edge: edge{parent: c.parent, instr: c.instrID}, g: uint8(cg), sorted: c.sorted},
+								key:  c.key,
+								st:   st,
+								pc:   c.pc,
+							})
+						}
+					}
+				}
+			}(mw)
+		}
+		mwg.Wait()
+
+		// Phase 3: stitch the shards' surviving nodes into the global DAG
+		// in sequence order (k-way merge over the seq-sorted pending
+		// lists). This reproduces the exact node IDs, solution order, and
+		// cut-reference updates of a fully sequential merge.
+		next = next[:0]
+		for si := range heads {
+			heads[si] = 0
+		}
+		for {
+			bestShard := -1
+			bestSeq := int64(math.MaxInt64)
+			for si := range shards {
+				if heads[si] < len(shards[si].pend) {
+					if q := shards[si].pend[heads[si]].seq; q < bestSeq {
+						bestSeq, bestShard = q, si
+					}
+				}
+			}
+			if bestShard < 0 {
+				break
+			}
+			sh := &shards[bestShard]
+			p := &sh.pend[heads[bestShard]]
+			heads[bestShard]++
+			id := int32(len(s.nodes))
+			s.nodes = append(s.nodes, p.node)
+			sh.dedup[p.key] = id
+			if p.node.sorted {
+				s.recordSolution(id, cg)
+				continue
+			}
+			if s.opt.Cut != CutNone && cg < len(s.bestPerm) && p.pc < s.bestPerm[cg] {
+				s.bestPerm[cg] = p.pc
+			}
+			next = append(next, frontierEntry{id: id, st: p.st})
+		}
+		for si := range shards {
+			s.res.Deduped += shards[si].deduped
+			shards[si].deduped = 0
+		}
+
 		if tr := s.opt.Trace; tr != nil {
 			tr.sample(s.start, s.res, len(next), s.solutionsSoFar())
 		}
@@ -179,7 +370,8 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 			// after this merge, complete.
 			break
 		}
-		frontier = next
+		frontier, next = next, frontier
+		arenas, arenasOld = arenasOld, arenas
 	}
 	if s.optLen < 0 {
 		s.res.Exhausted = true

@@ -13,14 +13,22 @@ import (
 // semantically identical under every completion (paper §3.6, "we skip …
 // semantically identical programs").
 func (s *searcher) countPaths() int64 {
-	memo := make(map[int32]int64, len(s.sols)*4)
+	// The memo is a dense slice rather than a map: node IDs are the
+	// indices of s.nodes, every ancestor of a solution is visited, and on
+	// all-solutions runs the DAG holds hundreds of thousands of nodes, so
+	// dense indexing beats per-node hashing. -1 marks unvisited (path
+	// counts are nonnegative; the root contributes 1).
+	memo := make([]int64, len(s.nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
 	var count func(v int32) int64
 	count = func(v int32) int64 {
 		nd := &s.nodes[v]
 		if nd.parent < 0 {
 			return 1
 		}
-		if c, ok := memo[v]; ok {
+		if c := memo[v]; c >= 0 {
 			return c
 		}
 		c := count(nd.parent)

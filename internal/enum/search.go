@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"time"
 
@@ -46,7 +47,25 @@ type Result struct {
 	// reported as TimedOut instead.
 	Cancelled bool
 
+	// Err is set when the options were rejected before any search ran
+	// (currently only *DepthLimitError); the rest of the result is zero
+	// with Length = -1.
+	Err error
+
 	Elapsed time.Duration
+}
+
+// MaxDepth is the deepest program length either engine can represent:
+// node depths are stored in a uint8 and the cut reference table holds one
+// slot per depth. Options.MaxLen beyond it is rejected with a
+// *DepthLimitError instead of silently truncating the search.
+const MaxDepth = 250
+
+// DepthLimitError reports an Options.MaxLen beyond MaxDepth.
+type DepthLimitError struct{ MaxLen int }
+
+func (e *DepthLimitError) Error() string {
+	return fmt.Sprintf("enum: MaxLen %d exceeds the engine depth limit %d", e.MaxLen, MaxDepth)
 }
 
 type edge struct {
@@ -88,8 +107,6 @@ func (h *openHeap) Pop() any {
 	return it
 }
 
-const unbounded = math.MaxInt32
-
 type searcher struct {
 	m   *state.Machine
 	set *isa.Set
@@ -125,6 +142,9 @@ func Run(set *isa.Set, opt Options) *Result {
 // Options.Timeout, when set, is wired to context.WithTimeout and keeps
 // its historical meaning.
 func RunContext(ctx context.Context, set *isa.Set, opt Options) *Result {
+	if opt.MaxLen > MaxDepth {
+		return &Result{Length: -1, Err: &DepthLimitError{MaxLen: opt.MaxLen}}
+	}
 	if opt.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
@@ -150,7 +170,11 @@ func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 		opt:   opt,
 		ctx:   ctx,
 		dedup: make(map[state.Key128]int32, 1<<12),
-		bound: unbounded,
+		// "Unbounded" runs are bounded by the representable depth; no
+		// sorting kernel comes anywhere near it (n=6 needs 45), so an
+		// exhausted depth-250 search is reported as a genuine exhaustion
+		// exactly as before. MaxLen > MaxDepth is rejected in RunContext.
+		bound: MaxDepth,
 		res:   &Result{Length: -1},
 		start: time.Now(),
 	}
@@ -160,11 +184,7 @@ func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 	if opt.UseDistPrune || opt.UseActionGuide || opt.Heuristic == HeurDistMax {
 		s.tab = tables.For(m)
 	}
-	size := s.bound + 2
-	if size > 256 {
-		size = 256
-	}
-	s.bestPerm = make([]int32, size)
+	s.bestPerm = make([]int32, s.bound+2)
 	for i := range s.bestPerm {
 		s.bestPerm[i] = math.MaxInt32
 	}
@@ -262,48 +282,72 @@ func (s *searcher) stopped() bool {
 // expandChild applies in to the parent state and routes the successor
 // through the viability, cut, and deduplication pipeline.
 func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID uint16, in isa.Instr) {
-	child := s.m.Apply(s.buf, st, in)
-	s.buf = child // keep the grown buffer
-	s.res.Generated++
+	// The raw successor keeps the parent's order; the prune predicates
+	// and the cut's exceeds-test are order-insensitive, so the
+	// canonicalizing sort is deferred until a candidate survives all of
+	// them. With dist-pruning on, the prune is fused into the apply
+	// itself and aborts at the first over-budget assignment. The budget
+	// check doubles as the depth guard: bound ≤ MaxDepth, so pruning at
+	// budget < 0 also keeps g within its uint8 storage.
 	cg := g + 1
-
-	sorted := s.m.AllSorted(child)
-	var pc int
-	if !sorted {
-		// A non-sorted state at the bound is a dead end (any completion
-		// needs at least one more instruction). The depth guard also keeps
-		// g within its uint8 storage for unbounded runs.
-		if cg >= s.bound || cg > 250 {
+	budget := s.bound - cg
+	var child state.State
+	var sorted bool
+	if s.opt.UseDistPrune && budget >= 0 {
+		dist, lutLo, lutHi := s.tab.DistLUT()
+		var ok bool
+		child, ok = s.m.ApplyDist(s.buf, st, in, dist, lutLo, lutHi, budget)
+		s.buf = child // keep the grown buffer
+		s.res.Generated++
+		if !ok {
 			s.res.Pruned++
 			return
 		}
-		if s.opt.UseDistPrune {
-			lb := s.tab.MaxDist(child)
-			if lb == tables.Infinite || (s.bound != unbounded && cg+lb > s.bound) {
+		sorted = s.m.AllSorted(child)
+	} else {
+		child = s.m.ApplyRaw(s.buf, st, in)
+		s.buf = child // keep the grown buffer
+		s.res.Generated++
+		sorted = s.m.AllSorted(child)
+		if !sorted {
+			// A non-sorted state at the bound is a dead end: any
+			// completion needs at least one more instruction. (The fused
+			// branch prunes these through the dist check — every
+			// non-sorted assignment has dist ≥ 1 > budget 0.)
+			if budget <= 0 {
 				s.res.Pruned++
 				return
 			}
-		} else if s.opt.ViabilityErase && !s.m.AllViable(child) {
-			s.res.Pruned++
+			if s.opt.ViabilityErase && !s.m.AllViable(child) {
+				s.res.Pruned++
+				return
+			}
+		}
+	}
+	var pc int
+	limit := math.Inf(1)
+	if !sorted && s.opt.Cut != CutNone {
+		if ref := s.bestPerm[g]; ref != math.MaxInt32 {
+			if s.opt.Cut == CutFactor {
+				limit = s.opt.CutK * float64(ref)
+			} else {
+				limit = float64(ref) + s.opt.CutK
+			}
+			if s.m.PermCountExceeds(child, int(math.Floor(limit))) {
+				s.res.CutCount++
+				return
+			}
+		}
+	}
+	state.Canonicalize(&child)
+	if !sorted && s.opt.Cut != CutNone {
+		pc = s.m.PermCount(child)
+		if float64(pc) > limit {
+			s.res.CutCount++
 			return
 		}
-		if s.opt.Cut != CutNone {
-			pc = s.m.PermCount(child)
-			if ref := s.bestPerm[g]; ref != math.MaxInt32 {
-				var limit float64
-				if s.opt.Cut == CutFactor {
-					limit = s.opt.CutK * float64(ref)
-				} else {
-					limit = float64(ref) + s.opt.CutK
-				}
-				if float64(pc) > limit {
-					s.res.CutCount++
-					return
-				}
-			}
-			if cg < len(s.bestPerm) && int32(pc) < s.bestPerm[cg] {
-				s.bestPerm[cg] = int32(pc)
-			}
+		if cg < len(s.bestPerm) && int32(pc) < s.bestPerm[cg] {
+			s.bestPerm[cg] = int32(pc)
 		}
 	}
 

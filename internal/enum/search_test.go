@@ -1,6 +1,7 @@
 package enum
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -18,6 +19,43 @@ func sortsAll(t *testing.T, set *isa.Set, p isa.Program) {
 			if v != i+1 {
 				t.Fatalf("program %s does not sort %v: got %v", p.FormatInline(set.N), in, out)
 			}
+		}
+	}
+}
+
+// TestMaxLenBeyondDepthLimit pins the depth-overflow fix: node depths
+// are stored in a uint8 and bestPerm is sized by MaxDepth, so a MaxLen
+// above MaxDepth used to silently truncate (parallel engine) or index
+// out of range (sequential engine). Both engines must now reject it with
+// a typed error instead.
+func TestMaxLenBeyondDepthLimit(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	for _, workers := range []int{1, 4} { // sequential and parallel engines
+		opt := ConfigBest()
+		opt.MaxLen = MaxDepth + 1
+		opt.Workers = workers
+		res := Run(set, opt)
+		var dl *DepthLimitError
+		if !errors.As(res.Err, &dl) {
+			t.Fatalf("workers=%d: Err = %v, want *DepthLimitError", workers, res.Err)
+		}
+		if dl.MaxLen != MaxDepth+1 {
+			t.Errorf("workers=%d: DepthLimitError.MaxLen = %d, want %d", workers, dl.MaxLen, MaxDepth+1)
+		}
+		if res.Length != -1 {
+			t.Errorf("workers=%d: Length = %d, want -1", workers, res.Length)
+		}
+	}
+
+	// MaxLen == MaxDepth is the largest accepted bound and must search
+	// normally on both engines.
+	for _, workers := range []int{1, 4} {
+		opt := ConfigBest()
+		opt.MaxLen = MaxDepth
+		opt.Workers = workers
+		res := Run(set, opt)
+		if res.Err != nil || res.Length != 4 {
+			t.Errorf("workers=%d: MaxLen=MaxDepth gave length=%d err=%v, want 4, nil", workers, res.Length, res.Err)
 		}
 	}
 }

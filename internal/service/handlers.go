@@ -190,10 +190,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
 	cs := s.cache.Stats()
-	latency := make(map[string]histogramSnapshot, len(m.latency))
-	for route, h := range m.latency {
-		latency[route] = h.snapshot()
-	}
+	latency := m.latencySnapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_ms": float64(time.Since(m.start)) / float64(time.Millisecond),
 		"cache": map[string]any{

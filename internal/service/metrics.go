@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -75,6 +76,7 @@ type metrics struct {
 	coalesced         atomic.Int64 // requests that joined an existing flight
 	nodesExpanded     atomic.Int64
 
+	mu      sync.Mutex            // guards latency (histograms are self-synchronizing)
 	latency map[string]*histogram // keyed by route pattern
 }
 
@@ -86,9 +88,34 @@ func newMetrics(routes []string) *metrics {
 	return m
 }
 
+// histFor returns the route's histogram, creating it on first use.
+// Routes instrumented without being pre-registered in newMetrics used to
+// capture a nil histogram and panic on their first request.
+func (m *metrics) histFor(route string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[route]
+	if !ok {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	return h
+}
+
+// latencySnapshot captures every route's histogram under the map lock.
+func (m *metrics) latencySnapshot() map[string]histogramSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]histogramSnapshot, len(m.latency))
+	for route, h := range m.latency {
+		out[route] = h.snapshot()
+	}
+	return out
+}
+
 // instrument wraps h to record the endpoint's latency histogram.
 func (m *metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	hist := m.latency[route]
+	hist := m.histFor(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		h(w, r)

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestInstrumentUnlistedRoute pins the metrics nil-deref fix: instrument
+// used to capture m.latency[route] directly, so wrapping any route that
+// was not pre-registered in newMetrics panicked on its first request.
+// Unlisted routes must now get a lazily-created histogram and show up in
+// the latency snapshot alongside the registered ones.
+func TestInstrumentUnlistedRoute(t *testing.T) {
+	m := newMetrics([]string{"GET /listed"})
+	h := m.instrument("GET /unlisted", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/unlisted", nil)) // used to panic
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusNoContent)
+	}
+
+	snap := m.latencySnapshot()
+	if _, ok := snap["GET /listed"]; !ok {
+		t.Error("registered route missing from snapshot")
+	}
+	unlisted, ok := snap["GET /unlisted"]
+	if !ok {
+		t.Fatal("lazily-instrumented route missing from snapshot")
+	}
+	if unlisted.Count != 1 {
+		t.Errorf("unlisted route count = %d, want 1", unlisted.Count)
+	}
+}
+
+// TestInstrumentSameRouteTwice checks that two wrappers for the same
+// route share one histogram rather than clobbering each other.
+func TestInstrumentSameRouteTwice(t *testing.T) {
+	m := newMetrics(nil)
+	ok := func(w http.ResponseWriter, r *http.Request) {}
+	h1 := m.instrument("GET /x", ok)
+	h2 := m.instrument("GET /x", ok)
+	for _, h := range []http.HandlerFunc{h1, h2} {
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/x", nil))
+	}
+	if got := m.latencySnapshot()["GET /x"].Count; got != 2 {
+		t.Errorf("shared histogram count = %d, want 2", got)
+	}
+}

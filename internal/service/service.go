@@ -42,6 +42,11 @@ type Config struct {
 	// MaxN bounds the array length accepted by /v1/synthesize (0 = 5;
 	// the packed state machine additionally requires n+m ≤ 7).
 	MaxN int
+	// SearchWorkers sets enum.Options.Workers for every search
+	// (0 = GOMAXPROCS; 1 forces the sequential engine). The parallel
+	// engine's results are identical for every worker count, and the
+	// cache key excludes Workers, so this only tunes throughput.
+	SearchWorkers int
 }
 
 // Server is the sortsynthd HTTP handler. Create it with New, serve it
@@ -67,6 +72,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxN <= 0 {
 		cfg.MaxN = 5
+	}
+	if cfg.SearchWorkers <= 0 {
+		cfg.SearchWorkers = runtime.GOMAXPROCS(0)
 	}
 	cache, err := kcache.New(cfg.CacheDir, cfg.CacheSize)
 	if err != nil {

@@ -230,6 +230,7 @@ func TestSynthesizeMalformedRequests(t *testing.T) {
 		{"negative m", `{"n": 3, "m": -1}`},
 		{"no known bound", `{"n": 3, "m": 2}`},
 		{"max_solutions without all", `{"n": 3, "max_solutions": 5}`},
+		{"max_len beyond depth limit", `{"n": 3, "max_len": 251}`},
 	}
 	for _, tc := range cases {
 		resp, blob := postJSON(t, ts.URL+"/v1/synthesize", tc.body)

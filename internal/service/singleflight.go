@@ -15,6 +15,13 @@ type flight struct {
 	err     error
 	waiters int
 	cancel  context.CancelFunc
+	// cancelled is set, under the group mutex, when the last waiter
+	// detached and the flight's context was torn down. A cancelled
+	// flight may still sit in the group map for a moment before its
+	// completion goroutine removes it; joiners must not attach to it —
+	// they would inherit a spurious cancellation — and start a
+	// replacement flight instead.
+	cancelled bool
 }
 
 // flightGroup coalesces concurrent synthesis calls per key, so a
@@ -38,36 +45,52 @@ func newFlightGroup(base context.Context) *flightGroup {
 // an earlier caller. If ctx is cancelled while waiting, the caller
 // detaches with ctx.Err(); the detachment of the last waiter cancels the
 // flight's context, which stops the underlying search promptly.
+//
+// The last-waiter check and the cancellation happen under the group
+// mutex as one atomic step. Cancelling outside the lock would race with
+// a late joiner: it could attach between the waiters==0 check and the
+// cancel call and have its flight killed under it.
 func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (*kcache.Entry, error)) (entry *kcache.Entry, shared bool, err error) {
 	g.mu.Lock()
 	f, joined := g.m[key]
+	if joined && f.cancelled {
+		joined = false // doomed flight: start a replacement below
+	}
 	if !joined {
 		fctx, cancel := context.WithCancel(g.base)
-		f = &flight{done: make(chan struct{}), cancel: cancel}
-		g.m[key] = f
+		nf := &flight{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = nf
 		go func() {
-			f.entry, f.err = fn(fctx)
+			nf.entry, nf.err = fn(fctx)
 			g.mu.Lock()
-			delete(g.m, key)
+			// A cancelled flight may already have been replaced in the
+			// map by a fresh one; only remove our own entry.
+			if g.m[key] == nf {
+				delete(g.m, key)
+			}
 			g.mu.Unlock()
 			cancel()
-			close(f.done)
+			close(nf.done)
 		}()
+		f = nf
 	}
 	f.waiters++
 	g.mu.Unlock()
 
 	select {
 	case <-f.done:
+		g.mu.Lock()
+		f.waiters--
+		g.mu.Unlock()
 		return f.entry, joined, f.err
 	case <-ctx.Done():
 		g.mu.Lock()
 		f.waiters--
-		last := f.waiters == 0
-		g.mu.Unlock()
-		if last {
+		if f.waiters == 0 && !f.cancelled {
+			f.cancelled = true
 			f.cancel()
 		}
+		g.mu.Unlock()
 		return nil, joined, ctx.Err()
 	}
 }

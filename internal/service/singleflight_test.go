@@ -125,6 +125,121 @@ func TestFlightGroupCancelsWhenLastWaiterLeaves(t *testing.T) {
 	wg.Wait()
 }
 
+// TestFlightGroupLateJoinerGetsFreshFlight pins the fix for a race in
+// the last-waiter teardown: cancellation used to happen outside the
+// group mutex after the waiters==0 check, so a caller joining in that
+// window attached to a flight whose context was about to be cancelled
+// and got a spurious failure. The fix cancels under the mutex and marks
+// the flight, and a joiner that still finds the marked flight in the map
+// (its completion goroutine is deliberately held up here, keeping the
+// dead flight visible) must start a fresh one instead.
+func TestFlightGroupLateJoinerGetsFreshFlight(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	var calls atomic.Int64
+	holdFirst := make(chan struct{})
+	fn := func(ctx context.Context) (*kcache.Entry, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done()
+			<-holdFirst // keep the cancelled flight in the map
+			return nil, ctx.Err()
+		}
+		return &kcache.Entry{Length: 7}, nil
+	}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctxA, "k", fn)
+		aDone <- err
+	}()
+	for {
+		g.mu.Lock()
+		f := g.m["k"]
+		ready := f != nil && f.waiters == 1
+		g.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelA()
+	if err := <-aDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller A err = %v, want canceled", err)
+	}
+	// A's detach marked the flight cancelled before Do returned, and the
+	// held-up fn keeps it in the map: the next caller sees exactly the
+	// doomed-flight state the original race produced.
+	g.mu.Lock()
+	f := g.m["k"]
+	g.mu.Unlock()
+	if f == nil || !f.cancelled {
+		t.Fatalf("cancelled flight not visible in the map (flight=%v)", f)
+	}
+
+	e, shared, err := g.Do(context.Background(), "k", fn)
+	if err != nil || e == nil || e.Length != 7 {
+		t.Fatalf("late joiner: entry=%v err=%v, want fresh successful flight", e, err)
+	}
+	if shared {
+		t.Error("late joiner reported shared=true, want a fresh flight")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("fn ran %d times, want 2", calls.Load())
+	}
+	close(holdFirst)
+	// The first flight's completion goroutine must not delete the map
+	// entry of any newer flight for the key (the delete is guarded).
+	g.mu.Lock()
+	stale := g.m["k"] == f
+	g.mu.Unlock()
+	if stale {
+		t.Error("cancelled flight still mapped after replacement")
+	}
+}
+
+// TestFlightGroupWaitersReturnToZero pins the success-path bookkeeping:
+// completing callers decrement waiters too, so the count drains to zero
+// rather than leaking upward forever.
+func TestFlightGroupWaitersReturnToZero(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (*kcache.Entry, error) {
+		<-release
+		return &kcache.Entry{}, nil
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := g.Do(context.Background(), "k", fn); err != nil {
+				t.Errorf("Do err = %v", err)
+			}
+		}()
+	}
+	var f *flight
+	for {
+		g.mu.Lock()
+		f = g.m["k"]
+		ready := f != nil && f.waiters == n
+		g.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	g.mu.Lock()
+	waiters := f.waiters
+	g.mu.Unlock()
+	if waiters != 0 {
+		t.Errorf("waiters = %d after all callers returned, want 0", waiters)
+	}
+}
+
 func TestFlightGroupBaseContextCancelsFlights(t *testing.T) {
 	base, cancelBase := context.WithCancel(context.Background())
 	g := newFlightGroup(base)

@@ -147,6 +147,11 @@ func (s *Server) buildOptions(set *isa.Set, req *synthesizeRequest) (enum.Option
 	}
 	opt.DuplicateSafe = req.DuplicateSafe
 	opt.MaxLen = req.MaxLen
+	if opt.MaxLen > enum.MaxDepth {
+		// Reject up front: the engines would return the same typed error,
+		// but this way it is a plain 400 before any flight is created.
+		return opt, fmt.Errorf("max_len %d exceeds the engine depth limit %d", req.MaxLen, enum.MaxDepth)
+	}
 	if opt.MaxLen == 0 {
 		l, ok := knownOptimalLength(set)
 		if !ok {
@@ -154,8 +159,10 @@ func (s *Server) buildOptions(set *isa.Set, req *synthesizeRequest) (enum.Option
 		}
 		opt.MaxLen = l
 	}
-	// The server-side wall cap. Excluded from the cache key, so it never
-	// fragments the artifact space.
+	// Worker count and the server-side wall cap are serving-layer tuning
+	// knobs: both are excluded from the cache key, so they never fragment
+	// the artifact space.
+	opt.Workers = s.cfg.SearchWorkers
 	opt.Timeout = s.cfg.SearchTimeout
 	return opt, nil
 }
@@ -194,6 +201,8 @@ func (s *Server) runSearch(ctx context.Context, key kcache.Key, set *isa.Set, op
 	s.metrics.nodesExpanded.Add(res.Expanded)
 
 	switch {
+	case res.Err != nil:
+		return nil, res.Err
 	case res.Cancelled:
 		s.metrics.searchesCancelled.Add(1)
 		return nil, errShuttingDown
@@ -226,7 +235,12 @@ func (s *Server) runSearch(ctx context.Context, key kcache.Key, set *isa.Set, op
 // writeSearchError maps flight errors onto HTTP statuses.
 func (s *Server) writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
 	var noKernel noKernelError
+	var depthErr *enum.DepthLimitError
 	switch {
+	case errors.As(err, &depthErr):
+		// Normally rejected in buildOptions before a flight starts; this
+		// is the engines' own guard surfacing as a client error.
+		writeError(w, http.StatusBadRequest, "%v", err)
 	case r.Context().Err() != nil:
 		// The client is gone; the status is for the log only.
 		writeError(w, http.StatusRequestTimeout, "client disconnected: %v", err)

@@ -154,6 +154,14 @@ func bitsFor(n int) int {
 // NumTags returns the number of goal tags (1 for the permutation suite).
 func (m *Machine) NumTags() int { return m.numTags }
 
+// PackedBits returns the number of low bits of an Asg this machine can
+// populate: flags, register nibbles, and the goal tag. Callers sizing
+// direct-indexed tables over assignments use this instead of the full 32
+// bits.
+func (m *Machine) PackedBits() int {
+	return int(m.tagShift) + bitsFor(m.numTags)
+}
+
 // Tag extracts the goal tag of an assignment.
 func (m *Machine) Tag(a Asg) int { return int(a >> m.tagShift) }
 
@@ -307,11 +315,80 @@ func (m *Machine) Initial() State { return m.initial }
 // successor state. The result is appended to dst[:0] (pass nil to
 // allocate); dst must not alias s.
 func (m *Machine) Apply(dst State, s State, in isa.Instr) State {
-	dst = dst[:0]
-	for _, a := range s {
-		dst = append(dst, m.Step(a, in))
-	}
+	dst = m.ApplyRaw(dst, s, in)
 	Canonicalize(&dst)
+	return dst
+}
+
+// ApplyRaw is Apply without the canonicalization pass: the result keeps
+// s's element order and may contain duplicate assignments. Per-assignment
+// predicates (AllSorted, MaxDist, AllViable) are order- and
+// duplicate-insensitive, so the search runs them on the raw successor and
+// canonicalizes only the candidates that survive pruning — the sort is a
+// quarter of the search profile otherwise. PermCount and Hash/HashKey
+// still require a canonical state. The op dispatch is hoisted out of the
+// per-assignment loop: this is the innermost call of the enumerative
+// search and runs millions of times per synthesis.
+func (m *Machine) ApplyRaw(dst State, s State, in isa.Instr) State {
+	if cap(dst) < len(s) {
+		dst = make(State, len(s))
+	} else {
+		dst = dst[:len(s)]
+	}
+	shD, shS := m.shift[in.Dst], m.shift[in.Src]
+	switch in.Op {
+	case isa.Mov:
+		for i, a := range s {
+			v := (a >> shS) & 0xF
+			dst[i] = a&^(0xF<<shD) | v<<shD
+		}
+	case isa.Cmp:
+		for i, a := range s {
+			va := (a >> shD) & 0xF
+			vb := (a >> shS) & 0xF
+			a &^= flagLT | flagGT
+			if va < vb {
+				a |= flagLT
+			} else if va > vb {
+				a |= flagGT
+			}
+			dst[i] = a
+		}
+	case isa.Cmovl:
+		for i, a := range s {
+			if a&flagLT != 0 {
+				v := (a >> shS) & 0xF
+				a = a&^(0xF<<shD) | v<<shD
+			}
+			dst[i] = a
+		}
+	case isa.Cmovg:
+		for i, a := range s {
+			if a&flagGT != 0 {
+				v := (a >> shS) & 0xF
+				a = a&^(0xF<<shD) | v<<shD
+			}
+			dst[i] = a
+		}
+	case isa.Min:
+		for i, a := range s {
+			if vb := (a >> shS) & 0xF; vb < (a>>shD)&0xF {
+				a = a&^(0xF<<shD) | vb<<shD
+			}
+			dst[i] = a
+		}
+	case isa.Max:
+		for i, a := range s {
+			if vb := (a >> shS) & 0xF; vb > (a>>shD)&0xF {
+				a = a&^(0xF<<shD) | vb<<shD
+			}
+			dst[i] = a
+		}
+	default:
+		for i, a := range s {
+			dst[i] = m.Step(a, in)
+		}
+	}
 	return dst
 }
 
@@ -378,6 +455,140 @@ func (m *Machine) PermCount(s State) int {
 	return count
 }
 
+// ApplyDist fuses ApplyRaw with the distance-budget prune: it executes
+// in on every assignment of s and, as each successor assignment is
+// produced, looks its sorting distance up in dist (indexed by
+// lutLo[a&0xFFFF] + lutHi[a>>16], the bit-decomposition the tables
+// package precomputes). The moment an assignment's distance exceeds
+// budget the whole candidate is dead, so ApplyDist returns ok=false
+// without touching the remaining assignments — for the majority of
+// generated candidates this skips roughly half the apply work and the
+// entire re-scan a separate DistExceeds pass would do. budget must be
+// nonnegative and below the table's dead markers (the search's depth
+// budget always is); dead assignments then fail the same comparison.
+//
+// On ok=true the result is exactly ApplyRaw's (raw order, duplicates
+// kept) and MaxDist(result) ≤ budget. A sorted assignment has distance
+// zero, so solution states always pass.
+func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutLo, lutHi []uint32, budget int) (State, bool) {
+	if cap(dst) < len(s) {
+		dst = make(State, len(s))
+	} else {
+		dst = dst[:len(s)]
+	}
+	b := uint8(budget)
+	shD, shS := m.shift[in.Dst], m.shift[in.Src]
+	switch in.Op {
+	case isa.Mov:
+		for i, a := range s {
+			v := (a >> shS) & 0xF
+			a = a&^(0xF<<shD) | v<<shD
+			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+				return dst, false
+			}
+			dst[i] = a
+		}
+	case isa.Cmp:
+		for i, a := range s {
+			va := (a >> shD) & 0xF
+			vb := (a >> shS) & 0xF
+			a &^= flagLT | flagGT
+			if va < vb {
+				a |= flagLT
+			} else if va > vb {
+				a |= flagGT
+			}
+			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+				return dst, false
+			}
+			dst[i] = a
+		}
+	case isa.Cmovl:
+		for i, a := range s {
+			if a&flagLT != 0 {
+				v := (a >> shS) & 0xF
+				a = a&^(0xF<<shD) | v<<shD
+			}
+			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+				return dst, false
+			}
+			dst[i] = a
+		}
+	case isa.Cmovg:
+		for i, a := range s {
+			if a&flagGT != 0 {
+				v := (a >> shS) & 0xF
+				a = a&^(0xF<<shD) | v<<shD
+			}
+			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+				return dst, false
+			}
+			dst[i] = a
+		}
+	case isa.Min:
+		for i, a := range s {
+			if vb := (a >> shS) & 0xF; vb < (a>>shD)&0xF {
+				a = a&^(0xF<<shD) | vb<<shD
+			}
+			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+				return dst, false
+			}
+			dst[i] = a
+		}
+	case isa.Max:
+		for i, a := range s {
+			if vb := (a >> shS) & 0xF; vb > (a>>shD)&0xF {
+				a = a&^(0xF<<shD) | vb<<shD
+			}
+			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+				return dst, false
+			}
+			dst[i] = a
+		}
+	default:
+		for i, a := range s {
+			a = m.Step(a, in)
+			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+				return dst, false
+			}
+			dst[i] = a
+		}
+	}
+	return dst, true
+}
+
+// PermCountExceeds reports whether s has more than limit distinct
+// permutation projections. Unlike PermCount it accepts a raw
+// (non-canonical) successor state, so the search can apply the cut test
+// before paying for canonicalization; it errs only on the side of false
+// (callers re-check with the exact PermCount after canonicalizing), and
+// exits as soon as the count passes limit.
+func (m *Machine) PermCountExceeds(s State, limit int) bool {
+	if limit >= len(s) || limit >= 64 {
+		return false
+	}
+	var seen [64]Asg // stack-allocated: the method must be goroutine-safe
+	cnt := 0
+	for _, a := range s {
+		p := a >> m.permShift
+		dup := false
+		for _, q := range seen[:cnt] {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if cnt == limit {
+				return true
+			}
+			seen[cnt] = p
+			cnt++
+		}
+	}
+	return false
+}
+
 // AllViable reports whether every assignment of s is viable.
 func (m *Machine) AllViable(s State) bool {
 	for _, a := range s {
@@ -388,23 +599,26 @@ func (m *Machine) AllViable(s State) bool {
 	return true
 }
 
-// FNV-1a constants for the two independent state hashes.
+// Constants for the two independent state hashes.
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211
 	altOffset64 = 0x9e3779b97f4a7c15 // splitmix64 golden-gamma offset
-	altPrime64  = 0x00000100000001b3 // same prime, different offset + final mix
+	finalMix64  = 0xd6e8feb86659fd93 // xorshift-multiply avalanche constant
 )
 
-// Hash returns a 64-bit FNV-1a hash of the canonical state.
+// Hash returns a 64-bit hash of the canonical state: word-at-a-time
+// FNV-1a over the packed assignments with a final avalanche. (The
+// per-byte FNV variant costs four multiplies per assignment and was a
+// measurable slice of the search profile.)
 func Hash(s State) uint64 {
 	h := uint64(fnvOffset64)
 	for _, a := range s {
-		h = (h ^ uint64(a&0xFF)) * fnvPrime64
-		h = (h ^ uint64(a>>8&0xFF)) * fnvPrime64
-		h = (h ^ uint64(a>>16&0xFF)) * fnvPrime64
-		h = (h ^ uint64(a>>24&0xFF)) * fnvPrime64
+		h = (h ^ uint64(a)) * fnvPrime64
 	}
+	h ^= h >> 32
+	h *= finalMix64
+	h ^= h >> 32
 	return h
 }
 
@@ -413,18 +627,30 @@ func Hash(s State) uint64 {
 // soundness concern.
 type Key128 struct{ Hi, Lo uint64 }
 
-// HashKey returns the 128-bit dedup key of the canonical state.
+// Shard maps the key onto one of 1<<bits shards using the high bits of
+// Hi. The high bits of a well-mixed hash are uniform, so shards balance;
+// and because sharding is a pure function of the key, every candidate
+// with the same key lands in the same shard — the property the parallel
+// merge's per-shard deduplication relies on.
+func (k Key128) Shard(bits uint) int { return int(k.Hi >> (64 - bits)) }
+
+// HashKey returns the 128-bit dedup key of the canonical state: Lo is
+// Hash(s), Hi an independent splitmix-style mix, both computed in a
+// single fused pass.
 func HashKey(s State) Key128 {
-	lo := Hash(s)
-	h := uint64(altOffset64)
+	lo := uint64(fnvOffset64)
+	hi := uint64(altOffset64)
 	for _, a := range s {
-		h ^= uint64(a)
-		h *= altPrime64
-		h ^= h >> 29
-		h *= 0xbf58476d1ce4e5b9
+		lo = (lo ^ uint64(a)) * fnvPrime64
+		hi ^= uint64(a)
+		hi *= 0xbf58476d1ce4e5b9
+		hi ^= hi >> 29
 	}
-	h ^= h >> 32
-	return Key128{Hi: h, Lo: lo}
+	lo ^= lo >> 32
+	lo *= finalMix64
+	lo ^= lo >> 32
+	hi ^= hi >> 32
+	return Key128{Hi: hi, Lo: lo}
 }
 
 // Clone returns a copy of s.

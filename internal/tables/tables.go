@@ -55,6 +55,13 @@ type Table struct {
 	base  uint32    // (n+1)^regs
 	dist  []uint8
 	first []Mask
+
+	// index(a) is linear over the bits of a (each packed field contributes
+	// weight(bit)·bitvalue), so it splits into two precomputed lookups —
+	// the per-register decomposition loop is far too hot for the search's
+	// per-candidate MaxDist and GuideMask calls.
+	lutLo []uint32 // index contribution of bits 0..15
+	lutHi []uint32 // index contribution of bits 16..PackedBits-1
 }
 
 var (
@@ -76,14 +83,42 @@ func For(m *state.Machine) *Table {
 	return t
 }
 
-// index maps a packed assignment to its compact table index.
+// index maps a packed assignment to its compact table index via the
+// bit-decomposition lookup tables.
 func (t *Table) index(a state.Asg) uint32 {
+	return t.lutLo[a&0xFFFF] + t.lutHi[a>>16]
+}
+
+// slowIndex is the reference index computation: decompose the packed
+// assignment field by field. Used to seed the lookup tables (and by the
+// tests as the oracle for index).
+func (t *Table) slowIndex(a state.Asg) uint32 {
 	regs := t.m.Set.Regs()
 	idx := (uint32(t.m.Tag(a))*4 + uint32(a&3)) * t.base
 	for i := 0; i < regs; i++ {
 		idx += uint32(t.m.Reg(a, i)) * t.npow[i]
 	}
 	return idx
+}
+
+// buildLUT tabulates the two index halves. slowIndex is linear over
+// disjoint bit fields with slowIndex(0) = 0, so the weight of bit b is
+// slowIndex(1<<b) and each half is a subset-sum table over its bits.
+func (t *Table) buildLUT() {
+	bits := t.m.PackedBits()
+	lo := min(bits, 16)
+	t.lutLo = make([]uint32, 1<<16)
+	for x := 1; x < 1<<lo; x++ {
+		t.lutLo[x] = t.lutLo[x&(x-1)] + t.slowIndex(state.Asg(x&-x))
+	}
+	hiSize := 1
+	if bits > 16 {
+		hiSize = 1 << (bits - 16)
+	}
+	t.lutHi = make([]uint32, hiSize)
+	for x := 1; x < hiSize; x++ {
+		t.lutHi[x] = t.lutHi[x&(x-1)] + t.slowIndex(state.Asg(x&-x)<<16)
+	}
 }
 
 func build(m *state.Machine) *Table {
@@ -95,6 +130,7 @@ func build(m *state.Machine) *Table {
 		t.npow[i] = t.npow[i-1] * uint32(n+1)
 	}
 	t.base = t.npow[regs]
+	t.buildLUT()
 	// Flag codes 0..2 used (3 allocated for indexing simplicity), one
 	// block per goal tag.
 	size := int(t.base) * 4 * m.NumTags()
@@ -224,6 +260,26 @@ func (t *Table) MaxDist(s state.State) int {
 		}
 	}
 	return max
+}
+
+// DistLUT exposes the distance table and the index-decomposition lookups
+// for state.ApplyDist, the search's fused apply+prune kernel.
+func (t *Table) DistLUT() (dist []uint8, lutLo, lutHi []uint32) {
+	return t.dist, t.lutLo, t.lutHi
+}
+
+// DistExceeds reports whether any assignment of s is dead or needs more
+// than budget further instructions — i.e. whether MaxDist(s) > budget,
+// with an early exit on the first offending assignment. budget must be
+// below Infinite-1 (the search's depth bound always is), which lets the
+// dead markers fall out of the same comparison.
+func (t *Table) DistExceeds(s state.State, budget int) bool {
+	for _, a := range s {
+		if int(t.dist[t.lutLo[a&0xFFFF]+t.lutHi[a>>16]]) > budget {
+			return true
+		}
+	}
+	return false
 }
 
 // GuideMask returns the union over the assignments of s of the
