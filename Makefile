@@ -1,10 +1,15 @@
 GO ?= go
 
-# check is the tier-1 gate: everything builds, vets clean, and the full
-# test suite (including the sortsynthd service tests) passes under the
-# race detector.
+# check is the tier-1 gate: everything builds (cmd/ included), vets
+# clean, the full test suite (including the sortsynthd service tests)
+# passes under the race detector, and the backend portfolio race smoke
+# test (n=3, enum vs stoke) runs explicitly under -race.
 .PHONY: check
-check: build vet race
+check: build vet race smoke
+
+.PHONY: smoke
+smoke:
+	$(GO) test -race -run TestPortfolioSmoke ./internal/backend
 
 .PHONY: build
 build:
@@ -24,7 +29,8 @@ race:
 
 # bench runs the kernel microbenchmarks plus the synthesis-throughput
 # benchmark (n=3 and n=4, best configuration, at 1 / GOMAXPROCS / 8
-# workers), which writes BENCH_enum.json at the repository root.
+# workers, plus a portfolio race row), which writes backend-labelled
+# measurements to BENCH_enum.json at the repository root.
 .PHONY: bench
 bench: bench-kernels bench-enum
 

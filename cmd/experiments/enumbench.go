@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
+	"sortsynth/internal/backend"
 	"sortsynth/internal/bench"
 	"sortsynth/internal/enum"
 	"sortsynth/internal/isa"
+	"sortsynth/internal/stoke"
 )
 
 // seqMergeBaselineN4MS is the n=4 best-config wall time of the previous
@@ -93,8 +96,29 @@ func init() {
 				}
 			}
 		}
+		// Portfolio row: enum races stoke at n=3. The enum engine is
+		// deterministic and wins well before the chain gets lucky, so the
+		// row (winner, kernel, length) regenerates identically run to run;
+		// only the wall time and the loser's proposal count wiggle.
+		pf := backend.NewPortfolio(
+			backend.NewEnum(enum.ConfigBest()),
+			backend.NewStoke(stoke.Options{}),
+		)
+		pm, err := bench.MeasureBackend(pf, isa.NewCmov(3, 1),
+			backend.Spec{MaxLen: 11, Seed: 1}, time.Minute, 3)
+		if err != nil {
+			return fmt.Errorf("portfolio n=3: %w", err)
+		}
+		rep.Measurements = append(rep.Measurements, pm)
+		t.row("3", fmt.Sprintf("race(%d)", len(pf.Backends())),
+			fmt.Sprintf("%.1fms", pm.WallMS),
+			fmt.Sprint(pm.Expanded),
+			fmt.Sprintf("%.0f", pm.ExpandedPerSec),
+			fmt.Sprint(pm.Length))
+
 		t.flush(c.w)
 		c.printf("\nparallel kernels byte-identical across worker counts: %v\n", rep.IdenticalAcrossWorkers)
+		c.printf("portfolio (enum vs stoke) winner at n=3: %s\n", pm.Winner)
 		if rep.SpeedupVsSeqMergeN4 > 0 {
 			c.printf("n=4 ×8 vs sequential-merge parallel baseline (%.0f ms): %.2fx\n",
 				seqMergeBaselineN4MS, rep.SpeedupVsSeqMergeN4)

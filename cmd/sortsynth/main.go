@@ -8,16 +8,21 @@
 //	sortsynth -n 3 -dupsafe              # kernel that also sorts ties
 //	sortsynth -n 3 -prove 10             # prove no kernel of length ≤ 10
 //	sortsynth -verify "mov s1 r2; ..." -n 2
+//	sortsynth -n 3 -backend smt          # synthesize through the SMT backend
+//	sortsynth -n 3 -portfolio enum,stoke # race backends, keep the first verified win
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"sortsynth"
+	"sortsynth/internal/backend"
 	"sortsynth/internal/enum"
 )
 
@@ -39,6 +44,12 @@ func main() {
 		workers = flag.Int("workers", 1, "parallel level-synchronous workers")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		quiet   = flag.Bool("q", false, "print only the kernel")
+
+		backendName = flag.String("backend", "enum",
+			"synthesis backend: one of the registry names ("+strings.Join(backend.Default().Names(), ", ")+")")
+		portfolioList = flag.String("portfolio", "",
+			"race a comma-separated list of backends (or \"all\") and keep the first verified kernel")
+		seed = flag.Int64("seed", 0, "seed for the randomized backends (stoke, mcts)")
 	)
 	flag.Parse()
 
@@ -114,6 +125,14 @@ func main() {
 		}
 	}
 
+	if *portfolioList != "" || *backendName != "enum" {
+		if *all {
+			log.Fatal("-all applies only to the default enum backend")
+		}
+		runBackend(set, *n, bound, *backendName, *portfolioList, *seed, *dupsafe, *timeout, *asm, *quiet)
+		return
+	}
+
 	opt := enum.ConfigBest()
 	opt.MaxLen = bound
 	opt.DuplicateSafe = *dupsafe
@@ -170,4 +189,76 @@ func main() {
 			res.Length, res.Elapsed.Round(time.Millisecond), res.Expanded, a.Score, a.Throughput)
 	}
 	fmt.Print(emit(res.Program))
+}
+
+// runBackend synthesizes through the backend registry: a single named
+// backend, or a portfolio race over a comma-separated list ("all" races
+// every non-portfolio backend). Correctness is checked centrally by
+// backend.Run; a printed kernel is always verified.
+func runBackend(set *sortsynth.Set, n, bound int, name, portfolio string, seed int64, dupsafe bool, timeout time.Duration, asm, quiet bool) {
+	reg := backend.Default()
+	spec := backend.Spec{MaxLen: bound, Seed: seed, DuplicateSafe: dupsafe}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var res *backend.Result
+	var err error
+	if portfolio != "" {
+		var members []backend.Backend
+		names := strings.Split(portfolio, ",")
+		if portfolio == "all" {
+			names = nil
+			for _, bn := range reg.Names() {
+				if bn != "portfolio" {
+					names = append(names, bn)
+				}
+			}
+		}
+		for _, bn := range names {
+			b, gerr := reg.Get(strings.TrimSpace(bn))
+			if gerr != nil {
+				log.Fatal(gerr)
+			}
+			members = append(members, b)
+		}
+		res, err = backend.Run(ctx, backend.NewPortfolio(members...), set, spec)
+	} else {
+		res, err = reg.Synthesize(ctx, name, set, spec)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if res.Status != backend.StatusFound {
+		for _, e := range res.Race {
+			log.Printf("  %-6s %-10s %v", e.Backend, e.Status, e.Stats.Elapsed.Round(time.Millisecond))
+		}
+		log.Fatalf("%s: %s after %v (no kernel of length ≤ %d)",
+			res.Backend, res.Status, res.Stats.Elapsed.Round(time.Millisecond), bound)
+	}
+	if !quiet {
+		who := res.Backend
+		if res.Winner != "" {
+			who = res.Winner + " (won the race)"
+		}
+		opt := ""
+		if res.Optimal {
+			opt = ", minimality certified"
+		}
+		fmt.Printf("# length %d via %s, %v%s\n",
+			res.Length, who, res.Stats.Elapsed.Round(time.Millisecond), opt)
+		for _, e := range res.Race {
+			fmt.Printf("#   %-6s %-10s %v\n", e.Backend, e.Status, e.Stats.Elapsed.Round(time.Millisecond))
+		}
+	}
+	if asm {
+		fmt.Print(sortsynth.AsmX86(set, res.Program))
+	} else {
+		fmt.Print(res.Program.Format(n) + "\n")
+	}
 }

@@ -1,0 +1,208 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/stoke"
+	"sortsynth/internal/verify"
+)
+
+// fakeBackend scripts a Backend for harness tests.
+type fakeBackend struct {
+	name string
+	fn   func(ctx context.Context, set *isa.Set, spec Spec) (*Result, error)
+}
+
+func (b *fakeBackend) Name() string { return b.name }
+func (b *fakeBackend) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	return b.fn(ctx, set, spec)
+}
+
+// correctKernel synthesizes the optimal n=2 kernel (milliseconds) so
+// fakes have a genuinely correct program to claim.
+func correctKernel(t *testing.T, set *isa.Set) isa.Program {
+	t.Helper()
+	opt := enum.ConfigBest()
+	opt.MaxLen = 4
+	r := enum.Run(set, opt)
+	if r.Err != nil || r.Program == nil {
+		t.Fatalf("setup synthesis failed: %v (len %d)", r.Err, r.Length)
+	}
+	return r.Program
+}
+
+func TestRunFlagsIncorrectProgram(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	good := correctKernel(t, set)
+	// The optimal kernel minus its last instruction cannot sort (length
+	// 4 is minimal), making it a deliberately-wrong StatusFound claim.
+	wrong := good[:len(good)-1]
+	if verify.Counterexample(set, wrong) == nil {
+		t.Fatal("truncated kernel unexpectedly sorts; broken test setup")
+	}
+	liar := &fakeBackend{name: "liar", fn: func(context.Context, *isa.Set, Spec) (*Result, error) {
+		return &Result{Backend: "liar", Status: StatusFound, Program: wrong, Length: len(wrong)}, nil
+	}}
+	res, err := Run(context.Background(), liar, set, Spec{MaxLen: 4})
+	if err == nil {
+		t.Fatalf("Run accepted an incorrect program: %+v", res)
+	}
+	var inc *IncorrectError
+	if !errors.As(err, &inc) {
+		t.Fatalf("want *IncorrectError, got %T: %v", err, err)
+	}
+	if inc.Backend != "liar" || inc.Input == nil {
+		t.Fatalf("bad IncorrectError: %+v", inc)
+	}
+}
+
+func TestRegistryUnknownNameTypedError(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(&fakeBackend{name: "only"})
+	_, err := reg.Get("nosuch")
+	var unknown *UnknownBackendError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want *UnknownBackendError, got %T: %v", err, err)
+	}
+	if unknown.Name != "nosuch" || len(unknown.Known) != 1 || unknown.Known[0] != "only" {
+		t.Fatalf("bad UnknownBackendError: %+v", unknown)
+	}
+	// Synthesize must surface the same typed error.
+	if _, err := reg.Synthesize(context.Background(), "nosuch", isa.NewCmov(2, 1), Spec{}); !errors.As(err, &unknown) {
+		t.Fatalf("Synthesize: want *UnknownBackendError, got %T: %v", err, err)
+	}
+}
+
+func TestDefaultRegistryHasAllSevenBackends(t *testing.T) {
+	want := []string{"cp", "enum", "ilp", "mcts", "plan", "portfolio", "smt", "stoke"}
+	got := Default().Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPortfolioCancelsLosers(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	good := correctKernel(t, set)
+	winner := &fakeBackend{name: "win", fn: func(ctx context.Context, _ *isa.Set, _ Spec) (*Result, error) {
+		return &Result{Backend: "win", Status: StatusFound, Program: good, Length: len(good)}, nil
+	}}
+	observed := make(chan time.Duration, 1)
+	loser := &fakeBackend{name: "lose", fn: func(ctx context.Context, _ *isa.Set, _ Spec) (*Result, error) {
+		start := time.Now()
+		select {
+		case <-ctx.Done():
+			observed <- time.Since(start)
+			return &Result{Backend: "lose", Status: stopStatus(ctx)}, nil
+		case <-time.After(5 * time.Second):
+			return &Result{Backend: "lose", Status: StatusExhausted}, nil
+		}
+	}}
+	res, err := Run(context.Background(), NewPortfolio(winner, loser), set, Spec{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusFound || res.Winner != "win" {
+		t.Fatalf("want win by %q, got status %v winner %q", "win", res.Status, res.Winner)
+	}
+	select {
+	case wait := <-observed:
+		if wait > time.Second {
+			t.Fatalf("loser saw cancellation only after %v", wait)
+		}
+	default:
+		t.Fatal("loser never observed cancellation")
+	}
+	if len(res.Race) != 2 || res.Race[1].Status != StatusCancelled {
+		t.Fatalf("race table %+v, want loser cancelled", res.Race)
+	}
+}
+
+func TestPortfolioAllTimeoutNoGoroutineLeak(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	block := func(name string) *fakeBackend {
+		return &fakeBackend{name: name, fn: func(ctx context.Context, _ *isa.Set, _ Spec) (*Result, error) {
+			<-ctx.Done()
+			return &Result{Backend: name, Status: stopStatus(ctx)}, nil
+		}}
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, NewPortfolio(block("a"), block("b"), block("c")), set, Spec{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusTimedOut {
+		t.Fatalf("status %v, want %v", res.Status, StatusTimedOut)
+	}
+	for _, e := range res.Race {
+		if e.Status != StatusTimedOut {
+			t.Fatalf("race entry %+v, want timed-out", e)
+		}
+	}
+	// Synthesize waits for every racer before returning, so the
+	// goroutine count settles back immediately; poll briefly to absorb
+	// unrelated runtime churn.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before race, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPortfolioAggregateRefutationWins(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	refuter := &fakeBackend{name: "refute", fn: func(context.Context, *isa.Set, Spec) (*Result, error) {
+		return &Result{Backend: "refute", Status: StatusNoProgram}, nil
+	}}
+	spent := &fakeBackend{name: "spent", fn: func(context.Context, *isa.Set, Spec) (*Result, error) {
+		return &Result{Backend: "spent", Status: StatusExhausted}, nil
+	}}
+	res, err := Run(context.Background(), NewPortfolio(refuter, spent), set, Spec{MaxLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusNoProgram {
+		t.Fatalf("aggregate status %v, want %v (a sound refutation beats a spent budget)",
+			res.Status, StatusNoProgram)
+	}
+}
+
+// TestPortfolioSmoke races two real engines (enum vs stoke) at n=3 —
+// the `make check` smoke test, run under -race there.
+func TestPortfolioSmoke(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	pf := NewPortfolio(NewEnum(enum.ConfigBest()), NewStoke(stoke.Options{}))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := Run(ctx, pf, set, Spec{MaxLen: 11, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusFound {
+		t.Fatalf("race found nothing: %v (race %+v)", res.Status, res.Race)
+	}
+	if res.Winner == "" || len(res.Program) == 0 || res.Length != len(res.Program) {
+		t.Fatalf("malformed winning result: %+v", res)
+	}
+	if ce := verify.Counterexample(set, res.Program); ce != nil {
+		t.Fatalf("winner fails on %v", ce)
+	}
+}

@@ -1,0 +1,144 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sortsynth/internal/isa"
+)
+
+// Portfolio races several backends concurrently under one context and
+// returns the first centrally verified kernel, cancelling the losers.
+//
+// Cancellation protocol: every racer runs under a child context that is
+// cancelled the moment a verified winner arrives (or the caller's
+// context ends). Synthesize then waits for every racer goroutine to
+// observe the cancellation and return before it itself returns, so a
+// finished portfolio never leaks goroutines or background CPU work.
+type Portfolio struct {
+	backends []Backend
+}
+
+// NewPortfolio builds a portfolio over the given backends (at least
+// one; racing fewer than two is permitted but pointless).
+func NewPortfolio(bs ...Backend) *Portfolio {
+	if len(bs) == 0 {
+		panic("backend: NewPortfolio needs at least one backend")
+	}
+	return &Portfolio{backends: bs}
+}
+
+// Name implements Backend.
+func (p *Portfolio) Name() string { return "portfolio" }
+
+// Backends returns the racers' names in race order.
+func (p *Portfolio) Backends() []string {
+	names := make([]string, len(p.backends))
+	for i, b := range p.backends {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// Synthesize implements Backend: it races all member backends, each
+// through Run (so every candidate winner is verified before it can stop
+// the race), and reports the per-backend outcomes in Result.Race.
+//
+// With no winner, the aggregate status is the strongest verdict any
+// racer reached: a sound refutation (StatusNoProgram) beats a spent
+// budget (StatusExhausted), which beats a timeout or cancellation. If
+// every racer failed with an error, the first error is returned.
+func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	start := time.Now()
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx int
+		res *Result
+		err error
+	}
+	results := make(chan outcome, len(p.backends))
+	var wg sync.WaitGroup
+	for i, b := range p.backends {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			res, err := Run(raceCtx, b, set, spec)
+			results <- outcome{idx: i, res: res, err: err}
+		}(i, b)
+	}
+
+	race := make([]RaceEntry, len(p.backends))
+	var winner *Result
+	var firstErr error
+	errCount := 0
+	for pending := len(p.backends); pending > 0; pending-- {
+		o := <-results
+		name := p.backends[o.idx].Name()
+		switch {
+		case o.err != nil:
+			race[o.idx] = RaceEntry{Backend: name, Status: StatusError, Err: o.err.Error()}
+			errCount++
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		default:
+			race[o.idx] = RaceEntry{Backend: name, Status: o.res.Status, Stats: o.res.Stats}
+			if o.res.Status == StatusFound && winner == nil {
+				winner = o.res
+				cancel() // stop the losers; keep draining their outcomes
+			}
+		}
+	}
+	wg.Wait()
+
+	// The portfolio's own Stats aggregate the racers' work: total nodes
+	// across every engine that ran, under the race's wall clock.
+	stats := Stats{Elapsed: time.Since(start)}
+	for _, e := range race {
+		stats.Nodes += e.Stats.Nodes
+		stats.Generated += e.Stats.Generated
+	}
+	res := &Result{
+		Backend: p.Name(),
+		Length:  spec.MaxLen,
+		Race:    race,
+		Stats:   stats,
+	}
+	if winner != nil {
+		res.Status = StatusFound
+		res.Program = winner.Program
+		res.Length = winner.Length
+		res.Optimal = winner.Optimal
+		res.Winner = winner.Backend
+		return res, nil
+	}
+	if errCount == len(p.backends) {
+		return nil, firstErr
+	}
+	res.Status = aggregateStatus(ctx, race)
+	return res, nil
+}
+
+// aggregateStatus picks the no-winner verdict: the strongest sound
+// claim any racer made, falling back to how the context ended.
+func aggregateStatus(ctx context.Context, race []RaceEntry) Status {
+	hasExhausted := false
+	for _, e := range race {
+		switch e.Status {
+		case StatusNoProgram:
+			return StatusNoProgram
+		case StatusExhausted:
+			hasExhausted = true
+		}
+	}
+	if ctx.Err() != nil {
+		return stopStatus(ctx)
+	}
+	if hasExhausted {
+		return StatusExhausted
+	}
+	return StatusCancelled
+}

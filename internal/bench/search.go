@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"sortsynth/internal/backend"
 	"sortsynth/internal/enum"
 	"sortsynth/internal/isa"
 )
@@ -14,9 +16,15 @@ import (
 // states per second). The kernel text is included so callers can check
 // that every worker count produced byte-identical output.
 type SearchMeasurement struct {
-	ISA            string  `json:"isa"`
-	N              int     `json:"n"`
-	Workers        int     `json:"workers"`
+	ISA string `json:"isa"`
+	N   int    `json:"n"`
+	// Backend is the registry name that produced the row ("enum" for
+	// the direct engine measurements).
+	Backend string `json:"backend"`
+	// Winner is the racing backend that produced the kernel when
+	// Backend is a portfolio; empty otherwise.
+	Winner  string `json:"winner,omitempty"`
+	Workers int    `json:"workers"`
 	MaxLen         int     `json:"max_len"`
 	Length         int     `json:"length"`
 	Kernel         string  `json:"kernel"`
@@ -51,6 +59,7 @@ func MeasureSearch(set *isa.Set, opt enum.Options, rounds int) (SearchMeasuremen
 	m := SearchMeasurement{
 		ISA:       set.Kind.String(),
 		N:         set.N,
+		Backend:   "enum",
 		Workers:   opt.Workers,
 		MaxLen:    opt.MaxLen,
 		Length:    best.Length,
@@ -61,6 +70,52 @@ func MeasureSearch(set *isa.Set, opt enum.Options, rounds int) (SearchMeasuremen
 	}
 	if sec := best.Elapsed.Seconds(); sec > 0 {
 		m.ExpandedPerSec = float64(best.Expanded) / sec
+	}
+	return m, nil
+}
+
+// MeasureBackend runs one registry backend through backend.Run rounds
+// times and reports the fastest winning run, so BENCH rows produced by
+// non-enum backends (including portfolio races) carry the same shape as
+// the direct engine measurements. Expanded aggregates the backend's
+// Stats.Nodes (expanded states, conflicts, or proposals, per backend).
+func MeasureBackend(b backend.Backend, set *isa.Set, spec backend.Spec, timeout time.Duration, rounds int) (SearchMeasurement, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var best *backend.Result
+	for r := 0; r < rounds; r++ {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		res, err := backend.Run(ctx, b, set, spec)
+		cancel()
+		if err != nil {
+			return SearchMeasurement{}, err
+		}
+		if res.Status != backend.StatusFound {
+			return SearchMeasurement{}, fmt.Errorf("%v: backend %s: %s (no kernel within %d)",
+				set, b.Name(), res.Status, spec.MaxLen)
+		}
+		if best == nil || res.Stats.Elapsed < best.Stats.Elapsed {
+			best = res
+		}
+	}
+	m := SearchMeasurement{
+		ISA:      set.Kind.String(),
+		N:        set.N,
+		Backend:  b.Name(),
+		Winner:   best.Winner,
+		MaxLen:   spec.MaxLen,
+		Length:   best.Length,
+		Kernel:   best.Program.FormatInline(set.N),
+		Expanded: best.Stats.Nodes,
+		WallMS:   float64(best.Stats.Elapsed) / float64(time.Millisecond),
+	}
+	if sec := best.Stats.Elapsed.Seconds(); sec > 0 {
+		m.ExpandedPerSec = float64(best.Stats.Nodes) / sec
 	}
 	return m, nil
 }

@@ -1,6 +1,7 @@
 package cp
 
 import (
+	"context"
 	"time"
 
 	"sortsynth/internal/isa"
@@ -206,6 +207,9 @@ type Options struct {
 type Result struct {
 	Program   isa.Program // nil if none found
 	Exhausted bool        // search tree fully explored (refutation is sound)
+	// Cancelled reports that the search stopped because the context
+	// passed to SynthesizeContext was cancelled.
+	Cancelled bool
 	Nodes     int64
 	Failures  int64
 	Solutions int64 // only set by EnumerateAll
@@ -380,13 +384,22 @@ func model(set *isa.Set, opt Options) (*Solver, []Var, func() isa.Program) {
 
 // Synthesize searches for one program of the given length.
 func Synthesize(set *isa.Set, opt Options) *Result {
+	return SynthesizeContext(context.Background(), set, opt)
+}
+
+// SynthesizeContext is Synthesize with cancellation: the DFS polls ctx
+// alongside its node/time budgets, so a cancelled context stops solver
+// work promptly and is reported via Result.Cancelled.
+func SynthesizeContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 	start := time.Now()
 	s, branch, decode := model(set, opt)
+	s.Stop = func() bool { return ctx.Err() != nil }
 	res := &Result{}
 	if s.Solve(branch) {
 		res.Program = decode()
 	}
 	res.Exhausted = s.Exhausted()
+	res.Cancelled = !res.Exhausted && res.Program == nil && ctx.Err() != nil
 	res.Nodes, res.Failures = s.Nodes, s.Failures
 	res.Elapsed = time.Since(start)
 	return res

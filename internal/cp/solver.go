@@ -67,6 +67,12 @@ type Solver struct {
 	MaxNodes int64
 	Timeout  time.Duration
 
+	// Stop, when non-nil, is polled alongside the deadline check (every
+	// 64 nodes); returning true aborts the search with Exhausted() false.
+	// This is how callers plumb context cancellation into the DFS loop
+	// without the solver importing context itself.
+	Stop func() bool
+
 	Nodes     int64
 	Failures  int64
 	deadline  time.Time
@@ -199,6 +205,9 @@ func (s *Solver) budgetStop() bool {
 		return true
 	}
 	if !s.deadline.IsZero() && s.Nodes%64 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	if s.Stop != nil && s.Nodes%64 == 0 && s.Stop() {
 		return true
 	}
 	return false

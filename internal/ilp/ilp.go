@@ -53,6 +53,12 @@ type Solver struct {
 	MaxNodes int64
 	Timeout  time.Duration
 
+	// Stop, when non-nil, is polled alongside the deadline check (every
+	// 64 nodes); returning true aborts the search with Exhausted() false.
+	// This is how callers plumb context cancellation into branch & bound
+	// without the solver importing context itself.
+	Stop func() bool
+
 	Nodes     int64
 	deadline  time.Time
 	exhausted bool
@@ -290,6 +296,10 @@ func (s *Solver) dfs(branch []Var) bool {
 		return false
 	}
 	if !s.deadline.IsZero() && s.Nodes%64 == 0 && time.Now().After(s.deadline) {
+		s.exhausted = false
+		return false
+	}
+	if s.Stop != nil && s.Nodes%64 == 0 && s.Stop() {
 		s.exhausted = false
 		return false
 	}

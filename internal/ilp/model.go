@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"time"
 
 	"sortsynth/internal/isa"
@@ -21,6 +22,9 @@ type Options struct {
 type Result struct {
 	Program   isa.Program
 	Exhausted bool
+	// Cancelled reports that the search stopped because the context
+	// passed to SynthesizeContext was cancelled.
+	Cancelled bool
 	Nodes     int64
 	Vars      int
 	Cons      int
@@ -35,6 +39,13 @@ type Result struct {
 // linearization), and big-M coupling of values across timesteps. The
 // goal is the "= 123" formulation.
 func Synthesize(set *isa.Set, opt Options) *Result {
+	return SynthesizeContext(context.Background(), set, opt)
+}
+
+// SynthesizeContext is Synthesize with cancellation: branch & bound polls
+// ctx alongside its node/time budgets, so a cancelled context stops
+// solver work promptly and is reported via Result.Cancelled.
+func SynthesizeContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 	start := time.Now()
 	s := NewSolver()
 	n, r := set.N, set.Regs()
@@ -189,6 +200,7 @@ func Synthesize(set *isa.Set, opt Options) *Result {
 
 	s.MaxNodes = opt.MaxNodes
 	s.Timeout = opt.Timeout
+	s.Stop = func() bool { return ctx.Err() != nil }
 	res := &Result{Vars: len(s.lo), Cons: len(s.cons)}
 	if s.Solve(branch) {
 		p := make(isa.Program, opt.Length)
@@ -203,6 +215,7 @@ func Synthesize(set *isa.Set, opt Options) *Result {
 		res.Program = p
 	}
 	res.Exhausted = s.Exhausted()
+	res.Cancelled = !res.Exhausted && res.Program == nil && ctx.Err() != nil
 	res.Nodes = s.Nodes
 	res.Elapsed = time.Since(start)
 	return res

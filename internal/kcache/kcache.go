@@ -19,6 +19,10 @@ type Entry struct {
 	// a wrong answer.
 	Key string `json:"key"`
 
+	// Backend is the registry name of the synthesizer that produced the
+	// kernel ("" on entries predating the backend field means "enum").
+	Backend string `json:"backend,omitempty"`
+
 	// Program is the synthesized kernel in the textual ISA syntax.
 	Program string `json:"program"`
 	// Programs holds the enumerated kernels in AllSolutions mode.

@@ -22,16 +22,40 @@ type Key struct {
 	ISA string // "cmov" or "minmax"
 	N   int    // sorted registers (array length)
 	M   int    // scratch registers
-	Opt enum.Options
+	// Backend is the registry name of the synthesizer ("" is
+	// normalized to "enum", the historical default). Different
+	// backends can produce different (all correct) kernels for the
+	// same instance, so the name is part of the content address.
+	Backend string
+	// Seed disambiguates runs of the randomized backends (stoke,
+	// mcts); deterministic backends leave it 0.
+	Seed int64
+	Opt  enum.Options
 }
 
-// KeyFor builds the cache key for a synthesis run on set with opt.
+// KeyFor builds the cache key for an enum synthesis run on set with
+// opt (Backend "enum", Seed 0).
 func KeyFor(set *isa.Set, opt enum.Options) Key {
 	name := "cmov"
 	if set.Kind == isa.KindMinMax {
 		name = "minmax"
 	}
 	return Key{ISA: name, N: set.N, M: set.M, Opt: opt}
+}
+
+// KeyForBackend builds the cache key for a synthesis run through the
+// named registry backend. The enum option fields beyond MaxLen and
+// DuplicateSafe do not apply to other backends and stay zero.
+func KeyForBackend(set *isa.Set, backendName string, maxLen int, seed int64, duplicateSafe bool) Key {
+	name := "cmov"
+	if set.Kind == isa.KindMinMax {
+		name = "minmax"
+	}
+	return Key{
+		ISA: name, N: set.N, M: set.M,
+		Backend: backendName, Seed: seed,
+		Opt: enum.Options{MaxLen: maxLen, DuplicateSafe: duplicateSafe},
+	}
 }
 
 // Canonical returns the canonical text form of the key — the string that
@@ -50,7 +74,8 @@ func KeyFor(set *isa.Set, opt enum.Options) Key {
 //     is the same.
 //
 // Normalizations keep distinct spellings of the same search identical:
-// a zero Weight means 1, and CutK is meaningless when the cut is off.
+// a zero Weight means 1, CutK is meaningless when the cut is off, and
+// an empty Backend means "enum".
 func (k Key) Canonical() string {
 	o := k.Opt
 	w := o.Weight
@@ -61,8 +86,13 @@ func (k Key) Canonical() string {
 	if o.Cut == enum.CutNone {
 		cutK = 0
 	}
+	be := k.Backend
+	if be == "" {
+		be = "enum"
+	}
 	return fmt.Sprintf(
-		"v1|isa=%s|n=%d|m=%d|heur=%d|w=%s|cut=%d|k=%s|dist=%t|guide=%t|erase=%t|maxlen=%d|all=%t|maxsols=%d|dupsafe=%t",
+		"v2|backend=%s|seed=%d|isa=%s|n=%d|m=%d|heur=%d|w=%s|cut=%d|k=%s|dist=%t|guide=%t|erase=%t|maxlen=%d|all=%t|maxsols=%d|dupsafe=%t",
+		be, k.Seed,
 		k.ISA, k.N, k.M,
 		o.Heuristic,
 		strconv.FormatFloat(w, 'g', -1, 64),

@@ -1,0 +1,51 @@
+package mcts
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sortsynth/internal/isa"
+)
+
+// TestRunContextCancelReturnsPromptly proves the UCT iteration loop
+// honours context cancellation: it polls ctx every 256 iterations, so a
+// cancel mid-run must surface within ~10ms, not after the iteration
+// budget drains.
+func TestRunContextCancelReturnsPromptly(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *Result, 1)
+	go func() {
+		// A budget that would run for minutes if cancellation leaked.
+		done <- RunContext(ctx, set, Options{MaxLen: 14, Seed: 1, Iterations: 1 << 40})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the search get going
+	start := time.Now()
+	cancel()
+	select {
+	case r := <-done:
+		if wait := time.Since(start); wait > time.Second {
+			t.Fatalf("RunContext returned %v after cancel, want ~10ms (1s bound absorbs CI load)", wait)
+		}
+		if !r.Cancelled {
+			t.Fatalf("result not marked cancelled: %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancellation")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	r := RunContext(ctx, set, Options{MaxLen: 14, Seed: 1, Iterations: 1 << 40})
+	if wait := time.Since(start); wait > time.Second {
+		t.Fatalf("RunContext on a dead context took %v, want ~instant", wait)
+	}
+	if !r.Cancelled || r.Program != nil {
+		t.Fatalf("want cancelled empty result, got %+v", r)
+	}
+}

@@ -13,6 +13,7 @@
 package mcts
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -42,7 +43,10 @@ type Result struct {
 	Iterations int64
 	Nodes      int
 	BestReward float64
-	Elapsed    time.Duration
+	// Cancelled reports that the search stopped because the context
+	// passed to RunContext was cancelled.
+	Cancelled bool
+	Elapsed   time.Duration
 }
 
 type node struct {
@@ -57,6 +61,14 @@ type node struct {
 
 // Run executes MCTS until a correct kernel is found or the budget ends.
 func Run(set *isa.Set, opt Options) *Result {
+	return RunContext(context.Background(), set, opt)
+}
+
+// RunContext is Run with cancellation: the iteration loop polls ctx
+// alongside the wall-clock deadline (every 256 iterations), so a
+// cancelled context stops CPU work within a few milliseconds and is
+// reported via Result.Cancelled.
+func RunContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	m := state.NewMachine(set)
@@ -123,8 +135,14 @@ func Run(set *isa.Set, opt Options) *Result {
 	}
 
 	for ; res.Iterations < iters; res.Iterations++ {
-		if !deadline.IsZero() && res.Iterations%512 == 0 && time.Now().After(deadline) {
-			break
+		if res.Iterations%256 == 0 {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
 		}
 		// Selection.
 		cur := int32(0)

@@ -17,6 +17,7 @@ package plan
 
 import (
 	"container/heap"
+	"context"
 	"math/bits"
 	"time"
 )
@@ -140,6 +141,9 @@ type Result struct {
 	Generated int64
 	Elapsed   time.Duration
 	Exhausted bool
+	// Cancelled reports that the search stopped because the context
+	// passed to SolveContext was cancelled.
+	Cancelled bool
 }
 
 type planNode struct {
@@ -174,6 +178,14 @@ func (q *pq) Pop() any {
 
 // Solve searches for a plan.
 func Solve(p *Problem, opt Options) *Result {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext is Solve with cancellation: the expansion loop polls ctx
+// alongside the wall-clock deadline (every 64 expansions), so a
+// cancelled context stops planner work promptly and is reported via
+// Result.Cancelled.
+func SolveContext(ctx context.Context, p *Problem, opt Options) *Result {
 	start := time.Now()
 	var deadline time.Time
 	if opt.Timeout > 0 {
@@ -205,9 +217,16 @@ func Solve(p *Problem, opt Options) *Result {
 			res.Elapsed = time.Since(start)
 			return res
 		}
-		if !deadline.IsZero() && res.Expanded%128 == 0 && time.Now().After(deadline) {
-			res.Elapsed = time.Since(start)
-			return res
+		if res.Expanded%64 == 0 {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				res.Elapsed = time.Since(start)
+				return res
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.Elapsed = time.Since(start)
+				return res
+			}
 		}
 		it := heap.Pop(&open).(pqItem)
 		nd := &nodes[it.id]

@@ -115,6 +115,12 @@ type Solver struct {
 	MaxConflicts int64
 	Timeout      time.Duration
 
+	// Stop, when non-nil, is polled alongside the deadline check (every
+	// 256 conflicts); returning true aborts Solve with Unknown. This is
+	// how callers plumb context cancellation into the CDCL loop without
+	// the solver importing context itself.
+	Stop func() bool
+
 	seen     []bool
 	deadline time.Time
 }
@@ -439,6 +445,9 @@ func (s *Solver) budgetExceeded() bool {
 		return true
 	}
 	if !s.deadline.IsZero() && s.stats.Conflicts%256 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	if s.Stop != nil && s.stats.Conflicts%256 == 0 && s.Stop() {
 		return true
 	}
 	return false

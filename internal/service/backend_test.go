@@ -1,0 +1,76 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeUnknownBackend400(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, blob := postJSON(t, ts.URL+"/v1/synthesize", `{"isa":"cmov","n":2,"backend":"nosuch"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, blob)
+	}
+	if !strings.Contains(string(blob), `unknown backend \"nosuch\"`) {
+		t.Fatalf("error body %s does not name the unknown backend", blob)
+	}
+}
+
+func TestSynthesizeBackendFieldCacheKeyAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	sr := synthesize(t, ts.URL, `{"isa":"cmov","n":2,"backend":"smt"}`)
+	if sr.Backend != "smt" || sr.Cached || sr.Length != 4 {
+		t.Fatalf("smt response %+v, want fresh backend=smt length=4", sr)
+	}
+
+	// The backend name is part of the cache key, so the same request
+	// hits the smt artifact while an enum request misses it.
+	if again := synthesize(t, ts.URL, `{"isa":"cmov","n":2,"backend":"smt"}`); !again.Cached || again.Backend != "smt" {
+		t.Fatalf("repeat smt request %+v, want cached backend=smt", again)
+	}
+	if viaEnum := synthesize(t, ts.URL, `{"isa":"cmov","n":2}`); viaEnum.Cached || viaEnum.Backend != "enum" {
+		t.Fatalf("enum request %+v, want a fresh search (distinct cache key)", viaEnum)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Backends map[string]struct {
+			Started   int64 `json:"started"`
+			Completed int64 `json:"completed"`
+			Found     int64 `json:"found"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"smt", "enum"} {
+		bc, ok := m.Backends[name]
+		if !ok {
+			t.Fatalf("/metrics backends missing %q: %+v", name, m.Backends)
+		}
+		if bc.Started < 1 || bc.Completed < 1 || bc.Found < 1 {
+			t.Fatalf("backend %q counters %+v, want started/completed/found ≥ 1", name, bc)
+		}
+	}
+}
+
+func TestSynthesizeBackendRejectsEnumOnlyOptions(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"isa":"cmov","n":2,"backend":"smt","all":true}`,
+		`{"isa":"cmov","n":2,"backend":"smt","config":"base"}`,
+		`{"isa":"cmov","n":2,"backend":"cp","seed":7}`,
+	} {
+		resp, blob := postJSON(t, ts.URL+"/v1/synthesize", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", body, resp.StatusCode, blob)
+		}
+	}
+}

@@ -210,7 +210,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"coalesced":      m.coalesced.Load(),
 			"nodes_expanded": m.nodesExpanded.Load(),
 		},
-		"latency": latency,
+		"backends": m.backendsSnapshot(),
+		"latency":  latency,
 	})
 }
 

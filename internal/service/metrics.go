@@ -78,6 +78,70 @@ type metrics struct {
 
 	mu      sync.Mutex            // guards latency (histograms are self-synchronizing)
 	latency map[string]*histogram // keyed by route pattern
+
+	bmu      sync.Mutex // guards backends (counters are self-synchronizing)
+	backends map[string]*backendCounters
+}
+
+// backendCounters tracks one registry backend's synthesis outcomes and
+// latency, surfaced under "backends" in /metrics.
+type backendCounters struct {
+	started   atomic.Int64
+	completed atomic.Int64
+	found     atomic.Int64
+	noKernel  atomic.Int64 // no-program proofs and exhausted budgets
+	cancelled atomic.Int64
+	timedOut  atomic.Int64
+	errors    atomic.Int64
+	latency   histogram
+}
+
+// backendSnapshot is one backend's counters in the /metrics JSON.
+type backendSnapshot struct {
+	Started   int64             `json:"started"`
+	Completed int64             `json:"completed"`
+	Found     int64             `json:"found"`
+	NoKernel  int64             `json:"no_kernel"`
+	Cancelled int64             `json:"cancelled"`
+	TimedOut  int64             `json:"timed_out"`
+	Errors    int64             `json:"errors"`
+	Latency   histogramSnapshot `json:"latency"`
+}
+
+// backendFor returns the named backend's counters, creating them on
+// first use.
+func (m *metrics) backendFor(name string) *backendCounters {
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	if m.backends == nil {
+		m.backends = make(map[string]*backendCounters)
+	}
+	bc, ok := m.backends[name]
+	if !ok {
+		bc = &backendCounters{}
+		m.backends[name] = bc
+	}
+	return bc
+}
+
+// backendsSnapshot captures every backend's counters under the map lock.
+func (m *metrics) backendsSnapshot() map[string]backendSnapshot {
+	m.bmu.Lock()
+	defer m.bmu.Unlock()
+	out := make(map[string]backendSnapshot, len(m.backends))
+	for name, bc := range m.backends {
+		out[name] = backendSnapshot{
+			Started:   bc.started.Load(),
+			Completed: bc.completed.Load(),
+			Found:     bc.found.Load(),
+			NoKernel:  bc.noKernel.Load(),
+			Cancelled: bc.cancelled.Load(),
+			TimedOut:  bc.timedOut.Load(),
+			Errors:    bc.errors.Load(),
+			Latency:   bc.latency.snapshot(),
+		}
+	}
+	return out
 }
 
 func newMetrics(routes []string) *metrics {

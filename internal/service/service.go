@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"sortsynth/internal/backend"
 	"sortsynth/internal/isa"
 	"sortsynth/internal/kcache"
 )
@@ -58,6 +59,7 @@ type Server struct {
 	flights    *flightGroup
 	sem        chan struct{} // bounded search worker pool
 	metrics    *metrics
+	registry   *backend.Registry
 	mux        *http.ServeMux
 	baseCancel context.CancelFunc
 }
@@ -86,6 +88,7 @@ func New(cfg Config) (*Server, error) {
 		cache:      cache,
 		flights:    newFlightGroup(base),
 		sem:        make(chan struct{}, cfg.MaxConcurrentSearches),
+		registry:   backend.Default(),
 		mux:        http.NewServeMux(),
 		baseCancel: cancel,
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"sortsynth/internal/backend"
 	"sortsynth/internal/enum"
 	"sortsynth/internal/isa"
 	"sortsynth/internal/kcache"
@@ -22,8 +23,19 @@ type synthesizeRequest struct {
 	// for the set (an error if none is known).
 	MaxLen int `json:"max_len"`
 
+	// Backend selects the synthesizer from the backend registry:
+	// "enum" (default), "smt", "cp", "ilp", "stoke", "mcts", "plan" or
+	// "portfolio". Unknown names are a 400. The name participates in
+	// the cache key, so different backends never share an artifact.
+	Backend string `json:"backend"`
+
+	// Seed seeds the randomized backends (stoke, mcts, portfolio);
+	// ignored (and excluded from the cache key) for deterministic ones.
+	Seed int64 `json:"seed"`
+
 	// Config selects the search configuration: "best" (default, paper
 	// config III), "base", "dijkstra", or "distmax" (admissible A*).
+	// Only meaningful for the enum backend.
 	Config string `json:"config"`
 
 	DuplicateSafe bool `json:"duplicate_safe"`
@@ -53,6 +65,7 @@ type synthesizeResponse struct {
 	Programs      []string    `json:"programs,omitempty"`
 	Length        int         `json:"length"`
 	SolutionCount int64       `json:"solution_count"`
+	Backend       string      `json:"backend"`
 	Cached        bool        `json:"cached"`
 	Coalesced     bool        `json:"coalesced,omitempty"`
 	Key           string      `json:"key"`
@@ -84,12 +97,42 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opt, err := s.buildOptions(set, &req)
-	if err != nil {
+	beName := req.Backend
+	if beName == "" {
+		beName = "enum"
+	}
+	if !s.registry.Has(beName) {
+		_, err := s.registry.Get(beName) // *backend.UnknownBackendError
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := kcache.KeyFor(set, opt)
+
+	// The enum backend keeps the full option surface (configs, all-
+	// solutions enumeration); every other backend takes the reduced
+	// Spec and runs through the registry.
+	var key kcache.Key
+	var run func(fctx context.Context) (*kcache.Entry, error)
+	if beName == "enum" {
+		opt, err := s.buildOptions(set, &req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key = kcache.KeyFor(set, opt)
+		run = func(fctx context.Context) (*kcache.Entry, error) {
+			return s.runSearch(fctx, key, set, opt)
+		}
+	} else {
+		spec, err := s.buildSpec(set, beName, &req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key = kcache.KeyForBackend(set, beName, spec.MaxLen, spec.Seed, spec.DuplicateSafe)
+		run = func(fctx context.Context) (*kcache.Entry, error) {
+			return s.runBackend(fctx, key, set, beName, spec)
+		}
+	}
 	hash := key.Hash()
 
 	if e, ok := s.cache.Get(key); ok {
@@ -108,9 +151,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	entry, shared, err := s.flights.Do(ctx, hash, func(fctx context.Context) (*kcache.Entry, error) {
-		return s.runSearch(fctx, key, set, opt)
-	})
+	entry, shared, err := s.flights.Do(ctx, hash, run)
 	if shared {
 		s.metrics.coalesced.Add(1)
 	}
@@ -167,6 +208,50 @@ func (s *Server) buildOptions(set *isa.Set, req *synthesizeRequest) (enum.Option
 	return opt, nil
 }
 
+// buildSpec maps the request onto a backend.Spec for the non-enum
+// backends, rejecting the enum-only knobs up front.
+func (s *Server) buildSpec(set *isa.Set, beName string, req *synthesizeRequest) (backend.Spec, error) {
+	var spec backend.Spec
+	if req.Config != "" {
+		return spec, fmt.Errorf("config applies only to the enum backend (got backend %q)", beName)
+	}
+	if req.All || req.MaxSolutions != 0 {
+		return spec, fmt.Errorf("all/max_solutions apply only to the enum backend (got backend %q)", beName)
+	}
+	if req.DuplicateSafe {
+		return spec, fmt.Errorf("duplicate_safe applies only to the enum backend (got backend %q)", beName)
+	}
+	spec.MaxLen = req.MaxLen
+	if spec.MaxLen > enum.MaxDepth {
+		return spec, fmt.Errorf("max_len %d exceeds the engine depth limit %d", req.MaxLen, enum.MaxDepth)
+	}
+	if spec.MaxLen == 0 {
+		l, ok := knownOptimalLength(set)
+		if !ok {
+			return spec, fmt.Errorf("no known optimal length for %s; pass max_len", set)
+		}
+		spec.MaxLen = l
+	}
+	// A seed only changes the artifact for the randomized backends;
+	// normalizing it to 0 elsewhere keeps the cache unfragmented.
+	if randomizedBackend(beName) {
+		spec.Seed = req.Seed
+	} else if req.Seed != 0 {
+		return spec, fmt.Errorf("seed applies only to the randomized backends (got backend %q)", beName)
+	}
+	return spec, nil
+}
+
+// randomizedBackend reports whether the backend's artifact depends on
+// Spec.Seed ("portfolio" races randomized members).
+func randomizedBackend(name string) bool {
+	switch name {
+	case "stoke", "mcts", "portfolio":
+		return true
+	}
+	return false
+}
+
 // knownOptimalLength mirrors sortsynth.KnownOptimalLength (the root
 // package cannot be imported from internal/ without a cycle).
 func knownOptimalLength(set *isa.Set) (int, bool) {
@@ -195,25 +280,35 @@ func (s *Server) runSearch(ctx context.Context, key kcache.Key, set *isa.Set, op
 
 	s.metrics.searchesStarted.Add(1)
 	s.metrics.inFlight.Add(1)
+	bc := s.metrics.backendFor("enum")
+	bc.started.Add(1)
 	res := enum.RunContext(ctx, set, opt)
 	s.metrics.inFlight.Add(-1)
 	s.metrics.searchesCompleted.Add(1)
 	s.metrics.nodesExpanded.Add(res.Expanded)
+	bc.completed.Add(1)
+	bc.latency.observe(res.Elapsed)
 
 	switch {
 	case res.Err != nil:
+		bc.errors.Add(1)
 		return nil, res.Err
 	case res.Cancelled:
 		s.metrics.searchesCancelled.Add(1)
+		bc.cancelled.Add(1)
 		return nil, errShuttingDown
 	case res.TimedOut:
 		s.metrics.searchesTimedOut.Add(1)
+		bc.timedOut.Add(1)
 		return nil, errSearchTimeout
 	case res.Length < 0:
+		bc.noKernel.Add(1)
 		return nil, noKernelError{bound: opt.MaxLen}
 	}
+	bc.found.Add(1)
 
 	entry := &kcache.Entry{
+		Backend:       "enum",
 		Program:       res.Program.Format(set.N),
 		Length:        res.Length,
 		SolutionCount: res.SolutionCount,
@@ -232,9 +327,90 @@ func (s *Server) runSearch(ctx context.Context, key kcache.Key, set *isa.Set, op
 	return entry, nil
 }
 
+// runBackend executes one coalesced non-enum synthesis through the
+// backend registry under the bounded worker pool. Correctness of the
+// winner is checked centrally inside backend.Run — no verification
+// happens here.
+func (s *Server) runBackend(ctx context.Context, key kcache.Key, set *isa.Set, beName string, spec backend.Spec) (*kcache.Entry, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	// The registry engines bound their own budgets; the server-side
+	// wall cap applies uniformly, like SearchTimeout on the enum path.
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.SearchTimeout)
+	defer cancel()
+
+	s.metrics.searchesStarted.Add(1)
+	s.metrics.inFlight.Add(1)
+	bc := s.metrics.backendFor(beName)
+	bc.started.Add(1)
+	res, err := s.registry.Synthesize(ctx, beName, set, spec)
+	s.metrics.inFlight.Add(-1)
+	s.metrics.searchesCompleted.Add(1)
+	bc.completed.Add(1)
+
+	if err != nil {
+		bc.errors.Add(1)
+		return nil, err
+	}
+	bc.latency.observe(res.Stats.Elapsed)
+	s.metrics.nodesExpanded.Add(res.Stats.Nodes)
+
+	switch res.Status {
+	case backend.StatusFound:
+		// fall through to the entry below
+	case backend.StatusCancelled:
+		s.metrics.searchesCancelled.Add(1)
+		bc.cancelled.Add(1)
+		return nil, errShuttingDown
+	case backend.StatusTimedOut:
+		s.metrics.searchesTimedOut.Add(1)
+		bc.timedOut.Add(1)
+		return nil, errSearchTimeout
+	case backend.StatusNoProgram:
+		bc.noKernel.Add(1)
+		return nil, noKernelError{bound: spec.MaxLen}
+	default: // StatusExhausted
+		bc.noKernel.Add(1)
+		return nil, budgetExhaustedError{backend: beName, bound: spec.MaxLen}
+	}
+	bc.found.Add(1)
+
+	entry := &kcache.Entry{
+		Backend:       beName,
+		Program:       res.Program.Format(set.N),
+		Length:        res.Length,
+		SolutionCount: 1,
+		Expanded:      res.Stats.Nodes,
+		Generated:     res.Stats.Generated,
+		ElapsedNS:     int64(res.Stats.Elapsed),
+	}
+	if err := s.cache.Put(key, entry); err != nil {
+		_ = err // memory tier still serves it; see runSearch
+	}
+	return entry, nil
+}
+
+// budgetExhaustedError reports a backend that spent its search budget
+// without finding a kernel or proving none exists — unlike
+// noKernelError this is not a refutation.
+type budgetExhaustedError struct {
+	backend string
+	bound   int
+}
+
+func (e budgetExhaustedError) Error() string {
+	return fmt.Sprintf("backend %s exhausted its budget without a kernel of length ≤ %d (no refutation)", e.backend, e.bound)
+}
+
 // writeSearchError maps flight errors onto HTTP statuses.
 func (s *Server) writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
 	var noKernel noKernelError
+	var budgetErr budgetExhaustedError
 	var depthErr *enum.DepthLimitError
 	switch {
 	case errors.As(err, &depthErr):
@@ -250,17 +426,26 @@ func (s *Server) writeSearchError(w http.ResponseWriter, r *http.Request, err er
 		writeError(w, http.StatusServiceUnavailable, "%v", errShuttingDown)
 	case errors.As(err, &noKernel):
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.As(err, &budgetErr):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 	default:
+		// Includes *backend.IncorrectError: a backend bug, never a
+		// client error, so it surfaces as a 500.
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }
 
 func responseFor(e *kcache.Entry, hash string, cached, coalesced bool, start time.Time) synthesizeResponse {
+	be := e.Backend
+	if be == "" {
+		be = "enum" // entries written before the backend field
+	}
 	return synthesizeResponse{
 		Kernel:        e.Program,
 		Programs:      e.Programs,
 		Length:        e.Length,
 		SolutionCount: e.SolutionCount,
+		Backend:       be,
 		Cached:        cached,
 		Coalesced:     coalesced,
 		Key:           hash,

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"time"
 
 	"sortsynth/internal/isa"
@@ -14,9 +15,10 @@ type Status uint8
 
 // Verdicts.
 const (
-	Found  Status = iota // a correct program was synthesized
-	NoProg               // proven: no program of this length satisfies the goal
-	Budget               // solver budget (conflicts/time) exhausted
+	Found     Status = iota // a correct program was synthesized
+	NoProg                  // proven: no program of this length satisfies the goal
+	Budget                  // solver budget (conflicts/time) exhausted
+	Cancelled               // the context passed to a *Context entry was cancelled
 )
 
 func (s Status) String() string {
@@ -27,6 +29,8 @@ func (s Status) String() string {
 		return "no-program"
 	case Budget:
 		return "budget"
+	case Cancelled:
+		return "cancelled"
 	}
 	return "status?"
 }
@@ -69,6 +73,13 @@ type Result struct {
 // of 1..n as an example. A Found program is correct by construction
 // (§2.3: the permutation suite is complete for distinct values).
 func SynthPerm(set *isa.Set, opt Options) *Result {
+	return SynthPermContext(context.Background(), set, opt)
+}
+
+// SynthPermContext is SynthPerm with cancellation: the underlying CDCL
+// loop polls ctx alongside its conflict/time budgets, so a cancelled
+// context stops solver work promptly and is reported as Cancelled.
+func SynthPermContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 	start := time.Now()
 	in := newInstance(set, opt.Length, opt.Encoding, opt.Goal, opt.Heur)
 	examples := opt.Examples
@@ -80,6 +91,7 @@ func SynthPerm(set *isa.Set, opt Options) *Result {
 	}
 	in.e.s.MaxConflicts = opt.MaxConflicts
 	in.e.s.Timeout = opt.Timeout
+	in.e.s.Stop = func() bool { return ctx.Err() != nil }
 	res := &Result{Iterations: 1}
 	switch in.e.s.Solve() {
 	case sat.Sat:
@@ -89,6 +101,9 @@ func SynthPerm(set *isa.Set, opt Options) *Result {
 		res.Status = NoProg
 	default:
 		res.Status = Budget
+		if ctx.Err() != nil {
+			res.Status = Cancelled
+		}
 	}
 	res.Conflicts = in.e.s.Stats().Conflicts
 	res.Elapsed = time.Since(start)
@@ -101,6 +116,14 @@ func SynthPerm(set *isa.Set, opt Options) *Result {
 // execution (sound and complete here), standing in for the SMT solver's
 // model-based counterexample generation.
 func SynthCEGIS(set *isa.Set, opt Options) *Result {
+	return SynthCEGISContext(context.Background(), set, opt)
+}
+
+// SynthCEGISContext is SynthCEGIS with cancellation: the context is
+// polled between refinement rounds and inside the CDCL loop of every
+// solver call, so a cancelled context stops solver work promptly and is
+// reported as Cancelled.
+func SynthCEGISContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 	start := time.Now()
 	deadline := time.Time{}
 	if opt.Timeout > 0 {
@@ -120,8 +143,14 @@ func SynthCEGIS(set *isa.Set, opt Options) *Result {
 	pending := examples
 	for {
 		res.Iterations++
+		if ctx.Err() != nil {
+			res.Status = Cancelled
+			res.Elapsed = time.Since(start)
+			return res
+		}
 		if in == nil {
 			in = newInstance(set, opt.Length, opt.Encoding, opt.Goal, opt.Heur)
+			in.e.s.Stop = func() bool { return ctx.Err() != nil }
 			pending = examples
 		} else {
 			// Incremental: keep the formula and learned clauses, undo the
@@ -151,6 +180,9 @@ func SynthCEGIS(set *isa.Set, opt Options) *Result {
 			return res
 		case sat.Unknown:
 			res.Status = Budget
+			if ctx.Err() != nil {
+				res.Status = Cancelled
+			}
 			res.Elapsed = time.Since(start)
 			return res
 		}

@@ -17,6 +17,7 @@
 package stoke
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -51,6 +52,9 @@ type Result struct {
 	Proposals int64
 	Accepted  int64
 	BestCost  int
+	// Cancelled reports that the chain stopped because the context
+	// passed to RunContext was cancelled.
+	Cancelled bool
 	Elapsed   time.Duration
 }
 
@@ -79,6 +83,14 @@ func cost(m *state.Machine, tests []state.Asg, p isa.Program) int {
 
 // Run executes the MCMC search.
 func Run(set *isa.Set, opt Options) *Result {
+	return RunContext(context.Background(), set, opt)
+}
+
+// RunContext is Run with cancellation: the proposal loop polls ctx
+// alongside the wall-clock deadline (every 512 proposals), so a
+// cancelled context stops CPU work within a few milliseconds and is
+// reported via Result.Cancelled.
+func RunContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 	start := time.Now()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	m := state.NewMachine(set)
@@ -134,8 +146,14 @@ func Run(set *isa.Set, opt Options) *Result {
 			tests = full
 			curCost = cost(m, tests, cur)
 		}
-		if !deadline.IsZero() && res.Proposals%1024 == 0 && time.Now().After(deadline) {
-			break
+		if res.Proposals%512 == 0 {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
 		}
 		copy(cand, cur)
 		switch rng.Intn(4) {
