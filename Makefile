@@ -2,10 +2,12 @@ GO ?= go
 
 # check is the tier-1 gate: everything builds (cmd/ included), vets
 # clean, the full test suite (including the sortsynthd service tests)
-# passes under the race detector, and the backend portfolio race smoke
-# test (n=3, enum vs stoke) runs explicitly under -race.
+# passes under the race detector, the backend portfolio race smoke test
+# (n=3, enum vs stoke) runs explicitly under -race, and the enum rows of
+# BENCH_enum.json are re-measured without -race as a throughput
+# regression gate.
 .PHONY: check
-check: build vet race smoke
+check: build vet race smoke bench-compare
 
 .PHONY: smoke
 smoke:
@@ -41,3 +43,12 @@ bench-kernels:
 .PHONY: bench-enum
 bench-enum:
 	$(GO) run ./cmd/experiments -table=enumbench
+
+# bench-compare re-runs the enum measurements of the committed
+# BENCH_enum.json (same best-of-N as the baseline, no race detector)
+# and fails if any row's wall clock regressed by more than 20%.
+# Regenerate the baseline with `make bench-enum` when a slowdown is
+# intentional.
+.PHONY: bench-compare
+bench-compare:
+	$(GO) run ./cmd/experiments -table=benchcompare

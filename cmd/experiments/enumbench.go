@@ -44,6 +44,13 @@ func init() {
 	register("enumbench", "synthesis throughput at 1 / GOMAXPROCS / 8 workers (writes BENCH_enum.json)", false, func(c *ctx) error {
 		c.section("Synthesis throughput, best configuration (III)")
 
+		// Throughput rows must see the whole machine: undo any GOMAXPROCS
+		// env pinning (a GOMAXPROCS=1 environment used to freeze
+		// gomaxprocs:1 into BENCH_enum.json and serialize the parallel
+		// rows). The previous value is restored when the table finishes.
+		prev := runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(prev)
+
 		// workers=2 rides along so the byte-identity check always sees at
 		// least two parallel counts, even where GOMAXPROCS(0) == 1.
 		workerSet := []int{1, 2, runtime.GOMAXPROCS(0), 8}

@@ -103,7 +103,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ran := 0
+	ran, failures := 0, 0
 	for _, e := range experiments {
 		if !want[e.name] {
 			continue
@@ -117,11 +117,17 @@ func main() {
 		c.printf("# %s — %s\n", e.name, e.desc)
 		if err := e.run(c); err != nil {
 			log.Printf("%s: %v", e.name, err)
+			failures++
 		}
 		f.Close()
 	}
 	if ran == 0 {
 		log.Fatalf("no experiment matched %q/%q (use -list)", *table, *figure)
+	}
+	// A failing experiment fails the process so gates like benchcompare
+	// can be wired into make check.
+	if failures > 0 {
+		os.Exit(1)
 	}
 }
 

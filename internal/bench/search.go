@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"sortsynth/internal/backend"
@@ -25,6 +26,10 @@ type SearchMeasurement struct {
 	// Backend is a portfolio; empty otherwise.
 	Winner  string `json:"winner,omitempty"`
 	Workers int    `json:"workers"`
+	// GOMAXPROCS is the runtime's parallelism ceiling when this row was
+	// measured (recorded per row, not once per report, so a row taken
+	// under an env-pinned or host-limited runtime is visible as such).
+	GOMAXPROCS     int     `json:"gomaxprocs"`
 	MaxLen         int     `json:"max_len"`
 	Length         int     `json:"length"`
 	Kernel         string  `json:"kernel"`
@@ -57,16 +62,17 @@ func MeasureSearch(set *isa.Set, opt enum.Options, rounds int) (SearchMeasuremen
 		}
 	}
 	m := SearchMeasurement{
-		ISA:       set.Kind.String(),
-		N:         set.N,
-		Backend:   "enum",
-		Workers:   opt.Workers,
-		MaxLen:    opt.MaxLen,
-		Length:    best.Length,
-		Kernel:    best.Program.FormatInline(set.N),
-		Expanded:  best.Expanded,
-		Generated: best.Generated,
-		WallMS:    float64(best.Elapsed) / float64(time.Millisecond),
+		ISA:        set.Kind.String(),
+		N:          set.N,
+		Backend:    "enum",
+		Workers:    opt.Workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MaxLen:     opt.MaxLen,
+		Length:     best.Length,
+		Kernel:     best.Program.FormatInline(set.N),
+		Expanded:   best.Expanded,
+		Generated:  best.Generated,
+		WallMS:     float64(best.Elapsed) / float64(time.Millisecond),
 	}
 	if sec := best.Elapsed.Seconds(); sec > 0 {
 		m.ExpandedPerSec = float64(best.Expanded) / sec
@@ -104,15 +110,16 @@ func MeasureBackend(b backend.Backend, set *isa.Set, spec backend.Spec, timeout 
 		}
 	}
 	m := SearchMeasurement{
-		ISA:      set.Kind.String(),
-		N:        set.N,
-		Backend:  b.Name(),
-		Winner:   best.Winner,
-		MaxLen:   spec.MaxLen,
-		Length:   best.Length,
-		Kernel:   best.Program.FormatInline(set.N),
-		Expanded: best.Stats.Nodes,
-		WallMS:   float64(best.Stats.Elapsed) / float64(time.Millisecond),
+		ISA:        set.Kind.String(),
+		N:          set.N,
+		Backend:    b.Name(),
+		Winner:     best.Winner,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MaxLen:     spec.MaxLen,
+		Length:     best.Length,
+		Kernel:     best.Program.FormatInline(set.N),
+		Expanded:   best.Stats.Nodes,
+		WallMS:     float64(best.Stats.Elapsed) / float64(time.Millisecond),
 	}
 	if sec := best.Stats.Elapsed.Seconds(); sec > 0 {
 		m.ExpandedPerSec = float64(best.Stats.Nodes) / sec

@@ -1,0 +1,113 @@
+package enum
+
+import "math/bits"
+
+// openEntry is one open-list element: the node id plus the arena address
+// of its canonical state. The f-value is implicit in the bucket index and
+// g rides along for the staleness check on pop.
+type openEntry struct {
+	id  int32
+	off int32 // state = arena.At(off, n)
+	n   int32
+	g   uint8
+}
+
+// depthSlots is the number of g sub-buckets per f-value: depths run
+// 0..MaxDepth inclusive.
+const depthSlots = MaxDepth + 1
+
+// bucketQueue is the open list of the sequential engine: an array of
+// LIFO buckets indexed by the composite key
+//
+//	f·(MaxDepth+1) + (MaxDepth − g)
+//
+// so that draining buckets in index order pops f ascending with the
+// deeper-first tie-break of the old heap ordering (f asc, then g desc),
+// and LIFO within each equal-(f, g) class. Both f terms are small bounded
+// integers — g ≤ MaxDepth and the heuristic term is bounded by the state
+// suite (DESIGN.md §10) — so push and pop are O(1) array operations with
+// no comparisons and no interface boxing, unlike container/heap.
+//
+// An occupancy bitset tracks non-empty buckets; pop scans it from cur,
+// the smallest possibly-occupied key. The queue is "monotone" in the
+// Dijkstra sense but tolerates non-monotone pushes (A* with a
+// non-consistent heuristic, reopened nodes): a push below cur simply
+// rewinds the cursor.
+type bucketQueue struct {
+	buckets [][]openEntry
+	occ     []uint64
+	cur     int
+	size    int
+}
+
+// Len returns the number of queued entries.
+func (q *bucketQueue) Len() int { return q.size }
+
+// Push adds e with priority f. Negative f (impossible for the engine's
+// nonnegative g and heuristics) is clamped into the first f-band rather
+// than indexing out of range.
+func (q *bucketQueue) Push(f int32, e openEntry) {
+	k := MaxDepth - int(e.g)
+	if f > 0 {
+		k += int(f) * depthSlots
+	}
+	if k >= len(q.buckets) {
+		q.growTo(k)
+	}
+	b := q.buckets[k]
+	if len(b) == 0 {
+		q.occ[k>>6] |= 1 << uint(k&63)
+	}
+	q.buckets[k] = append(b, e)
+	if k < q.cur {
+		q.cur = k
+	}
+	q.size++
+}
+
+// Pop removes and returns the minimum entry (f ascending, deeper-first on
+// equal f, LIFO within equal (f, g)) and its f-value.
+func (q *bucketQueue) Pop() (openEntry, int32, bool) {
+	if q.size == 0 {
+		return openEntry{}, 0, false
+	}
+	// Find the first occupied bucket at or after cur. The cursor
+	// invariant (no occupied bucket below cur) makes the masked first
+	// word plus a word-at-a-time scan exact.
+	k := q.cur
+	w := k >> 6
+	if word := q.occ[w] >> uint(k&63); word != 0 {
+		k += bits.TrailingZeros64(word)
+	} else {
+		for w++; q.occ[w] == 0; w++ {
+		}
+		k = w<<6 + bits.TrailingZeros64(q.occ[w])
+	}
+	b := q.buckets[k]
+	e := b[len(b)-1]
+	q.buckets[k] = b[:len(b)-1]
+	if len(b) == 1 {
+		q.occ[k>>6] &^= 1 << uint(k&63)
+	}
+	q.cur = k
+	q.size--
+	return e, int32(k / depthSlots), true
+}
+
+// growTo extends the bucket array to cover key k. Buckets are grown
+// geometrically so repeated small f increases don't re-allocate per push.
+func (q *bucketQueue) growTo(k int) {
+	n := len(q.buckets)
+	if n == 0 {
+		n = 2 * depthSlots
+	}
+	for n <= k {
+		n *= 2
+	}
+	buckets := make([][]openEntry, n)
+	copy(buckets, q.buckets)
+	q.buckets = buckets
+	occ := make([]uint64, (n+63)/64+1) // +1: pop's word scan may read one past the last key's word
+	copy(occ, q.occ)
+	q.occ = occ
+}

@@ -20,19 +20,19 @@ import (
 //
 // Unlike the original implementation, which merged every level under a
 // single goroutine, the merge itself is parallel (DESIGN.md §8): the
-// dedup map is sharded by the high bits of the state's 128-bit hash key
-// into mergeShards independent maps, workers partition their candidates
-// by owning shard during expansion, and one merge task per shard
-// deduplicates its partition without locks. Every candidate carries its
-// global sequence number — its position in the frontier-order candidate
-// stream the old sequential merge consumed — so a final stitch pass can
-// append the surviving nodes to the path DAG in exactly that order. Node
-// IDs, extra-edge order, solution order, and therefore SolutionCount and
-// the enumerated program set are bit-for-bit independent of both the
-// worker count and the shard count.
+// dedup layer is sharded by the high bits of the state's 128-bit hash key
+// into mergeShards independent flat tables, workers partition their
+// candidates by owning shard during expansion, and one merge task per
+// shard deduplicates its partition without locks. Every candidate carries
+// its global sequence number — its position in the frontier-order
+// candidate stream the old sequential merge consumed — so a final stitch
+// pass can append the surviving nodes to the path DAG in exactly that
+// order. Node IDs, extra-edge order, solution order, and therefore
+// SolutionCount and the enumerated program set are bit-for-bit
+// independent of both the worker count and the shard count.
 
 // mergeShards is the number of dedup shards. It is a fixed constant
-// rather than the worker count so shard ownership and map layouts never
+// rather than the worker count so shard ownership and table layouts never
 // vary with Options.Workers; determinism does not require that (dedup
 // outcomes are per-key and IDs are assigned in sequence order), but it
 // keeps per-worker-count runs directly comparable.
@@ -47,7 +47,7 @@ type parCand struct {
 	key     state.Key128
 	parent  int32
 	local   int32 // per-worker candidate ordinal; global seq = base[w] + local
-	off     int32 // state = arena[off : off+n]
+	off     int32 // state = arena.At(off, n)
 	n       int32
 	pc      int32
 	instrID uint16
@@ -66,11 +66,12 @@ type pendingNode struct {
 	pc   int32
 }
 
-// mergeShard is one slice of the dedup layer: a persistent key→ID map
-// plus the per-level pending list. Provisional IDs of nodes created this
-// level are stored as -(pendIndex+1) until the stitch assigns real ones.
+// mergeShard is one slice of the dedup layer: a persistent key→ID flat
+// table plus the per-level pending list. Provisional IDs of nodes created
+// this level are stored as -(pendIndex+1) until the stitch assigns real
+// ones.
 type mergeShard struct {
-	dedup   map[state.Key128]int32
+	dedup   *flatTable
 	pend    []pendingNode
 	deduped int64
 }
@@ -91,18 +92,19 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 
 	shards := make([]mergeShard, mergeShards)
 	for i := range shards {
-		shards[i].dedup = make(map[state.Key128]int32, 1<<8)
+		shards[i].dedup = newFlatTable(1 << 8)
 	}
-	init := s.m.Initial().Clone()
+	init := s.m.Initial()
 	key0 := state.HashKey(init)
-	shards[key0.Shard(mergeShardBits)].dedup[key0] = 0
+	shards[key0.Shard(mergeShardBits)].dedup.set(key0, 0)
 
 	// Per-worker reusable buffers. Arenas double-buffer across levels:
-	// the buffers written at level g back the frontier states read at
+	// the slabs written at level g back the frontier states read at
 	// level g+1 and are recycled at level g+2.
 	buckets := make([][mergeShards][]parCand, workers)
-	arenas := make([][]state.Asg, workers)
-	arenasOld := make([][]state.Asg, workers)
+	arenas := make([]state.Arena, workers)
+	arenasOld := make([]state.Arena, workers)
+	projSets := make([]state.ProjSet, workers)
 	counts := make([]int64, workers)
 	base := make([]int64, workers+1)
 	heads := make([]int, mergeShards)
@@ -167,7 +169,9 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				bkt := &buckets[w]
-				arena := arenas[w][:0]
+				arena := &arenas[w]
+				arena.Reset()
+				projSet := &projSets[w]
 				var buf state.State
 				var local int32
 				var lgen, lpr, lcut int64
@@ -218,7 +222,7 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 							}
 						}
 						var pc int32
-						if !sorted && intLimit != math.MaxInt && m.PermCountExceeds(buf, intLimit) {
+						if !sorted && intLimit != math.MaxInt && m.PermCountExceedsSet(buf, intLimit, projSet) {
 							lcut++
 							continue
 						}
@@ -231,15 +235,14 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 							}
 						}
 						key := state.HashKey(buf)
-						off := int32(len(arena))
-						arena = append(arena, buf...)
+						off, n := arena.Save(buf)
 						si := key.Shard(mergeShardBits)
 						bkt[si] = append(bkt[si], parCand{
 							key:     key,
 							parent:  fe.id,
 							local:   local,
 							off:     off,
-							n:       int32(len(buf)),
+							n:       n,
 							pc:      pc,
 							instrID: uint16(id),
 							sorted:  sorted,
@@ -247,7 +250,6 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 						local++
 					}
 				}
-				arenas[w] = arena
 				counts[w] = int64(local)
 				mu.Lock()
 				generated += lgen
@@ -291,7 +293,8 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 					for w := 0; w < workers; w++ {
 						for ci := range buckets[w][si] {
 							c := &buckets[w][si][ci]
-							if id, ok := sh.dedup[c.key]; ok {
+							provisional := -int32(len(sh.pend)) - 1
+							if id, inserted := sh.dedup.getOrPut(c.key, provisional); !inserted {
 								sh.deduped++
 								// id < 0 marks a node created this level;
 								// nonnegative IDs are from earlier levels
@@ -304,9 +307,8 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 							}
 							var st state.State
 							if !c.sorted {
-								st = state.State(arenas[w][c.off : c.off+c.n])
+								st = arenas[w].At(c.off, c.n)
 							}
-							sh.dedup[c.key] = -int32(len(sh.pend)) - 1
 							sh.pend = append(sh.pend, pendingNode{
 								seq:  base[w] + int64(c.local),
 								node: node{edge: edge{parent: c.parent, instr: c.instrID}, g: uint8(cg), sorted: c.sorted},
@@ -347,7 +349,7 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 			heads[bestShard]++
 			id := int32(len(s.nodes))
 			s.nodes = append(s.nodes, p.node)
-			sh.dedup[p.key] = id
+			sh.dedup.set(p.key, id)
 			if p.node.sorted {
 				s.recordSolution(id, cg)
 				continue

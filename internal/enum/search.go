@@ -1,7 +1,6 @@
 package enum
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -56,8 +55,9 @@ type Result struct {
 }
 
 // MaxDepth is the deepest program length either engine can represent:
-// node depths are stored in a uint8 and the cut reference table holds one
-// slot per depth. Options.MaxLen beyond it is rejected with a
+// node depths are stored in a uint8, the cut reference table holds one
+// slot per depth, and the bucket queue carves one g sub-bucket per depth
+// out of each f-band. Options.MaxLen beyond it is rejected with a
 // *DepthLimitError instead of silently truncating the search.
 const MaxDepth = 250
 
@@ -80,33 +80,6 @@ type node struct {
 	sorted bool
 }
 
-type openItem struct {
-	f  int32
-	g  uint8
-	id int32
-	st state.State
-}
-
-type openHeap []openItem
-
-func (h openHeap) Len() int { return len(h) }
-func (h openHeap) Less(i, j int) bool {
-	if h[i].f != h[j].f {
-		return h[i].f < h[j].f
-	}
-	return h[i].g > h[j].g // deeper first on ties
-}
-func (h openHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *openHeap) Push(x any)   { *h = append(*h, x.(openItem)) }
-func (h *openHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1].st = nil
-	*h = old[:n-1]
-	return it
-}
-
 type searcher struct {
 	m   *state.Machine
 	set *isa.Set
@@ -114,8 +87,10 @@ type searcher struct {
 	opt Options
 
 	nodes    []node
-	dedup    map[state.Key128]int32
-	pq       openHeap
+	dedup    *flatTable
+	open     bucketQueue
+	arena    state.Arena
+	projSet  state.ProjSet
 	bound    int // inclusive length bound
 	bestPerm []int32
 	sols     []int32
@@ -154,10 +129,15 @@ func RunContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 		return runParallel(ctx, set, opt)
 	}
 	s := newSearcher(ctx, set, opt)
+	s.seedOpen()
 	s.search()
 	return s.finish()
 }
 
+// newSearcher builds the state shared by both engines: machine, tables,
+// bounds, the cut reference, and the root node. The sequential open list
+// and dedup table are seeded separately (seedOpen); the parallel engine
+// brings its own sharded dedup layer and frontier instead.
 func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 	suite := state.SuitePermutations
 	if opt.DuplicateSafe {
@@ -165,11 +145,10 @@ func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 	}
 	m := state.NewMachineSuite(set, suite)
 	s := &searcher{
-		m:     m,
-		set:   set,
-		opt:   opt,
-		ctx:   ctx,
-		dedup: make(map[state.Key128]int32, 1<<12),
+		m:   m,
+		set: set,
+		opt: opt,
+		ctx: ctx,
 		// "Unbounded" runs are bounded by the representable depth; no
 		// sorting kernel comes anywhere near it (n=6 needs 45), so an
 		// exhausted depth-250 search is reported as a genuine exhaustion
@@ -190,20 +169,34 @@ func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 	}
 	s.optLen = -1
 
-	init := m.Initial().Clone()
 	s.nodes = append(s.nodes, node{edge: edge{parent: -1}, g: 0})
-	s.dedup[state.HashKey(init)] = 0
-	s.bestPerm[0] = int32(m.PermCount(init))
-	heap.Push(&s.pq, openItem{f: s.priority(0, init), g: 0, id: 0, st: init})
+	s.bestPerm[0] = int32(m.PermCount(m.Initial()))
 	return s
 }
 
-// priority computes the open-list key f for a state at depth g.
-func (s *searcher) priority(g int, st state.State) int32 {
+// seedOpen initializes the sequential engine's dedup table, state arena,
+// and open list with the root state.
+func (s *searcher) seedOpen() {
+	init := s.m.Initial()
+	s.dedup = newFlatTable(1 << 12)
+	s.dedup.set(state.HashKey(init), 0)
+	off, n := s.arena.Save(init)
+	s.open.Push(s.priority(0, init, 0, false), openEntry{id: 0, off: off, n: n, g: 0})
+}
+
+// priority computes the open-list key f for a state at depth g. When the
+// cut already computed the state's permutation count, callers pass it via
+// (pc, havePC) so the permutation-count heuristic doesn't re-scan the
+// state.
+func (s *searcher) priority(g int, st state.State, pc int, havePC bool) int32 {
 	var h int
 	switch s.opt.Heuristic {
 	case HeurPermCount:
-		h = s.m.PermCount(st) - 1
+		if havePC {
+			h = pc - 1
+		} else {
+			h = s.m.PermCount(st) - 1
+		}
 	case HeurAsgCount:
 		h = len(st) - 1
 	case HeurDistMax:
@@ -218,7 +211,7 @@ func (s *searcher) priority(g int, st state.State) int32 {
 func (s *searcher) search() {
 	instrs := s.set.Instrs()
 	var sampleCountdown int64 = 1
-	for s.pq.Len() > 0 {
+	for s.open.Len() > 0 {
 		if s.opt.StateBudget > 0 && s.res.Expanded >= s.opt.StateBudget {
 			return
 		}
@@ -228,14 +221,14 @@ func (s *searcher) search() {
 				return
 			}
 			if tr := s.opt.Trace; tr != nil {
-				tr.sample(s.start, s.res, s.pq.Len(), s.solutionsSoFar())
+				tr.sample(s.start, s.res, s.open.Len(), s.solutionsSoFar())
 				sampleCountdown = tr.every()
 			} else {
 				sampleCountdown = 1024
 			}
 		}
 
-		it := heap.Pop(&s.pq).(openItem)
+		it, _, _ := s.open.Pop()
 		nd := &s.nodes[it.id]
 		if nd.g != it.g || nd.sorted {
 			continue // stale entry from a reopened node
@@ -244,18 +237,19 @@ func (s *searcher) search() {
 		if g >= s.bound {
 			continue // no extension can stay within the bound
 		}
+		st := s.arena.At(it.off, it.n)
 		s.res.Expanded++
 
 		var guide tables.Mask
 		useGuide := s.opt.UseActionGuide
 		if useGuide {
-			guide = s.tab.GuideMask(it.st)
+			guide = s.tab.GuideMask(st)
 		}
 		for id, in := range instrs {
 			if useGuide && !guide.Has(id) {
 				continue
 			}
-			s.expandChild(it.id, g, it.st, uint16(id), in)
+			s.expandChild(it.id, g, st, uint16(id), in)
 			if s.done {
 				return
 			}
@@ -325,6 +319,7 @@ func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID ui
 		}
 	}
 	var pc int
+	havePC := false
 	limit := math.Inf(1)
 	if !sorted && s.opt.Cut != CutNone {
 		if ref := s.bestPerm[g]; ref != math.MaxInt32 {
@@ -333,7 +328,7 @@ func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID ui
 			} else {
 				limit = float64(ref) + s.opt.CutK
 			}
-			if s.m.PermCountExceeds(child, int(math.Floor(limit))) {
+			if s.m.PermCountExceedsSet(child, int(math.Floor(limit)), &s.projSet) {
 				s.res.CutCount++
 				return
 			}
@@ -342,6 +337,7 @@ func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID ui
 	state.Canonicalize(&child)
 	if !sorted && s.opt.Cut != CutNone {
 		pc = s.m.PermCount(child)
+		havePC = true
 		if float64(pc) > limit {
 			s.res.CutCount++
 			return
@@ -352,41 +348,46 @@ func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID ui
 	}
 
 	key := state.HashKey(child)
-	if id, ok := s.dedup[key]; ok {
-		ex := &s.nodes[id]
+	id := int32(len(s.nodes))
+	if ex, inserted := s.dedup.getOrPut(key, id); !inserted {
+		exn := &s.nodes[ex]
 		switch {
-		case cg > int(ex.g):
+		case cg > int(exn.g):
 			s.res.Deduped++
-		case cg == int(ex.g):
+		case cg == int(exn.g):
 			s.res.Deduped++
 			if s.opt.AllSolutions {
-				ex.extra = append(ex.extra, edge{parent: parentID, instr: instrID})
+				exn.extra = append(exn.extra, edge{parent: parentID, instr: instrID})
 			}
 		default: // strictly better path to a known state (guided orders only)
-			ex.g = uint8(cg)
-			ex.edge = edge{parent: parentID, instr: instrID}
-			ex.extra = nil
-			if ex.sorted {
-				s.recordSolution(id, cg)
+			exn.g = uint8(cg)
+			exn.edge = edge{parent: parentID, instr: instrID}
+			exn.extra = nil
+			if exn.sorted {
+				s.recordSolution(ex, cg)
 			} else {
-				heap.Push(&s.pq, openItem{f: s.priority(cg, child), g: uint8(cg), id: id, st: child.Clone()})
+				s.pushOpen(ex, cg, child, pc, havePC)
 			}
 		}
 		return
 	}
 
-	id := int32(len(s.nodes))
 	s.nodes = append(s.nodes, node{
 		edge:   edge{parent: parentID, instr: instrID},
 		g:      uint8(cg),
 		sorted: sorted,
 	})
-	s.dedup[key] = id
 	if sorted {
 		s.recordSolution(id, cg)
 		return
 	}
-	heap.Push(&s.pq, openItem{f: s.priority(cg, child), g: uint8(cg), id: id, st: child.Clone()})
+	s.pushOpen(id, cg, child, pc, havePC)
+}
+
+// pushOpen copies the state into the arena and queues the node.
+func (s *searcher) pushOpen(id int32, g int, st state.State, pc int, havePC bool) {
+	off, n := s.arena.Save(st)
+	s.open.Push(s.priority(g, st, pc, havePC), openEntry{id: id, off: off, n: n, g: uint8(g)})
 }
 
 // recordSolution registers a sorted state found at depth g and tightens
@@ -441,7 +442,7 @@ func (s *searcher) finish() *Result {
 		s.opt.Cut == CutNone && !s.opt.UseActionGuide &&
 		(s.opt.StateBudget == 0 || r.Expanded < s.opt.StateBudget)
 	if tr := s.opt.Trace; tr != nil {
-		tr.sample(s.start, r, s.pq.Len(), r.SolutionCount)
+		tr.sample(s.start, r, s.open.Len(), r.SolutionCount)
 	}
 	return r
 }

@@ -1,0 +1,110 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortsynth/internal/isa"
+)
+
+func TestArenaSaveAt(t *testing.T) {
+	var a Arena
+	rng := rand.New(rand.NewSource(4))
+	var want []State
+	var addrs [][2]int32
+	for i := 0; i < 200; i++ {
+		s := make(State, 1+rng.Intn(30))
+		for j := range s {
+			s[j] = Asg(rng.Uint32())
+		}
+		off, n := a.Save(s)
+		if n != int32(len(s)) {
+			t.Fatalf("Save returned n=%d for a %d-assignment state", n, len(s))
+		}
+		want = append(want, s)
+		addrs = append(addrs, [2]int32{off, n})
+	}
+	// Every saved state must read back intact even though the slab has
+	// been reallocated many times by later Saves.
+	for i, ad := range addrs {
+		got := a.At(ad[0], ad[1])
+		if len(got) != len(want[i]) {
+			t.Fatalf("state %d: length %d, want %d", i, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("state %d differs at %d: %x != %x", i, j, got[j], want[i][j])
+			}
+		}
+	}
+	if a.Len() == 0 {
+		t.Fatal("Len() = 0 after 200 saves")
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("Len() = %d after Reset", a.Len())
+	}
+	// The slab is recycled: saving again reuses capacity and addresses
+	// start at zero.
+	if off, _ := a.Save(want[0]); off != 0 {
+		t.Fatalf("first Save after Reset at offset %d", off)
+	}
+}
+
+// TestArenaAtIsCapped pins the full-slice-expression contract: appending
+// to a returned state must not clobber the next entry in the slab.
+func TestArenaAtIsCapped(t *testing.T) {
+	var a Arena
+	a.Save(State{1, 2, 3})
+	a.Save(State{9})
+	got := a.At(0, 3)
+	_ = append(got, 7) // must copy, not write slab[3]
+	if next := a.At(3, 1); next[0] != 9 {
+		t.Fatalf("append through At clobbered the neighbouring entry: %d", next[0])
+	}
+}
+
+// TestPermCountExceedsSetMatchesLinear checks the stamped-set variant
+// against the linear-scan original on random raw states across both
+// suites, including the early-out thresholds (limit ≥ len(s), limit ≥ 64)
+// and epoch reuse of one ProjSet across many calls.
+func TestPermCountExceedsSetMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, suite := range []Suite{SuitePermutations, SuiteWeakOrders} {
+		m := NewMachineSuite(isa.NewCmov(3, 1), suite)
+		var ps ProjSet
+		base := m.Initial()
+		for trial := 0; trial < 2000; trial++ {
+			// Random raw (non-canonical) states: duplicates and arbitrary
+			// order, drawn from reachable assignments with mutated scratch.
+			s := make(State, 1+rng.Intn(2*len(base)))
+			for i := range s {
+				a := base[rng.Intn(len(base))]
+				if rng.Intn(2) == 0 {
+					a ^= Asg(rng.Intn(16)) << 2 // perturb the low scratch nibble
+				}
+				s[i] = a
+			}
+			limit := rng.Intn(70)
+			want := m.PermCountExceeds(s, limit)
+			if got := m.PermCountExceedsSet(s, limit, &ps); got != want {
+				t.Fatalf("suite %v trial %d: Set=%v linear=%v (len=%d limit=%d)",
+					suite, trial, got, want, len(s), limit)
+			}
+		}
+	}
+}
+
+// TestProjSetEpochWraparound forces the uint32 epoch to wrap and checks
+// stale stamps cannot alias as current.
+func TestProjSetEpochWraparound(t *testing.T) {
+	m := NewMachine(isa.NewCmov(2, 1))
+	s := m.Initial().Clone()
+	ps := ProjSet{epoch: ^uint32(0) - 1}
+	for i := 0; i < 4; i++ { // crosses the wrap between calls
+		want := m.PermCountExceeds(s, 1)
+		if got := m.PermCountExceedsSet(s, 1, &ps); got != want {
+			t.Fatalf("call %d across epoch wrap: got %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package state_test
+
+import (
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/state"
+	"sortsynth/internal/tables"
+)
+
+// External test package: the ApplyDist benchmark needs the distance LUT
+// from internal/tables, which imports state.
+
+var (
+	sinkKey   state.Key128
+	sinkBool  bool
+	sinkState state.State
+)
+
+func BenchmarkHashKey(b *testing.B) {
+	m := state.NewMachine(isa.NewCmov(4, 1))
+	s := m.Initial()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkKey = state.HashKey(s)
+	}
+}
+
+func BenchmarkApplyDist(b *testing.B) {
+	set := isa.NewCmov(4, 1)
+	m := state.NewMachine(set)
+	tab := tables.For(m)
+	dist, lutLo, lutHi := tab.DistLUT()
+	instrs := set.Instrs()
+	s := m.Initial()
+	var dst state.State
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = m.ApplyDist(dst, s, instrs[i%len(instrs)], dist, lutLo, lutHi, 20)
+	}
+	sinkState = dst
+}
+
+// BenchmarkPermCountExceeds{Linear,Set} document the cut pre-check the
+// search engines moved from the O(len·count) linear scan to the
+// epoch-stamped projection set.
+func BenchmarkPermCountExceedsLinear(b *testing.B) {
+	m := state.NewMachine(isa.NewCmov(4, 1))
+	s := m.Initial()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = m.PermCountExceeds(s, 12)
+	}
+}
+
+func BenchmarkPermCountExceedsSet(b *testing.B) {
+	m := state.NewMachine(isa.NewCmov(4, 1))
+	s := m.Initial()
+	var ps state.ProjSet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = m.PermCountExceedsSet(s, 12, &ps)
+	}
+}

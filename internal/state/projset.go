@@ -1,0 +1,63 @@
+package state
+
+const (
+	projSetBits  = 8
+	projSetSlots = 1 << projSetBits
+)
+
+// ProjSet is reusable scratch for PermCountExceedsSet: an epoch-stamped
+// open-addressing set of permutation projections. Stamping makes clearing
+// free (bump the epoch instead of zeroing the table), and 256 slots keep
+// the load factor under 25% for the at-most-64 projections the cut test
+// tracks, so probes are near-constant. The zero value is ready for use;
+// a ProjSet must not be shared between goroutines.
+type ProjSet struct {
+	stamp []uint32
+	proj  []Asg
+	epoch uint32
+}
+
+// PermCountExceedsSet is PermCountExceeds with caller-provided scratch:
+// it reports whether s has more than limit distinct permutation
+// projections, accepting a raw (non-canonical) state and exiting as soon
+// as the count passes limit. The linear-scan variant pays O(count) per
+// assignment re-comparing every projection seen so far; the stamped set
+// pays a near-constant probe, which matters because this test guards
+// canonicalization in the innermost loop of the search. Results are
+// identical to PermCountExceeds on every input.
+func (m *Machine) PermCountExceedsSet(s State, limit int, ps *ProjSet) bool {
+	if limit >= len(s) || limit >= 64 {
+		return false
+	}
+	if ps.stamp == nil {
+		ps.stamp = make([]uint32, projSetSlots)
+		ps.proj = make([]Asg, projSetSlots)
+	}
+	ps.epoch++
+	if ps.epoch == 0 { // wrapped: stale stamps could alias, clear once
+		clear(ps.stamp)
+		ps.epoch = 1
+	}
+	epoch := ps.epoch
+	cnt := 0
+	for _, a := range s {
+		p := a >> m.permShift
+		i := (uint32(p) * 2654435761) >> (32 - projSetBits)
+		for {
+			if ps.stamp[i] != epoch {
+				if cnt == limit {
+					return true
+				}
+				ps.stamp[i] = epoch
+				ps.proj[i] = p
+				cnt++
+				break
+			}
+			if ps.proj[i] == p {
+				break
+			}
+			i = (i + 1) & (projSetSlots - 1)
+		}
+	}
+	return false
+}
