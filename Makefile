@@ -3,11 +3,38 @@ GO ?= go
 # check is the tier-1 gate: everything builds (cmd/ included), vets
 # clean, the full test suite (including the sortsynthd service tests)
 # passes under the race detector, the backend portfolio race smoke test
-# (n=3, enum vs stoke) runs explicitly under -race, and the enum rows of
+# (n=3, enum vs stoke) runs explicitly under -race, the cross-backend
+# conformance harness reports zero divergences, every fuzz target
+# survives a short -race fuzzing budget, and the enum rows of
 # BENCH_enum.json are re-measured without -race as a throughput
 # regression gate.
 .PHONY: check
-check: build vet race smoke bench-compare
+check: build vet race smoke conformance fuzz-smoke bench-compare
+
+# conformance runs the differential + metamorphic harness: 200 random
+# specs (n ≤ 3) judged across all registered backends against enum
+# ground truth, plus the metamorphic invariants. Deterministic in -seed;
+# exits nonzero on any divergence and writes results/conformance.txt.
+.PHONY: conformance
+conformance:
+	$(GO) run ./cmd/experiments -table=conformance
+
+# Native Go fuzz targets with committed seed corpora under testdata/.
+# fuzz-smoke gives each target FUZZTIME (default 30s) under -race; the
+# full fuzz target raises that to 5m per target.
+FUZZTIME ?= 30s
+
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) test -race -run='^$$' -fuzz='^FuzzParseProgram$$' -fuzztime=$(FUZZTIME) ./internal/isa
+	$(GO) test -race -run='^$$' -fuzz='^FuzzCanonicalize$$' -fuzztime=$(FUZZTIME) ./internal/state
+	$(GO) test -race -run='^$$' -fuzz='^FuzzHashKey$$' -fuzztime=$(FUZZTIME) ./internal/state
+	$(GO) test -race -run='^$$' -fuzz='^FuzzFlatTable$$' -fuzztime=$(FUZZTIME) ./internal/enum
+	$(GO) test -race -run='^$$' -fuzz='^FuzzVerifySorts$$' -fuzztime=$(FUZZTIME) ./internal/verify
+
+.PHONY: fuzz
+fuzz: FUZZTIME = 5m
+fuzz: fuzz-smoke
 
 .PHONY: smoke
 smoke:

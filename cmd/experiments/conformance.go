@@ -1,0 +1,43 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+
+	"sortsynth/internal/conformance"
+)
+
+var (
+	confSeed   = flag.Int64("seed", 1, "conformance: spec-generator seed (the run is deterministic in it)")
+	confSpecs  = flag.Int("specs", 200, "conformance: number of generated differential specs")
+	confMaxN   = flag.Int("maxn", 3, "conformance: largest generated problem size")
+	confInject = flag.Bool("inject", false, "conformance: plant deliberately lying backends; the run must then fail")
+)
+
+func init() {
+	register("conformance", "differential + metamorphic cross-backend conformance gate (deterministic via -seed; nonzero exit on divergence)", false, func(c *ctx) error {
+		c.section("Cross-backend conformance: differential vs enum ground truth + metamorphic invariants")
+		opt := conformance.Options{
+			Seed:  *confSeed,
+			Specs: *confSpecs,
+			MaxN:  *confMaxN,
+			Log: func(format string, args ...any) {
+				c.printf(format+"\n", args...)
+			},
+		}
+		if *confInject {
+			opt.Extra = conformance.LiarBackends()
+			c.printf("injection mode: liar backends planted; this run MUST report divergences\n")
+		}
+		rep, err := conformance.Run(context.Background(), opt)
+		if err != nil {
+			return fmt.Errorf("conformance harness: %w", err)
+		}
+		rep.WriteText(c.w)
+		if !rep.Ok() {
+			return fmt.Errorf("conformance: %d divergences", len(rep.Divergences))
+		}
+		return nil
+	})
+}

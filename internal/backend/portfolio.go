@@ -47,8 +47,9 @@ func (p *Portfolio) Backends() []string {
 //
 // With no winner, the aggregate status is the strongest verdict any
 // racer reached: a sound refutation (StatusNoProgram) beats a spent
-// budget (StatusExhausted), which beats a timeout or cancellation. If
-// every racer failed with an error, the first error is returned.
+// budget (StatusExhausted), which beats a timeout, which beats
+// cancellation (see aggregateStatus). If every racer failed with an
+// error, the first error is returned.
 func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
 	start := time.Now()
 	raceCtx, cancel := context.WithCancel(ctx)
@@ -122,23 +123,34 @@ func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*R
 	return res, nil
 }
 
-// aggregateStatus picks the no-winner verdict: the strongest sound
-// claim any racer made, falling back to how the context ended.
+// aggregateStatus picks the no-winner verdict in the documented
+// preference order: a sound refutation (StatusNoProgram) beats a spent
+// budget (StatusExhausted), which beats a timeout — whether a racer's
+// own deadline or the caller's — which beats cancellation. In
+// particular, a racer's definitive verdict is never downgraded just
+// because the race's context ended afterwards, and a race in which
+// every backend timed out reports StatusTimedOut even when the caller's
+// context carried no deadline of its own.
 func aggregateStatus(ctx context.Context, race []RaceEntry) Status {
-	hasExhausted := false
+	hasExhausted, hasTimedOut := false, false
 	for _, e := range race {
 		switch e.Status {
 		case StatusNoProgram:
 			return StatusNoProgram
 		case StatusExhausted:
 			hasExhausted = true
+		case StatusTimedOut:
+			hasTimedOut = true
 		}
-	}
-	if ctx.Err() != nil {
-		return stopStatus(ctx)
 	}
 	if hasExhausted {
 		return StatusExhausted
+	}
+	if hasTimedOut {
+		return StatusTimedOut
+	}
+	if ctx.Err() != nil {
+		return stopStatus(ctx)
 	}
 	return StatusCancelled
 }

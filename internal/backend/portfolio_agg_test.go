@@ -1,0 +1,106 @@
+package backend
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sortsynth/internal/isa"
+)
+
+// statusBackend is a fakeBackend returning a fixed no-winner status.
+func statusBackend(name string, st Status) *fakeBackend {
+	return &fakeBackend{name: name, fn: func(context.Context, *isa.Set, Spec) (*Result, error) {
+		return &Result{Backend: name, Status: st}, nil
+	}}
+}
+
+// TestPortfolioNoWinnerAggregation pins the documented status-preference
+// order for races without a verified winner: no-program > exhausted >
+// timed-out > cancelled, independent of racer order and of how the
+// caller's context ended.
+func TestPortfolioNoWinnerAggregation(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	cases := []struct {
+		name     string
+		statuses []Status
+		ctx      func() (context.Context, context.CancelFunc)
+		want     Status
+	}{
+		{
+			name:     "all timeout",
+			statuses: []Status{StatusTimedOut, StatusTimedOut, StatusTimedOut},
+			want:     StatusTimedOut,
+		},
+		{
+			name:     "all refute",
+			statuses: []Status{StatusNoProgram, StatusNoProgram},
+			want:     StatusNoProgram,
+		},
+		{
+			name:     "refutation beats exhausted and timeout",
+			statuses: []Status{StatusTimedOut, StatusExhausted, StatusNoProgram},
+			want:     StatusNoProgram,
+		},
+		{
+			name:     "exhausted beats timeout",
+			statuses: []Status{StatusTimedOut, StatusExhausted},
+			want:     StatusExhausted,
+		},
+		{
+			name:     "timeout beats cancellation",
+			statuses: []Status{StatusCancelled, StatusTimedOut},
+			want:     StatusTimedOut,
+		},
+		{
+			name:     "all cancelled without context stop",
+			statuses: []Status{StatusCancelled, StatusCancelled},
+			want:     StatusCancelled,
+		},
+		{
+			// A racer's definitive verdict survives the caller's deadline
+			// expiring while results were being collected.
+			name:     "exhausted beats expired caller deadline",
+			statuses: []Status{StatusExhausted, StatusTimedOut},
+			ctx: func() (context.Context, context.CancelFunc) {
+				return context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			},
+			want: StatusExhausted,
+		},
+		{
+			name:     "expired caller deadline reads as timeout",
+			statuses: []Status{StatusCancelled, StatusCancelled},
+			ctx: func() (context.Context, context.CancelFunc) {
+				return context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			},
+			want: StatusTimedOut,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bs := make([]Backend, len(tc.statuses))
+			for i, st := range tc.statuses {
+				bs[i] = statusBackend(string(rune('a'+i)), st)
+			}
+			ctx := context.Background()
+			if tc.ctx != nil {
+				c, cancel := tc.ctx()
+				defer cancel()
+				ctx = c
+			}
+			res, err := Run(ctx, NewPortfolio(bs...), set, Spec{MaxLen: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != tc.want {
+				t.Fatalf("aggregate status = %v, want %v (race %+v)", res.Status, tc.want, res.Race)
+			}
+			if res.Program != nil || res.Winner != "" {
+				t.Fatalf("no-winner race produced a program/winner: %+v", res)
+			}
+			if len(res.Race) != len(tc.statuses) {
+				t.Fatalf("race table has %d entries, want %d", len(res.Race), len(tc.statuses))
+			}
+		})
+	}
+}

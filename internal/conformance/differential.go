@@ -1,0 +1,139 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/verify"
+)
+
+// judgeSpec runs every applicable backend on sp concurrently and judges
+// each outcome against the ground truth. It returns the divergences and
+// the per-backend status (by name) for the report's status matrix.
+func judgeSpec(ctx context.Context, opt Options, sp spec) ([]Divergence, map[string]string) {
+	type target struct {
+		name string
+		b    backend.Backend
+	}
+	var targets []target
+	for _, name := range opt.Registry.Names() {
+		if sp.dup && !dupCapable[name] {
+			continue
+		}
+		b, err := opt.Registry.Get(name)
+		if err != nil {
+			continue
+		}
+		targets = append(targets, target{name, b})
+	}
+	for _, b := range opt.Extra {
+		targets = append(targets, target{b.Name(), b})
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		divs     []Divergence
+		statuses = make(map[string]string, len(targets))
+	)
+	for _, tg := range targets {
+		wg.Add(1)
+		go func(tg target) {
+			defer wg.Done()
+			ds, st := judgeBackend(ctx, sp, tg.name, tg.b)
+			mu.Lock()
+			divs = append(divs, ds...)
+			statuses[tg.name] = st
+			mu.Unlock()
+		}(tg)
+	}
+	wg.Wait()
+	return divs, statuses
+}
+
+// judgeBackend runs one backend on one spec under the spec's deadline
+// and applies the divergence rules documented on the package.
+func judgeBackend(ctx context.Context, sp spec, name string, b backend.Backend) ([]Divergence, string) {
+	set := sp.set()
+	bspec := backend.Spec{MaxLen: sp.budget, Seed: sp.seed, DuplicateSafe: sp.dup}
+	tctx, cancel := context.WithTimeout(ctx, sp.timeout)
+	defer cancel()
+	res, err := backend.Run(tctx, b, set, bspec)
+
+	div := func(kind, format string, args ...any) Divergence {
+		return Divergence{
+			Check:   "differential",
+			Kind:    kind,
+			Backend: name,
+			Spec:    specLabel(sp),
+			Detail:  fmt.Sprintf(format, args...),
+		}
+	}
+
+	if err != nil {
+		var incorrect *backend.IncorrectError
+		if errors.As(err, &incorrect) {
+			return []Divergence{div("incorrect-program",
+				"claimed a kernel that fails central verification: %v", err)}, "error"
+		}
+		return []Divergence{div("backend-error", "%v", err)}, "error"
+	}
+
+	st := res.Status.String()
+	switch res.Status {
+	case backend.StatusFound:
+		var ds []Divergence
+		if len(res.Program) == 0 || res.Length != len(res.Program) {
+			ds = append(ds, div("malformed-result",
+				"found with %d instructions but Length=%d", len(res.Program), res.Length))
+			return ds, st
+		}
+		// Independent re-verification: central verification already ran
+		// inside backend.Run, so a failure here means the verifiers
+		// disagree with themselves — worth its own divergence kind.
+		if ce := verify.Counterexample(set, res.Program); ce != nil {
+			ds = append(ds, div("incorrect-program", "re-verification fails on %v", ce))
+		}
+		if sp.dup {
+			if ce := verify.DuplicateCounterexample(set, res.Program); ce != nil {
+				ds = append(ds, div("incorrect-program", "re-verification fails on duplicate input %v", ce))
+			}
+		}
+		if res.Length > sp.budget {
+			ds = append(ds, div("budget-overrun", "length %d exceeds budget %d", res.Length, sp.budget))
+		}
+		if res.Length < sp.opt {
+			ds = append(ds, div("beats-optimal",
+				"length %d below the certified optimum %d — ground truth or verifier bug", res.Length, sp.opt))
+		}
+		if name == "enum" && res.Length != sp.opt {
+			ds = append(ds, div("suboptimal",
+				"enum found length %d, certified optimum is %d", res.Length, sp.opt))
+		}
+		if res.Optimal && res.Length != sp.opt {
+			ds = append(ds, div("false-optimality-claim",
+				"claims optimality at length %d, certified optimum is %d", res.Length, sp.opt))
+		}
+		return ds, st
+
+	case backend.StatusNoProgram:
+		// Sound only if the optimum really is out of budget. The padding
+		// argument (m ≥ 1: append writes to a scratch register) makes
+		// fixed-length and upper-bound refutations comparable: a kernel
+		// of the optimal length extends to every longer length.
+		if sp.opt <= sp.budget {
+			return []Divergence{div("unsound-refutation",
+				"refuted budget %d but a length-%d kernel exists", sp.budget, sp.opt)}, st
+		}
+		return nil, st
+
+	case backend.StatusExhausted, backend.StatusTimedOut, backend.StatusCancelled:
+		return nil, st // no claim
+
+	default:
+		return []Divergence{div("unexpected-status", "status %v from a direct Run", res.Status)}, st
+	}
+}

@@ -1,0 +1,53 @@
+package conformance
+
+import (
+	"context"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/isa"
+)
+
+// liar is a deliberately unsound backend used to negative-test the
+// harness: a conformance run that cannot catch these is broken.
+type liar struct {
+	name  string
+	forge bool // claim Found with a garbage program; otherwise claim NoProgram
+}
+
+func (l *liar) Name() string { return l.name }
+
+func (l *liar) Synthesize(_ context.Context, set *isa.Set, spec backend.Spec) (*backend.Result, error) {
+	if l.forge {
+		// A "kernel" that repeats the first instruction of the set for
+		// the whole budget: never a sorting program, so central
+		// verification inside backend.Run must reject it.
+		p := make(isa.Program, spec.MaxLen)
+		for i := range p {
+			p[i] = set.Instrs()[0]
+		}
+		return &backend.Result{
+			Backend: l.name,
+			Status:  backend.StatusFound,
+			Program: p,
+			Length:  len(p),
+		}, nil
+	}
+	// An unconditional refutation: unsound on every budget that fits an
+	// optimal kernel.
+	return &backend.Result{
+		Backend: l.name,
+		Status:  backend.StatusNoProgram,
+		Length:  spec.MaxLen,
+	}, nil
+}
+
+// LiarBackends returns the injection set for negative testing: a forger
+// claiming unverifiable kernels and a refuter contradicting ground
+// truth. Pass them via Options.Extra (or `-table=conformance -inject`)
+// and the run must report divergences and exit nonzero.
+func LiarBackends() []backend.Backend {
+	return []backend.Backend{
+		&liar{name: "liar-forger", forge: true},
+		&liar{name: "liar-refuter"},
+	}
+}

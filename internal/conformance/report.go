@@ -1,0 +1,119 @@
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Divergence is one conformance violation: a backend disagreeing with
+// ground truth or a metamorphic invariant failing.
+type Divergence struct {
+	Check   string // "differential" or the invariant name
+	Kind    string // machine-readable classification, e.g. "unsound-refutation"
+	Backend string // offending backend ("" for metamorphic checks)
+	Spec    string // the spec or trial the divergence occurred on
+	Detail  string
+}
+
+func (d Divergence) String() string {
+	who := d.Check
+	if d.Backend != "" {
+		who += "/" + d.Backend
+	}
+	return fmt.Sprintf("[%s] %s: %s: %s", d.Kind, who, d.Spec, d.Detail)
+}
+
+// TruthRow is one ground-truth entry: a problem and its certified
+// minimal kernel length.
+type TruthRow struct {
+	Problem string
+	OptLen  int
+}
+
+// Invariant is the outcome of one metamorphic check family.
+type Invariant struct {
+	Name        string
+	Checks      int
+	Divergences []Divergence
+}
+
+// Report is the full outcome of a conformance run.
+type Report struct {
+	Seed     int64
+	Specs    int
+	MaxN     int
+	Timeout  time.Duration
+	Backends []string
+
+	// SpecDigest fingerprints the generated spec stream; identical seeds
+	// must print identical digests (the determinism witness).
+	SpecDigest string
+
+	GroundTruth []TruthRow
+	// Statuses counts outcomes per backend name and status string.
+	Statuses    map[string]map[string]int
+	Invariants  []Invariant
+	Divergences []Divergence
+	Elapsed     time.Duration
+}
+
+// Ok reports a divergence-free run.
+func (r *Report) Ok() bool { return len(r.Divergences) == 0 }
+
+// WriteText renders the report in the results/conformance.txt format:
+// the deterministic sections (seed, digest, ground truth) first, then
+// the load-dependent status matrix, the invariant summary, and every
+// divergence.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "\n== Conformance: %d specs, seed %d, n ≤ %d, %s per backend ==\n",
+		r.Specs, r.Seed, r.MaxN, r.Timeout)
+	fmt.Fprintf(w, "spec stream digest: %s (pure function of the seed)\n", r.SpecDigest)
+	fmt.Fprintf(w, "backends under test: %v\n", r.Backends)
+
+	fmt.Fprintf(w, "\nground truth (admissible enum search):\n")
+	for _, t := range r.GroundTruth {
+		fmt.Fprintf(w, "  %-34s L* = %d\n", t.Problem, t.OptLen)
+	}
+
+	fmt.Fprintf(w, "\nstatus matrix (counts vary with machine load; divergences must not):\n")
+	names := make([]string, 0, len(r.Statuses))
+	for name := range r.Statuses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	statuses := []string{"found", "no-program", "exhausted", "timed-out", "cancelled", "error"}
+	fmt.Fprintf(w, "  %-11s", "backend")
+	for _, st := range statuses {
+		fmt.Fprintf(w, " %10s", st)
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-11s", name)
+		for _, st := range statuses {
+			fmt.Fprintf(w, " %10d", r.Statuses[name][st])
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(r.Invariants) > 0 {
+		fmt.Fprintf(w, "\nmetamorphic invariants:\n")
+		for _, inv := range r.Invariants {
+			verdict := "ok"
+			if len(inv.Divergences) > 0 {
+				verdict = fmt.Sprintf("%d DIVERGENCES", len(inv.Divergences))
+			}
+			fmt.Fprintf(w, "  %-24s %4d checks  %s\n", inv.Name, inv.Checks, verdict)
+		}
+	}
+
+	if r.Ok() {
+		fmt.Fprintf(w, "\nno divergences (%.1fs)\n", r.Elapsed.Seconds())
+		return
+	}
+	fmt.Fprintf(w, "\n%d DIVERGENCES (%.1fs):\n", len(r.Divergences), r.Elapsed.Seconds())
+	for _, d := range r.Divergences {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+}

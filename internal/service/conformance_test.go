@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/verify"
+)
+
+// TestSynthesizeConcurrentRandomCancellation fires a burst of coalescing
+// /v1/synthesize requests whose clients disconnect at randomized times
+// and asserts the flight group's refcounts drain completely: no flight
+// left in the map, every observed flight back at zero waiters, no panic
+// on late waiters, and a healthy server afterwards. Run under -race by
+// `make race`, this is the service-level companion to the flightGroup
+// unit tests.
+func TestSynthesizeConcurrentRandomCancellation(t *testing.T) {
+	s, ts := newTestServer(t)
+	rng := rand.New(rand.NewSource(11))
+
+	bodies := []string{
+		`{"n": 2}`,
+		`{"n": 2, "config": "dijkstra"}`,
+		`{"n": 2, "isa": "minmax"}`,
+		`{"n": 2, "duplicate_safe": true}`,
+		`{"n": 3}`,
+		`{"n": 3, "isa": "minmax"}`,
+	}
+
+	// Sample the flight group while the burst is in progress, so the
+	// waiters==0 assertion below covers flights that lived and died
+	// mid-run, not just the final state.
+	seen := map[*flight]bool{}
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			s.flights.mu.Lock()
+			for _, f := range s.flights.m {
+				seen[f] = true
+			}
+			s.flights.mu.Unlock()
+		}
+	}()
+
+	const requests = 48
+	delays := make([]time.Duration, requests)
+	cancels := make([]bool, requests)
+	reqBodies := make([]string, requests)
+	for i := range delays {
+		reqBodies[i] = bodies[rng.Intn(len(bodies))]
+		cancels[i] = rng.Intn(3) > 0 // two thirds disconnect early
+		delays[i] = time.Duration(1+rng.Intn(40)) * time.Millisecond
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if cancels[i] {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, delays[i])
+				defer cancel()
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				ts.URL+"/v1/synthesize", strings.NewReader(reqBodies[i]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				return // cancelled mid-flight: exactly the point
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	close(stopSampling)
+	samplerWG.Wait()
+
+	// Every flight must leave the map once its search completes or its
+	// last waiter detaches; poll briefly because completion goroutines
+	// may still be unwinding.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.flights.mu.Lock()
+		remaining := len(s.flights.m)
+		s.flights.mu.Unlock()
+		if remaining == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d flights leaked in the group map", remaining)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(seen) == 0 {
+		t.Fatal("sampler observed no flights — the burst never coalesced")
+	}
+	s.flights.mu.Lock()
+	for f := range seen {
+		if f.waiters != 0 {
+			t.Errorf("flight finished with %d waiters", f.waiters)
+		}
+	}
+	s.flights.mu.Unlock()
+
+	// The server must still serve fresh work after the churn.
+	res := synthesize(t, ts.URL, `{"n": 2, "config": "best"}`)
+	if res.Length != 4 {
+		t.Fatalf("post-churn synthesis length = %d, want 4", res.Length)
+	}
+}
+
+// TestCorruptDiskEntryFallsThroughToFreshSearch corrupts a persisted
+// cache entry on disk and asserts the restarted service rejects it via
+// the checksum and re-synthesizes a correct kernel instead of serving
+// garbage — the service-level counterpart of kcache's
+// TestCorruptEntryIsAMiss.
+func TestCorruptDiskEntryFallsThroughToFreshSearch(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"n": 2}`
+
+	s1, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	first := synthesize(t, ts1.URL, body)
+	ts1.Close()
+	s1.Close()
+	if first.Cached || first.Length != 4 {
+		t.Fatalf("seed synthesis: %+v", first)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache dir has %d entry files (%v)", len(files), err)
+	}
+	blob, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes inside the stored program text: the JSON still parses,
+	// so only the checksummed load can catch it.
+	mutated := strings.Replace(string(blob), "mov", "vom", 1)
+	if mutated == string(blob) {
+		t.Fatal("test setup: program text not found in the entry file")
+	}
+	if err := os.WriteFile(files[0], []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	defer s2.Close()
+
+	second := synthesize(t, ts2.URL, body)
+	if second.Cached {
+		t.Fatal("corrupt entry was served from cache")
+	}
+	if second.Length != 4 || second.Kernel == "" {
+		t.Fatalf("fresh synthesis after corruption: %+v", second)
+	}
+	set := isa.NewCmov(2, 1)
+	p, err := isa.ParseProgram(second.Kernel, 2)
+	if err != nil {
+		t.Fatalf("fresh kernel does not parse: %v", err)
+	}
+	if ce := verify.Counterexample(set, p); ce != nil {
+		t.Fatalf("fresh kernel fails on %v", ce)
+	}
+
+	m := getMetrics(t, ts2.URL)
+	if got := counter(t, m, "cache", "corrupt"); got != 1 {
+		t.Errorf("cache corrupt counter = %d, want 1", got)
+	}
+	// The healed entry must serve as a normal hit again.
+	third := synthesize(t, ts2.URL, body)
+	if !third.Cached || third.Kernel != second.Kernel {
+		t.Fatalf("healed entry not served: %+v", third)
+	}
+}

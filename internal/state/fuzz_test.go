@@ -1,0 +1,99 @@
+package state
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// fuzzState decodes an arbitrary byte string into a State: four bytes
+// per assignment, little-endian, capped so hostile inputs stay cheap.
+func fuzzState(data []byte) State {
+	n := len(data) / 4
+	if n > 512 {
+		n = 512
+	}
+	s := make(State, n)
+	for i := 0; i < n; i++ {
+		s[i] = Asg(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	return s
+}
+
+// FuzzCanonicalize checks Canonicalize against the obvious map-dedup +
+// sort model on arbitrary assignment multisets, plus idempotence and the
+// strictly-ascending postcondition the dedup tables rely on.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 9, 9, 9, 9})
+	f.Add([]byte("canonicalize-me canonicalize-me!"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		raw := fuzzState(data)
+		seen := make(map[Asg]struct{}, len(raw))
+		for _, a := range raw {
+			seen[a] = struct{}{}
+		}
+		model := make(State, 0, len(seen))
+		for a := range seen {
+			model = append(model, a)
+		}
+		slices.Sort(model)
+
+		got := raw.Clone()
+		Canonicalize(&got)
+		if !slices.Equal(got, model) {
+			t.Fatalf("Canonicalize(%v) = %v, model says %v", raw, got, model)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("canonical state not strictly ascending at %d: %v", i, got)
+			}
+		}
+		again := got.Clone()
+		Canonicalize(&again)
+		if !slices.Equal(again, got) {
+			t.Fatalf("Canonicalize not idempotent: %v then %v", got, again)
+		}
+	})
+}
+
+// FuzzHashKey checks the dedup-hash contract: Hash is HashKey.Lo, both
+// are invariant under element order once canonicalized (the search
+// hashes canonical states only), and distinct canonical states do not
+// collide — a 128-bit collision the fuzzer can actually find would be a
+// genuine soundness bug in the exhaustive-proof dedup.
+func FuzzHashKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte("hash-stability-seed-corpus-entry"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzState(data)
+		Canonicalize(&s)
+		k := HashKey(s)
+		if Hash(s) != k.Lo {
+			t.Fatalf("Hash = %#x, HashKey.Lo = %#x", Hash(s), k.Lo)
+		}
+
+		shuf := s.Clone()
+		rng := rand.New(rand.NewSource(int64(len(data))<<32 ^ int64(k.Lo&0x7fffffff)))
+		rng.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		Canonicalize(&shuf)
+		if !slices.Equal(shuf, s) {
+			t.Fatalf("re-canonicalized shuffle differs: %v vs %v", shuf, s)
+		}
+		if HashKey(shuf) != k {
+			t.Fatalf("hash not stable under element order: %v vs %v", HashKey(shuf), k)
+		}
+
+		if len(s) > 0 {
+			mut := s.Clone()
+			mut[0] ^= 1
+			Canonicalize(&mut)
+			if !slices.Equal(mut, s) && HashKey(mut) == k {
+				t.Fatalf("128-bit collision between %v and %v", mut, s)
+			}
+		}
+	})
+}

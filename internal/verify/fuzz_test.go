@@ -1,0 +1,106 @@
+package verify
+
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/perm"
+	"sortsynth/internal/state"
+)
+
+// naiveSorts is the independent fuzz oracle: the literal n!-loop over
+// permutations through the reference integer interpreter, with its own
+// sortedness + multiset check. It shares nothing with Sorts, which runs
+// the packed 32-bit machine, nor with outputValid.
+func naiveSorts(set *isa.Set, p isa.Program) bool {
+	for _, in := range perm.All(set.N) {
+		out := state.RunInts(set, p, in)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				return false
+			}
+		}
+		a, b := slices.Clone(in), slices.Clone(out)
+		slices.Sort(a)
+		slices.Sort(b)
+		if !slices.Equal(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzVerifySorts cross-checks every verifier in this package against
+// the naive oracle on arbitrary programs: Sorts and Counterexample must
+// agree with the n!-loop, the weak-order suite must imply the
+// permutation suite and random-input correctness, the 0-1 principle
+// must agree with full verification on min/max programs, and
+// SortsRandom must tolerate hostile bounds (this target found the
+// negative-bound panic fixed in SortsRandom).
+func FuzzVerifySorts(f *testing.F) {
+	f.Add([]byte{}, 2, false, 100)
+	f.Add([]byte{0, 0, 0, 1, 0, 2}, 3, false, 5)
+	f.Add([]byte{0, 9, 0, 3, 0, 1, 0, 4, 0, 1, 0, 5}, 3, true, -7)
+	f.Add([]byte("fuzz the verifier oracle"), 4, true, 0)
+	f.Fuzz(func(t *testing.T, code []byte, n int, minmax bool, bound int) {
+		n = 2 + (n%3+3)%3 // n ∈ {2,3,4}: 24 permutations at most
+		var set *isa.Set
+		if minmax {
+			set = isa.NewMinMax(n, 1)
+		} else {
+			set = isa.NewCmov(n, 1)
+		}
+		instrs := set.Instrs()
+		var p isa.Program
+		for i := 0; i+1 < len(code) && len(p) < 24; i += 2 {
+			p = append(p, instrs[int(binary.BigEndian.Uint16(code[i:]))%len(instrs)])
+		}
+
+		want := naiveSorts(set, p)
+		if got := Sorts(set, p); got != want {
+			t.Fatalf("Sorts = %v, naive oracle says %v for %q", got, want, p.FormatInline(n))
+		}
+		ce := Counterexample(set, p)
+		if (ce == nil) != want {
+			t.Fatalf("Counterexample = %v, oracle says sorts=%v", ce, want)
+		}
+		if ce != nil {
+			out := state.RunInts(set, p, ce)
+			ok := slices.IsSorted(out)
+			a, b := slices.Clone(ce), slices.Clone(out)
+			slices.Sort(a)
+			slices.Sort(b)
+			if ok && slices.Equal(a, b) {
+				t.Fatalf("counterexample %v is not a genuine failure (out %v)", ce, out)
+			}
+		}
+
+		if SortsDuplicates(set, p) {
+			if !want {
+				t.Fatalf("weak-order-correct program fails a permutation: %q", p.FormatInline(n))
+			}
+			if in := SortsRandom(set, p, 32, 3, 11); in != nil {
+				t.Fatalf("duplicate-safe program fails random input %v", in)
+			}
+		}
+		if minmax {
+			if got := Sorts01MinMax(set, p); got != want {
+				t.Fatalf("0-1 principle = %v, full verification = %v for %q", got, want, p.FormatInline(n))
+			}
+		}
+
+		// Hostile bounds must neither panic nor fabricate failures.
+		if in := SortsRandom(set, p, 4, bound, 1); in != nil {
+			out := state.RunInts(set, p, in)
+			ok := slices.IsSorted(out)
+			a, b := slices.Clone(in), slices.Clone(out)
+			slices.Sort(a)
+			slices.Sort(b)
+			if ok && slices.Equal(a, b) {
+				t.Fatalf("SortsRandom(bound=%d) reported sorted output %v for input %v", bound, out, in)
+			}
+		}
+	})
+}

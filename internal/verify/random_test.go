@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"sortsynth/internal/isa"
+)
+
+// Regression tests for the SortsRandom bound handling fixed alongside
+// the conformance fuzz oracle (FuzzVerifySorts): a negative bound used
+// to panic inside rand.Intn, and a bound near MaxInt overflowed the
+// interval width 2·bound+1 into a non-positive rand.Intn argument.
+
+func TestSortsRandomNegativeBoundIsMagnitude(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	p, err := isa.ParseProgram(paperKernelN3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same magnitude: the draw stream must be identical, so
+	// the verdicts agree input for input.
+	if in := SortsRandom(set, p, 64, -100, 7); in != nil {
+		t.Fatalf("correct kernel failed under negative bound on %v", in)
+	}
+	broken, _ := isa.ParseProgram("mov r1 r2", 3)
+	a := SortsRandom(set, broken, 64, -100, 7)
+	b := SortsRandom(set, broken, 64, 100, 7)
+	if a == nil || b == nil {
+		t.Fatalf("broken kernel passed the random check: neg=%v pos=%v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bound -100 and 100 found different counterexamples: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSortsRandomHugeBoundDoesNotOverflow(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	p, _ := isa.ParseProgram("mov s1 r2; cmp r1 r2; cmovg r2 r1; cmovg r1 s1", 2)
+	if ce := Counterexample(set, p); ce != nil {
+		t.Fatalf("test kernel is broken: %v", ce)
+	}
+	for _, bound := range []int{math.MaxInt, math.MaxInt - 1, math.MinInt, (math.MaxInt-1)/2 + 1} {
+		if in := SortsRandom(set, p, 32, bound, 3); in != nil {
+			t.Fatalf("bound %d: correct kernel failed on %v", bound, in)
+		}
+	}
+}
+
+func TestSortsRandomZeroCountAndZeroBound(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	broken, _ := isa.ParseProgram("cmp r1 r2", 2)
+	if in := SortsRandom(set, broken, 0, 100, 1); in != nil {
+		t.Fatalf("count=0 checked an input: %v", in)
+	}
+	// bound=0 draws all-zero inputs, which any program sorts trivially.
+	if in := SortsRandom(set, broken, 16, 0, 1); in != nil {
+		t.Fatalf("bound=0 found a counterexample on all-equal input: %v", in)
+	}
+}

@@ -11,6 +11,7 @@ package verify
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 	"sort"
@@ -74,7 +75,22 @@ func Counterexample(set *isa.Set, p isa.Program) []int {
 // (duplicates included), verifying the full §2.3 criterion: the output is
 // ascending and a multiset permutation of the input. It returns the first
 // failing input, or nil.
+//
+// The bound is a magnitude: a negative bound means its absolute value
+// (it used to panic inside rand.Intn), and bounds so large that the
+// interval width 2·bound+1 would overflow an int are clamped to the
+// largest width that fits. A count ≤ 0 checks nothing and returns nil.
 func SortsRandom(set *isa.Set, p isa.Program, count int, bound int, seed int64) []int {
+	if bound < 0 {
+		if bound == math.MinInt {
+			bound = math.MaxInt
+		} else {
+			bound = -bound
+		}
+	}
+	if bound > (math.MaxInt-1)/2 {
+		bound = (math.MaxInt - 1) / 2
+	}
 	rng := rand.New(rand.NewSource(seed))
 	for t := 0; t < count; t++ {
 		in := make([]int, set.N)
