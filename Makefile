@@ -5,11 +5,12 @@ GO ?= go
 # passes under the race detector, the backend portfolio race smoke test
 # (n=3, enum vs stoke) runs explicitly under -race, the cross-backend
 # conformance harness reports zero divergences, every fuzz target
-# survives a short -race fuzzing budget, and the enum rows of
-# BENCH_enum.json are re-measured without -race as a throughput
-# regression gate.
+# survives a short -race fuzzing budget, the generated sorting library
+# passes its generate → vet → build → differential gate, and the enum
+# and sortgen rows of the committed BENCH_*.json files are re-measured
+# without -race as throughput regression gates.
 .PHONY: check
-check: build vet race smoke conformance fuzz-smoke bench-compare
+check: build vet race smoke conformance fuzz-smoke sortgen-check bench-compare sortgen-compare
 
 # conformance runs the differential + metamorphic harness: 200 random
 # specs (n ≤ 3) judged across all registered backends against enum
@@ -31,6 +32,15 @@ fuzz-smoke:
 	$(GO) test -race -run='^$$' -fuzz='^FuzzHashKey$$' -fuzztime=$(FUZZTIME) ./internal/state
 	$(GO) test -race -run='^$$' -fuzz='^FuzzFlatTable$$' -fuzztime=$(FUZZTIME) ./internal/enum
 	$(GO) test -race -run='^$$' -fuzz='^FuzzVerifySorts$$' -fuzztime=$(FUZZTIME) ./internal/verify
+	$(GO) test -race -run='^$$' -fuzz='^FuzzSortgenVsSlicesSort$$' -fuzztime=$(FUZZTIME) ./internal/sortgen
+
+# sortgen-check is the generated-library gate: emit sorters for
+# n = 6, 13, 32 into a throwaway module, go vet + go build them, run the
+# compiled differential harness against slices.Sort over five input
+# distributions, and re-run the in-process plan and hybrid differentials.
+.PHONY: sortgen-check
+sortgen-check:
+	$(GO) test -count=1 -run '^TestEmittedModule$$|^TestPlanDifferential$$|^TestHybridDifferential$$' ./internal/sortgen
 
 .PHONY: fuzz
 fuzz: FUZZTIME = 5m
@@ -79,3 +89,20 @@ bench-enum:
 .PHONY: bench-compare
 bench-compare:
 	$(GO) run ./cmd/experiments -table=benchcompare
+
+# bench-sortgen benchmarks the generated sorting library (hybrid and
+# composed fixed-n sorters) against slices.Sort / sort.Slice / sort.Ints
+# over five distributions and writes BENCH_sortgen.json; it fails unless
+# the hybrid beats sort.Slice on 500k random ints.
+.PHONY: bench-sortgen
+bench-sortgen:
+	$(GO) run ./cmd/experiments -table=sortgen
+
+# sortgen-compare re-measures the sortgen rows of the committed
+# BENCH_sortgen.json and fails on a >35% wall-clock regression (whole-
+# list sorts are noisier than search wall times) or if the hybrid stops
+# beating sort.Slice at 500k random. Regenerate the baseline with
+# `make bench-sortgen` when a slowdown is intentional.
+.PHONY: sortgen-compare
+sortgen-compare:
+	$(GO) run ./cmd/experiments -table=sortgencompare

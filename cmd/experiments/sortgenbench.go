@@ -1,0 +1,323 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"slices"
+	"sort"
+	"time"
+
+	"sortsynth/internal/bench"
+	"sortsynth/internal/sortgen"
+)
+
+// sortgenRow is one BENCH_sortgen.json measurement: a named sorter over
+// one input distribution at one element count. Every row carries its
+// own gomaxprocs (the PR-4 convention for search rows) so a baseline
+// taken on a pinned host is never silently compared against a full-width
+// re-measurement.
+type sortgenRow struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"` // element count of the sorted list
+	Distribution string  `json:"distribution"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Rounds       int     `json:"rounds"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// sortgenReport is the BENCH_sortgen.json payload.
+type sortgenReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Rows       []sortgenRow `json:"rows"`
+
+	// The ISSUE-6 headline: the kernel-base-case hybrid must beat
+	// reflection-based sort.Slice on 500k random ints.
+	HybridBeatsSortSlice500kRandom   bool    `json:"hybrid_beats_sort_slice_500k_random"`
+	HybridVsSortSlice500kRandomRatio float64 `json:"hybrid_vs_sort_slice_500k_random_ratio"`
+}
+
+// sortgenRegressionThreshold is the fresh/committed wall-clock ratio
+// above which sortgencompare fails a row. Whole-list sort times are
+// noisier than search wall times (allocation, cache residency), so the
+// gate is looser than benchcompare's 1.20.
+const sortgenRegressionThreshold = 1.35
+
+// sortgenGateFloorMS is the committed wall time below which a row is
+// reported but not gated: a 0.03ms measurement moves 50% on timer and
+// cache alignment noise alone, and a regression that matters at those
+// sizes also shows up in the ≥1ms rows.
+const sortgenGateFloorMS = 1.0
+
+// sortgenBenchSeed fixes the benchmark inputs: committed baseline and
+// fresh re-measurements sort identical lists.
+const sortgenBenchSeed = 20260808
+
+// measureBest times fn on list best-of-rounds: the minimum single-pass
+// wall time, which is the standard way to strip scheduler noise from a
+// deterministic computation.
+func measureBest(fn func([]int), list []int, rounds int) time.Duration {
+	best := time.Duration(-1)
+	for r := 0; r < rounds; r++ {
+		d := bench.MeasureSort(fn, list, 1)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// wholeListContenders are the dynamic-n sorters compared head-to-head.
+func wholeListContenders() []struct {
+	name string
+	fn   func([]int)
+} {
+	return []struct {
+		name string
+		fn   func([]int)
+	}{
+		{"sortgen_hybrid", sortgen.HybridSort},
+		{"sortgen_hybrid_merge", sortgen.HybridMergesort},
+		{"slices.Sort", func(a []int) { slices.Sort(a) }},
+		{"sort.Slice", func(a []int) { sort.Slice(a, func(i, j int) bool { return a[i] < a[j] }) }},
+		{"sort.Ints", sort.Ints},
+	}
+}
+
+// distGen returns the named distribution's generator.
+func distGen(name string) func(*rand.Rand, int) []int {
+	for _, d := range sortgen.Distributions() {
+		if d.Name == name {
+			return d.Gen
+		}
+	}
+	panic("unknown distribution " + name)
+}
+
+// sortgenCases enumerates the (distribution, n, rounds) grid measured by
+// both the table and the regression gate: random across four decades,
+// plus every other shape at the headline 500k size.
+func sortgenCases() []struct {
+	dist   string
+	n      int
+	rounds int
+} {
+	return []struct {
+		dist   string
+		n      int
+		rounds int
+	}{
+		{"random", 1_000, 50},
+		{"random", 10_000, 20},
+		{"random", 100_000, 5},
+		{"random", 500_000, 3},
+		{"sorted", 500_000, 3},
+		{"reversed", 500_000, 3},
+		{"dups", 500_000, 3},
+		{"sawtooth", 500_000, 3},
+	}
+}
+
+// runSortgenGrid measures every whole-list contender over the case grid
+// and the fixed-n plan interpreters, returning the rows in a stable
+// order. keep filters which rows are measured (nil = all).
+func runSortgenGrid(c *ctx, keep func(name, dist string, n int) bool) ([]sortgenRow, error) {
+	rng := rand.New(rand.NewSource(sortgenBenchSeed))
+	var rows []sortgenRow
+	var t tableWriter
+	t.row("sorter", "distribution", "n", "best-of", "wall")
+
+	for _, tc := range sortgenCases() {
+		list := distGen(tc.dist)(rng, tc.n)
+		for _, cont := range wholeListContenders() {
+			if keep != nil && !keep(cont.name, tc.dist, tc.n) {
+				continue
+			}
+			d := measureBest(cont.fn, list, tc.rounds)
+			rows = append(rows, sortgenRow{
+				Name: cont.name, N: tc.n, Distribution: tc.dist,
+				GOMAXPROCS: runtime.GOMAXPROCS(0), Rounds: tc.rounds,
+				WallMS: float64(d.Nanoseconds()) / 1e6,
+			})
+			t.row(cont.name, tc.dist, fmt.Sprint(tc.n), fmt.Sprint(tc.rounds), ms(d))
+		}
+	}
+
+	// Fixed-n rows: the composed plan interpreter against slices.Sort on
+	// batches of small arrays — the regime the generated sorters exist
+	// for. 4096 arrays per pass, best-of-5 passes.
+	for _, n := range []int{6, 13, 32} {
+		p, err := sortgen.Compose(n)
+		if err != nil {
+			return nil, err
+		}
+		sorter := p.Sorter()
+		inputs := bench.RandomArrays(n, 4096, 10000, sortgenBenchSeed+int64(n))
+		for _, cont := range []struct {
+			name string
+			fn   func([]int)
+		}{
+			{fmt.Sprintf("sortgen_plan%d", n), sorter},
+			{fmt.Sprintf("slices.Sort@%d", n), func(a []int) { slices.Sort(a) }},
+		} {
+			if keep != nil && !keep(cont.name, "random", n) {
+				continue
+			}
+			best := time.Duration(-1)
+			for r := 0; r < 5; r++ {
+				d := bench.Measure(cont.fn, inputs, 1)
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+			rows = append(rows, sortgenRow{
+				Name: cont.name, N: n, Distribution: "random",
+				GOMAXPROCS: runtime.GOMAXPROCS(0), Rounds: 5,
+				WallMS: float64(best.Nanoseconds()) / 1e6,
+			})
+			t.row(cont.name, "random ×4096", fmt.Sprint(n), "5", ms(best))
+		}
+	}
+	t.flush(c.w)
+	return rows, nil
+}
+
+// headlineRatio extracts hybrid/sort.Slice at 500k random from a row set.
+func headlineRatio(rows []sortgenRow) (float64, bool) {
+	var hybrid, sortSlice float64
+	for _, r := range rows {
+		if r.Distribution != "random" || r.N != 500_000 {
+			continue
+		}
+		switch r.Name {
+		case "sortgen_hybrid":
+			hybrid = r.WallMS
+		case "sort.Slice":
+			sortSlice = r.WallMS
+		}
+	}
+	if hybrid == 0 || sortSlice == 0 {
+		return 0, false
+	}
+	return hybrid / sortSlice, true
+}
+
+func init() {
+	register("sortgen", "generated sorters vs stdlib across five distributions (writes BENCH_sortgen.json)", false, func(c *ctx) error {
+		c.section("Generated sorting library vs the standard library")
+
+		rows, err := runSortgenGrid(c, nil)
+		if err != nil {
+			return err
+		}
+		rep := sortgenReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Rows: rows}
+		if ratio, ok := headlineRatio(rows); ok {
+			rep.HybridVsSortSlice500kRandomRatio = ratio
+			rep.HybridBeatsSortSlice500kRandom = ratio < 1
+		}
+		c.printf("\nhybrid (synthesized ≤5 base cases) vs sort.Slice at 500k random: %.2fx wall clock (beats: %v)\n",
+			rep.HybridVsSortSlice500kRandomRatio, rep.HybridBeatsSortSlice500kRandom)
+		if !rep.HybridBeatsSortSlice500kRandom {
+			return fmt.Errorf("hybrid sorter did not beat sort.Slice on 500k random ints (ratio %.2f)",
+				rep.HybridVsSortSlice500kRandomRatio)
+		}
+
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_sortgen.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		c.printf("wrote BENCH_sortgen.json\n")
+		return nil
+	})
+
+	register("sortgencompare", "re-measure the sortgen rows of BENCH_sortgen.json and fail on a >35% regression", false, func(c *ctx) error {
+		c.section("Generated-sorter regression gate vs committed BENCH_sortgen.json")
+
+		data, err := os.ReadFile("BENCH_sortgen.json")
+		if err != nil {
+			return fmt.Errorf("sortgencompare needs the committed baseline: %w", err)
+		}
+		var rep sortgenReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("parse BENCH_sortgen.json: %w", err)
+		}
+
+		// Gate only this package's own sorters: stdlib rows are context,
+		// and a stdlib speedup after a toolchain bump must not fail CI.
+		isOurs := func(name string) bool {
+			return len(name) > 7 && name[:7] == "sortgen"
+		}
+		committed := map[string]sortgenRow{}
+		for _, r := range rep.Rows {
+			if isOurs(r.Name) {
+				committed[fmt.Sprintf("%s|%s|%d", r.Name, r.Distribution, r.N)] = r
+			}
+		}
+		if len(committed) == 0 {
+			return fmt.Errorf("BENCH_sortgen.json has no sortgen rows; regenerate with -table=sortgen")
+		}
+
+		fresh, err := runSortgenGrid(c, func(name, dist string, n int) bool {
+			// Re-measure our rows, plus sort.Slice at the headline point
+			// for the relative assertion below.
+			return isOurs(name) || (name == "sort.Slice" && dist == "random" && n == 500_000)
+		})
+		if err != nil {
+			return err
+		}
+
+		var t tableWriter
+		t.row("row", "committed", "fresh", "ratio", "verdict")
+		worst, failed, compared := 0.0, 0, 0
+		for _, f := range fresh {
+			base, ok := committed[fmt.Sprintf("%s|%s|%d", f.Name, f.Distribution, f.N)]
+			if !ok {
+				continue
+			}
+			ratio := f.WallMS / base.WallMS
+			verdict := "ok"
+			if base.WallMS < sortgenGateFloorMS {
+				verdict = "ungated (noise floor)"
+			} else {
+				compared++
+				if ratio > worst {
+					worst = ratio
+				}
+				if ratio > sortgenRegressionThreshold {
+					verdict = "REGRESSION"
+					failed++
+				}
+			}
+			t.row(fmt.Sprintf("%s %s n=%d", f.Name, f.Distribution, f.N),
+				fmt.Sprintf("%.2fms", base.WallMS),
+				fmt.Sprintf("%.2fms", f.WallMS),
+				fmt.Sprintf("%.2f", ratio), verdict)
+		}
+		t.flush(c.w)
+		c.printf("\nworst fresh/committed ratio over %d rows: %.2f (threshold %.2f)\n",
+			compared, worst, sortgenRegressionThreshold)
+
+		// The headline claim is re-asserted on fresh numbers, so it can
+		// never silently rot while the committed file still says true.
+		if ratio, ok := headlineRatio(fresh); ok {
+			c.printf("fresh hybrid vs sort.Slice at 500k random: %.2fx\n", ratio)
+			if ratio >= 1 {
+				return fmt.Errorf("hybrid no longer beats sort.Slice on 500k random ints (fresh ratio %.2f)", ratio)
+			}
+		} else {
+			return fmt.Errorf("fresh run missing the 500k-random headline rows")
+		}
+
+		if failed > 0 {
+			return fmt.Errorf("%d sortgen row(s) regressed beyond %.0f%%; "+
+				"if intentional, regenerate the baseline with -table=sortgen",
+				failed, (sortgenRegressionThreshold-1)*100)
+		}
+		return nil
+	})
+}

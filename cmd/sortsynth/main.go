@@ -10,6 +10,7 @@
 //	sortsynth -verify "mov s1 r2; ..." -n 2
 //	sortsynth -n 3 -backend smt          # synthesize through the SMT backend
 //	sortsynth -n 3 -portfolio enum,stoke # race backends, keep the first verified win
+//	sortsynth -emit-sorter -n 13         # emit a full branchless Sort13 as Go source
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"sortsynth"
 	"sortsynth/internal/backend"
 	"sortsynth/internal/enum"
+	"sortsynth/internal/sortgen"
 )
 
 func main() {
@@ -50,8 +52,31 @@ func main() {
 		portfolioList = flag.String("portfolio", "",
 			"race a comma-separated list of backends (or \"all\") and keep the first verified kernel")
 		seed = flag.Int64("seed", 0, "seed for the randomized backends (stoke, mcts)")
+
+		emitSorter = flag.Bool("emit-sorter", false,
+			"emit a complete branchless sorter for length -n as Go source (kernel blocks + merge networks)")
+		elemType = flag.String("elem", "int", "element type for -emit-sorter (ordered integer types or string)")
+		pkgName  = flag.String("pkg", "", `package name for -emit-sorter (default "sorter")`)
+		funcName = flag.String("func", "", `function name for -emit-sorter (default "Sort<n>")`)
 	)
 	flag.Parse()
+
+	if *emitSorter {
+		plan, err := sortgen.Compose(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := plan.GoFile(sortgen.EmitOptions{Package: *pkgName, FuncName: *funcName, Elem: *elemType})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			log.Printf("# n=%d blocks=%s kernel instructions=%d merge comparators=%d",
+				*n, plan.BlocksDesc(), plan.KernelInstructions(), plan.Comparators())
+		}
+		fmt.Print(src)
+		return
+	}
 
 	var set *sortsynth.Set
 	switch *isaName {

@@ -10,6 +10,7 @@
 //
 //	curl -s localhost:8080/v1/synthesize -d '{"n": 3}'
 //	curl -s 'localhost:8080/v1/kernels?n=3'
+//	curl -s 'localhost:8080/v1/sortgen?n=13'
 //	curl -s localhost:8080/v1/verify -d '{"n": 2, "program": "..."}'
 //	curl -s localhost:8080/metrics
 //
@@ -42,6 +43,7 @@ func main() {
 		workers   = flag.Int("search-workers", 0, "enum workers per search (0 = GOMAXPROCS, 1 = sequential engine)")
 		timeout   = flag.Duration("search-timeout", 2*time.Minute, "per-search wall-clock cap")
 		maxN      = flag.Int("max-n", 5, "largest array length to accept")
+		maxSortN  = flag.Int("max-sort-n", 256, "largest generated-sorter length for /v1/sortgen")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain period")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
@@ -54,6 +56,7 @@ func main() {
 		SearchWorkers:         *workers,
 		SearchTimeout:         *timeout,
 		MaxN:                  *maxN,
+		MaxSortN:              *maxSortN,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,19 +1,23 @@
-// Hybridsort: use synthesized kernels as the base case of quicksort and
-// mergesort — the deployment scenario that motivates sorting-kernel
-// synthesis (paper §1, §5.3) — and compare against the standard library.
+// Hybridsort: sort with the generated library of internal/sortgen —
+// synthesized kernels as the ≤ 5-element base cases of an introsort and
+// a mergesort, plus fully branchless composed sorters for fixed small
+// lengths — and check every result byte-for-byte against slices.Sort.
+// This is the deployment scenario that motivates sorting-kernel
+// synthesis (paper §1, §5.3): the kernels matter because they sit
+// inside real sorts.
 //
 //	go run ./examples/hybridsort
 package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"slices"
 	"sort"
 	"time"
 
-	"sortsynth/internal/bench"
-	"sortsynth/internal/kernels"
+	"sortsynth/internal/sortgen"
 )
 
 func main() {
@@ -24,45 +28,77 @@ func main() {
 		data[i] = rng.Intn(200001) - 100000
 	}
 
-	timeIt := func(name string, sortFn func([]int)) []int {
+	// The reference: whatever slices.Sort produces is, by definition,
+	// the correct answer — every contender must match it exactly, not
+	// merely be sorted.
+	ref := slices.Clone(data)
+	slices.Sort(ref)
+
+	timeIt := func(name string, sortFn func([]int)) {
 		work := slices.Clone(data)
 		start := time.Now()
 		sortFn(work)
 		elapsed := time.Since(start)
-		if !slices.IsSorted(work) {
-			panic(name + " did not sort")
+		if !slices.Equal(work, ref) {
+			log.Fatalf("%s output differs from slices.Sort", name)
 		}
-		fmt.Printf("  %-34s %v\n", name, elapsed.Round(time.Microsecond))
-		return work
+		fmt.Printf("  %-38s %v\n", name, elapsed.Round(time.Microsecond))
 	}
 
-	fmt.Printf("sorting %d random ints:\n", size)
-	ref := timeIt("sort.Ints (stdlib)", sort.Ints)
+	fmt.Printf("sorting %d random ints (all outputs checked against slices.Sort):\n", size)
+	timeIt("slices.Sort (stdlib)", func(a []int) { slices.Sort(a) })
+	timeIt("sort.Slice (stdlib, func compare)", func(a []int) {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	})
+	timeIt("sortgen.HybridSort (kernel base cases)", sortgen.HybridSort)
+	timeIt("sortgen.HybridMergesort", sortgen.HybridMergesort)
 
-	var enum3, enum4 func([]int)
-	for _, k := range kernels.Contenders(3) {
-		if k.Name == "enum" {
-			enum3 = k.Go
+	// Fixed-n: compose a fully branchless sorter (kernel blocks + merge
+	// networks) and run it over many small arrays — the shape generated
+	// sorters exist for.
+	fmt.Println("\nfixed-length composed sorters (1e5 arrays each, vs slices.Sort):")
+	for _, n := range []int{6, 13, 32} {
+		plan, err := sortgen.Compose(n)
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-	for _, k := range kernels.Contenders(4) {
-		if k.Name == "enum" {
-			enum4 = k.Go
+		sorter := plan.Sorter()
+		const arrays = 100_000
+		inputs := make([][]int, arrays)
+		for i := range inputs {
+			a := make([]int, n)
+			for j := range a {
+				a[j] = rng.Intn(20001) - 10000
+			}
+			inputs[i] = a
 		}
+		start := time.Now()
+		for _, a := range inputs {
+			sorter(a)
+		}
+		elapsed := time.Since(start)
+		for _, a := range inputs {
+			if !slices.IsSorted(a) {
+				log.Fatalf("Sort%d left an unsorted array", n)
+			}
+		}
+		// Spot-check exact agreement with slices.Sort on fresh inputs.
+		for trial := 0; trial < 1000; trial++ {
+			in := make([]int, n)
+			for j := range in {
+				in[j] = rng.Intn(100)
+			}
+			want := slices.Clone(in)
+			slices.Sort(want)
+			sorter(in)
+			if !slices.Equal(in, want) {
+				log.Fatalf("Sort%d output differs from slices.Sort", n)
+			}
+		}
+		fmt.Printf("  Sort%-3d (blocks %-8s %3d kernel instr, %3d comparators)  %v\n",
+			n, plan.BlocksDesc()+",", plan.KernelInstructions(), plan.Comparators(),
+			elapsed.Round(time.Microsecond))
 	}
 
-	checks := [][]int{
-		timeIt("quicksort + synthesized sort3", func(a []int) { bench.Quicksort(a, 3, enum3) }),
-		timeIt("quicksort + synthesized sort4", func(a []int) { bench.Quicksort(a, 4, enum4) }),
-		timeIt("quicksort + network sort3", func(a []int) { bench.Quicksort(a, 3, kernels.Sort3Network) }),
-		timeIt("quicksort + branchy default3", func(a []int) { bench.Quicksort(a, 3, kernels.Sort3Default) }),
-		timeIt("mergesort + synthesized sort3", func(a []int) { bench.Mergesort(a, 3, enum3) }),
-		timeIt("mergesort + network sort3", func(a []int) { bench.Mergesort(a, 3, kernels.Sort3Network) }),
-	}
-	for _, got := range checks {
-		if !slices.Equal(got, ref) {
-			panic("hybrid sort output differs from the standard library")
-		}
-	}
-	fmt.Println("\nall hybrid sorts produced identical output ✓")
+	fmt.Println("\nall sorts produced output identical to slices.Sort ✓")
 }

@@ -47,6 +47,15 @@ func TestSynthesizedProgramsAreCorrect(t *testing.T) {
 			if !verify.Sorts(k.Set, k.Prog) {
 				t.Errorf("n=%d %s: embedded program does not sort", n, k.Name)
 			}
+			// A frozen kernel is emitted as Go with zero-valued scratch
+			// variables, so it must pass the arbitrary-integer suite: a
+			// program can sort every positive-valued input yet leak the
+			// initial scratch 0 on negative ones (the enum_worst kernels
+			// read scratch under the same flag that wrote it — statically
+			// suspicious, which is why the semantic check is the gate).
+			if !verify.SortsDuplicates(k.Set, k.Prog) {
+				t.Errorf("n=%d %s: embedded program fails the arbitrary-integer suite", n, k.Name)
+			}
 		}
 	}
 }

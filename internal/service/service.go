@@ -9,6 +9,7 @@
 //
 //	POST /v1/synthesize  synthesize (or fetch) a kernel
 //	GET  /v1/kernels     the §5.3 contender registry, filterable
+//	GET  /v1/sortgen     a full generated sorter for fixed n (Go source)
 //	POST /v1/verify      counterexample check + cost model for a program
 //	GET  /metrics        expvar-style counters and latency histograms
 //	GET  /healthz        liveness
@@ -48,6 +49,11 @@ type Config struct {
 	// engine's results are identical for every worker count, and the
 	// cache key excludes Workers, so this only tunes throughput.
 	SearchWorkers int
+	// MaxSortN bounds the array length accepted by /v1/sortgen (0 =
+	// 256). Unlike MaxN this is a cost bound, not a state-machine
+	// limit: composition is polynomial, but the emitted source grows
+	// O(n log² n) comparators.
+	MaxSortN int
 }
 
 // Server is the sortsynthd HTTP handler. Create it with New, serve it
@@ -78,6 +84,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SearchWorkers <= 0 {
 		cfg.SearchWorkers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxSortN <= 0 {
+		cfg.MaxSortN = 256
+	}
 	cache, err := kcache.New(cfg.CacheDir, cfg.CacheSize)
 	if err != nil {
 		return nil, err
@@ -95,6 +104,7 @@ func New(cfg Config) (*Server, error) {
 	routes := map[string]http.HandlerFunc{
 		"POST /v1/synthesize": s.handleSynthesize,
 		"GET /v1/kernels":     s.handleKernels,
+		"GET /v1/sortgen":     s.handleSortgen,
 		"POST /v1/verify":     s.handleVerify,
 		"GET /metrics":        s.handleMetrics,
 		"GET /healthz":        s.handleHealthz,

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sortsynth/internal/kcache"
+	"sortsynth/internal/sortgen"
+)
+
+// sortgenResponse is the GET /v1/sortgen reply: a complete branchless
+// sorter for a fixed n, generated from synthesized kernels and merge
+// networks, as compilable Go source plus the plan metadata.
+type sortgenResponse struct {
+	N    int    `json:"n"`
+	Elem string `json:"elem"`
+	Func string `json:"func"`
+	// Blocks is the kernel-block cover, e.g. "5+5+3" for n=13.
+	Blocks string `json:"blocks"`
+	// KernelInstructions counts the synthesized-kernel instructions
+	// inlined into the sorter; Comparators counts the merge-layer
+	// compare-and-swaps.
+	KernelInstructions int     `json:"kernel_instructions"`
+	Comparators        int     `json:"comparators"`
+	Source             string  `json:"source"`
+	Cached             bool    `json:"cached"`
+	Key                string  `json:"key"`
+	GeneratedMS        float64 `json:"generated_ms"`
+}
+
+// sortgenKey builds the cache key for a generated sorter. The artifact
+// is a pure function of (n, element type) — the composer, kernel
+// registry, and emitter are deterministic — so those two fields are the
+// whole content address ("sortgen" sits in the Backend slot, the
+// element type in the ISA slot).
+func sortgenKey(n int, elem string) kcache.Key {
+	return kcache.Key{ISA: elem, N: n, Backend: "sortgen"}
+}
+
+// handleSortgen serves GET /v1/sortgen?n=13[&elem=int]: the generated
+// sorter source, cache-keyed through kcache like every other artifact.
+func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query()
+	n, err := strconv.Atoi(q.Get("n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad or missing n %q", q.Get("n"))
+		return
+	}
+	if n < 0 || n > s.cfg.MaxSortN {
+		writeError(w, http.StatusBadRequest, "n=%d out of range (want 0..%d)", n, s.cfg.MaxSortN)
+		return
+	}
+	elem := q.Get("elem")
+	if elem == "" {
+		elem = "int"
+	}
+
+	key := sortgenKey(n, elem)
+	hash := key.Hash()
+	if e, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp, err := sortgenResponseFor(n, elem, e, hash, true, start)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	plan, err := sortgen.Compose(n)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	src, err := plan.GoFile(sortgen.EmitOptions{Elem: elem})
+	if err != nil {
+		// The only client-influenced failure is the element type.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry := &kcache.Entry{
+		Backend:       "sortgen",
+		Program:       src,
+		Length:        plan.KernelInstructions() + plan.Comparators(),
+		SolutionCount: 1,
+		ElapsedNS:     int64(time.Since(start)),
+	}
+	if err := s.cache.Put(key, entry); err != nil {
+		_ = err // memory tier still serves it; see runSearch
+	}
+	resp, err := sortgenResponseFor(n, elem, entry, hash, false, start)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sortgenResponseFor rebuilds the plan metadata around a cached (or
+// fresh) entry. The block cover is deterministic and cheap, so a cache
+// hit never re-runs the merge construction or the emitter.
+func sortgenResponseFor(n int, elem string, e *kcache.Entry, hash string, cached bool, start time.Time) (sortgenResponse, error) {
+	blocks, err := sortgen.BlocksFor(n)
+	if err != nil {
+		return sortgenResponse{}, err
+	}
+	meta := &sortgen.Plan{N: n, Blocks: blocks}
+	ki := meta.KernelInstructions()
+	if e.Length < ki {
+		return sortgenResponse{}, fmt.Errorf("sortgen cache entry for n=%d is inconsistent (length %d < %d kernel instructions)", n, e.Length, ki)
+	}
+	return sortgenResponse{
+		N:                  n,
+		Elem:               elem,
+		Func:               fmt.Sprintf("Sort%d", n),
+		Blocks:             meta.BlocksDesc(),
+		KernelInstructions: ki,
+		Comparators:        e.Length - ki,
+		Source:             e.Program,
+		Cached:             cached,
+		Key:                hash,
+		GeneratedMS:        float64(e.ElapsedNS) / float64(time.Millisecond),
+	}, nil
+}

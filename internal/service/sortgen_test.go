@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"go/format"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getSortgen(t *testing.T, url, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/sortgen" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, []byte(sb.String())
+}
+
+func TestSortgenEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, blob := getSortgen(t, ts.URL, "?n=13")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sortgen?n=13: %d: %s", resp.StatusCode, blob)
+	}
+	var sr sortgenResponse
+	if err := json.Unmarshal(blob, &sr); err != nil {
+		t.Fatalf("bad response %s: %v", blob, err)
+	}
+	if sr.N != 13 || sr.Elem != "int" || sr.Func != "Sort13" {
+		t.Fatalf("bad metadata: %+v", sr)
+	}
+	if sr.Blocks != "5+5+3" {
+		t.Fatalf("Blocks = %q, want 5+5+3", sr.Blocks)
+	}
+	if sr.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if sr.KernelInstructions <= 0 || sr.Comparators <= 0 {
+		t.Fatalf("bad counters: %+v", sr)
+	}
+	if !strings.Contains(sr.Source, "func Sort13(a []int)") {
+		t.Fatalf("source missing Sort13:\n%s", sr.Source)
+	}
+	formatted, err := format.Source([]byte(sr.Source))
+	if err != nil {
+		t.Fatalf("served source does not parse: %v", err)
+	}
+	if sr.Source != string(formatted) {
+		t.Fatal("served source is not gofmt-clean")
+	}
+
+	// Second hit must be served from cache, byte-identical.
+	resp2, blob2 := getSortgen(t, ts.URL, "?n=13")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second GET: %d: %s", resp2.StatusCode, blob2)
+	}
+	var sr2 sortgenResponse
+	if err := json.Unmarshal(blob2, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.Cached {
+		t.Fatal("second request not served from cache")
+	}
+	if sr2.Source != sr.Source || sr2.Key != sr.Key {
+		t.Fatal("cached response differs from the original")
+	}
+	if sr2.Comparators != sr.Comparators || sr2.KernelInstructions != sr.KernelInstructions {
+		t.Fatalf("cached counters drifted: %+v vs %+v", sr2, sr)
+	}
+
+	// A different element type is a different artifact, not a cache hit.
+	resp3, blob3 := getSortgen(t, ts.URL, "?n=13&elem=uint64")
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("GET elem=uint64: %d: %s", resp3.StatusCode, blob3)
+	}
+	var sr3 sortgenResponse
+	if err := json.Unmarshal(blob3, &sr3); err != nil {
+		t.Fatal(err)
+	}
+	if sr3.Cached {
+		t.Fatal("elem=uint64 request hit the elem=int entry")
+	}
+	if !strings.Contains(sr3.Source, "[]uint64") {
+		t.Fatalf("uint64 source missing element type:\n%s", sr3.Source)
+	}
+}
+
+func TestSortgenEndpointRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, q := range []string{
+		"",                  // missing n
+		"?n=abc",            // unparsable
+		"?n=-1",             // negative
+		"?n=257",            // beyond default MaxSortN
+		"?n=8&elem=float64", // NaN breaks the verified total order
+		"?n=8&elem=chan+int",
+	} {
+		resp, blob := getSortgen(t, ts.URL, q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /v1/sortgen%s: got %d, want 400: %s", q, resp.StatusCode, blob)
+		}
+	}
+}
+
+func TestSortgenMaxSortNConfigurable(t *testing.T) {
+	s, err := New(Config{MaxSortN: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.cfg.MaxSortN != 16 {
+		t.Fatalf("MaxSortN = %d, want 16", s.cfg.MaxSortN)
+	}
+	// And the zero value defaults to 256.
+	s2, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.cfg.MaxSortN != 256 {
+		t.Fatalf("default MaxSortN = %d, want 256", s2.cfg.MaxSortN)
+	}
+}
+
+func TestSortgenCacheCountsInMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		resp, blob := getSortgen(t, ts.URL, "?n=6")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d: %s", i, resp.StatusCode, blob)
+		}
+	}
+	m := getMetrics(t, ts.URL)
+	cache, ok := m["cache"]
+	if !ok {
+		t.Fatalf("metrics missing cache section: %v", m)
+	}
+	hits := int(cache["hits"].(float64))
+	misses := int(cache["misses"].(float64))
+	if hits < 1 || misses < 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want ≥1 each", hits, misses)
+	}
+}

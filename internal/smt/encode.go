@@ -187,6 +187,31 @@ func (in *instance) selLits(t int, instr isa.Instr, id int) []sat.Lit {
 	}
 }
 
+// blockProgram adds a clause forbidding the exact instruction sequence p.
+// CEGIS uses it when a counterexample cannot be expressed in the
+// per-example finite value domain: instead of the failing input, the
+// refuted candidate itself is excluded from the search space.
+func (in *instance) blockProgram(p isa.Program) {
+	legal := in.legal()
+	var clause []sat.Lit
+	for t := 0; t < in.len && t < len(p); t++ {
+		id := -1
+		for i, instr := range legal {
+			if instr == p[t] {
+				id = i
+				break
+			}
+		}
+		if id < 0 {
+			return // p is outside this encoding's space; nothing to block
+		}
+		for _, l := range in.selLits(t, p[t], id) {
+			clause = append(clause, l.Not())
+		}
+	}
+	in.e.s.AddClause(clause...)
+}
+
 // legal returns the instruction list the encoding ranges over: the
 // symmetry-reduced set for dense, the full raw product for raw.
 func (in *instance) legal() []isa.Instr {

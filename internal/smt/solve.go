@@ -139,7 +139,9 @@ func SynthCEGISContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 		examples = [][]int{rev}
 	}
 	res := &Result{}
-	var in *instance // reused across iterations in incremental mode
+	var in *instance                 // reused across iterations in incremental mode
+	var blocked []isa.Program        // every candidate refuted without an expressible example
+	var pendingBlocked []isa.Program // not yet encoded into the live instance
 	pending := examples
 	for {
 		res.Iterations++
@@ -152,6 +154,7 @@ func SynthCEGISContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 			in = newInstance(set, opt.Length, opt.Encoding, opt.Goal, opt.Heur)
 			in.e.s.Stop = func() bool { return ctx.Err() != nil }
 			pending = examples
+			pendingBlocked = blocked // fresh instance: re-apply them all
 		} else {
 			// Incremental: keep the formula and learned clauses, undo the
 			// previous model's decisions, add only the new example.
@@ -161,6 +164,10 @@ func SynthCEGISContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 			in.addExample(ex)
 		}
 		pending = nil
+		for _, b := range pendingBlocked {
+			in.blockProgram(b)
+		}
+		pendingBlocked = nil
 		in.e.s.MaxConflicts = opt.MaxConflicts
 		if !deadline.IsZero() {
 			remain := time.Until(deadline)
@@ -199,13 +206,39 @@ func SynthCEGISContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 			res.Elapsed = time.Since(start)
 			return res
 		}
-		if opt.Incremental {
-			pending = [][]int{ce}
+		if isPermutation(set.N, ce) {
+			if opt.Incremental {
+				pending = [][]int{ce}
+			} else {
+				examples = append(examples, ce)
+				in = nil // re-encode everything next round
+			}
 		} else {
-			examples = append(examples, ce)
-			in = nil // re-encode everything next round
+			// The extended duplicate suite can return counterexamples the
+			// per-example encoding cannot express (repeated values, or
+			// values at or below the zero-initialized scratch constant).
+			// Exclude the refuted candidate directly and keep searching;
+			// the clause is added next round, after ResetSearch.
+			blocked = append(blocked, cand)
+			pendingBlocked = append(pendingBlocked, cand)
 		}
 	}
+}
+
+// isPermutation reports whether in is a permutation of 1..n — the only
+// example shape addGoal constrains correctly.
+func isPermutation(n int, in []int) bool {
+	if len(in) != n {
+		return false
+	}
+	seen := make([]bool, n+1)
+	for _, v := range in {
+		if v < 1 || v > n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
 }
 
 // FindMinimal searches for the shortest program by increasing the length

@@ -1,0 +1,117 @@
+package sortgen
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+)
+
+// Distribution is one adversarial input shape for the differential
+// harness and the benchmarks.
+type Distribution struct {
+	Name string
+	Gen  func(rng *rand.Rand, n int) []int
+}
+
+// Distributions returns the five shapes every generated sorter is
+// checked and benchmarked against: uniform random, already sorted,
+// reverse sorted, duplicate-heavy (eight distinct values), and a
+// sawtooth pattern.
+func Distributions() []Distribution {
+	return []Distribution{
+		{Name: "random", Gen: func(rng *rand.Rand, n int) []int {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = rng.Intn(20001) - 10000
+			}
+			return a
+		}},
+		{Name: "sorted", Gen: func(rng *rand.Rand, n int) []int {
+			a := make([]int, n)
+			v := -n
+			for i := range a {
+				v += rng.Intn(3)
+				a[i] = v
+			}
+			return a
+		}},
+		{Name: "reversed", Gen: func(rng *rand.Rand, n int) []int {
+			a := make([]int, n)
+			v := n
+			for i := range a {
+				v -= rng.Intn(3)
+				a[i] = v
+			}
+			return a
+		}},
+		{Name: "dups", Gen: func(rng *rand.Rand, n int) []int {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = rng.Intn(8)
+			}
+			return a
+		}},
+		{Name: "sawtooth", Gen: func(rng *rand.Rand, n int) []int {
+			a := make([]int, n)
+			period := 43
+			if n < period {
+				period = n/2 + 1
+			}
+			for i := range a {
+				a[i] = i % period
+			}
+			return a
+		}},
+	}
+}
+
+// CheckFixed differentially tests a fixed-length sorter against
+// slices.Sort: trials inputs per distribution, requiring byte-equal
+// output (not just sortedness — equal multiset and order of ties is
+// what slices.Sort produces on ints, so equality is the full contract).
+func CheckFixed(sorter func([]int), n, trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for _, d := range Distributions() {
+		for t := 0; t < trials; t++ {
+			in := d.Gen(rng, n)
+			want := slices.Clone(in)
+			slices.Sort(want)
+			got := slices.Clone(in)
+			sorter(got)
+			if !slices.Equal(got, want) {
+				return fmt.Errorf("sortgen: fixed n=%d sorter diverges from slices.Sort on %s input %v: got %v, want %v",
+					n, d.Name, in, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDynamic differentially tests an arbitrary-length sorter against
+// slices.Sort over every distribution at each given size.
+func CheckDynamic(sorter func([]int), sizes []int, trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range sizes {
+		for _, d := range Distributions() {
+			for t := 0; t < trials; t++ {
+				in := d.Gen(rng, n)
+				want := slices.Clone(in)
+				slices.Sort(want)
+				got := slices.Clone(in)
+				sorter(got)
+				if !slices.Equal(got, want) {
+					return fmt.Errorf("sortgen: dynamic sorter diverges from slices.Sort at n=%d on %s input: got %v, want %v",
+						n, d.Name, truncate(in), truncate(got))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func truncate(a []int) []int {
+	if len(a) > 32 {
+		return a[:32]
+	}
+	return a
+}

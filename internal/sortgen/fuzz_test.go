@@ -1,0 +1,49 @@
+package sortgen
+
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+)
+
+// FuzzSortgenVsSlicesSort drives arbitrary byte-derived inputs through
+// both sortgen paths — the hybrid dynamic-n sorter on the full slice
+// and a composed fixed-n plan interpreter on the same values — and
+// requires byte-equal output with slices.Sort for each.
+func FuzzSortgenVsSlicesSort(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 3, 9, 1, 0, 255, 128, 2, 2, 2, 64, 5})
+	f.Add([]byte("sortgen differential fuzzing against slices.Sort"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode signed 16-bit values; cap the length so each iteration
+		// composes a plan in microseconds.
+		var in []int
+		for i := 0; i+1 < len(data) && len(in) < 48; i += 2 {
+			in = append(in, int(int16(binary.BigEndian.Uint16(data[i:]))))
+		}
+		want := slices.Clone(in)
+		slices.Sort(want)
+
+		got := slices.Clone(in)
+		HybridSort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("HybridSort(%v) = %v, want %v", in, got, want)
+		}
+
+		got = slices.Clone(in)
+		HybridMergesort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("HybridMergesort(%v) = %v, want %v", in, got, want)
+		}
+
+		p, err := Compose(len(in))
+		if err != nil {
+			t.Fatalf("Compose(%d): %v", len(in), err)
+		}
+		got = slices.Clone(in)
+		p.Sorter()(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("plan(%d).Sorter()(%v) = %v, want %v", len(in), in, got, want)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package sortgen
+
+import "math/bits"
+
+// HybridSort sorts a in place for arbitrary n: an introsort outer loop
+// (median-of-three quicksort, recursing into the smaller side first,
+// with a heapsort fallback past 2·⌊log₂ n⌋ partition depth) that hands
+// every segment of ≤ 5 elements to the synthesized kernel of exactly
+// that length — the Gamal Aly et al. hybrid with the AlphaDev-style
+// base cases replaced by this repository's synthesized kernels.
+func HybridSort(a []int) {
+	if len(a) <= MaxKernelN {
+		sortBase(a)
+		return
+	}
+	quicksort(a, 2*bits.Len(uint(len(a))))
+}
+
+// sortBase dispatches a ≤ 5-element segment to the matching kernel.
+func sortBase(a []int) {
+	switch len(a) {
+	case 0, 1:
+	case 2:
+		sort2(a)
+	default:
+		synthKernels[len(a)].fn(a)
+	}
+}
+
+func quicksort(a []int, depth int) {
+	for len(a) > MaxKernelN {
+		if depth == 0 {
+			// Adversarial pivot run: bound the worst case at O(n log n)
+			// like the standard library's introsort does.
+			heapsort(a)
+			return
+		}
+		depth--
+		p := partition(a)
+		if p < len(a)-p-1 {
+			quicksort(a[:p], depth)
+			a = a[p+1:]
+		} else {
+			quicksort(a[p+1:], depth)
+			a = a[:p]
+		}
+	}
+	sortBase(a)
+}
+
+// partition performs a median-of-three Hoare-style partition and
+// returns the pivot's final index. len(a) must be ≥ 3.
+func partition(a []int) int {
+	mid := len(a) / 2
+	hi := len(a) - 1
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[hi] < a[0] {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	pivot := a[hi-1]
+	i := 0
+	for j := 1; j < hi-1; j++ {
+		if a[j] < pivot {
+			i++
+			if i != j {
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	}
+	a[i+1], a[hi-1] = a[hi-1], a[i+1]
+	return i + 1
+}
+
+func heapsort(a []int) {
+	for i := len(a)/2 - 1; i >= 0; i-- {
+		siftDown(a, i)
+	}
+	for end := len(a) - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a[:end], 0)
+	}
+}
+
+func siftDown(a []int, root int) {
+	for {
+		child := 2*root + 1
+		if child >= len(a) {
+			return
+		}
+		if child+1 < len(a) && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// HybridMergesort sorts a in place through a top-down mergesort whose
+// base cases are the synthesized kernels — the second hybrid of the
+// Gamal Aly et al. comparison. It allocates one scratch buffer.
+func HybridMergesort(a []int) {
+	if len(a) <= MaxKernelN {
+		sortBase(a)
+		return
+	}
+	buf := make([]int, len(a))
+	hybridMerge(a, buf)
+}
+
+func hybridMerge(a, buf []int) {
+	if len(a) <= MaxKernelN {
+		sortBase(a)
+		return
+	}
+	mid := len(a) / 2
+	hybridMerge(a[:mid], buf[:mid])
+	hybridMerge(a[mid:], buf[mid:])
+	copy(buf, a)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(a) {
+		if buf[j] < buf[i] {
+			a[k] = buf[j]
+			j++
+		} else {
+			a[k] = buf[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		a[k] = buf[i]
+		i++
+		k++
+	}
+	for j < len(a) {
+		a[k] = buf[j]
+		j++
+		k++
+	}
+}

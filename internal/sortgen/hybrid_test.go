@@ -1,0 +1,84 @@
+package sortgen
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestHybridDifferential(t *testing.T) {
+	sizes := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 17, 63, 100, 1024, 20000}
+	if err := CheckDynamic(HybridSort, sizes, 8, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDynamic(HybridMergesort, sizes, 8, 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// medianOf3Killer builds the classic adversarial permutation that
+// drives median-of-three quicksort quadratic, forcing the heapsort
+// fallback path; the output must still be byte-equal with slices.Sort.
+func medianOf3Killer(n int) []int {
+	a := make([]int, n)
+	k := n / 2
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			a[i] = i + 1
+		} else {
+			a[i] = k + i
+		}
+		a[k+i] = 2 * (i + 1)
+	}
+	if n%2 == 1 {
+		a[n-1] = n
+	}
+	return a
+}
+
+func TestHybridAdversarial(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		in := medianOf3Killer(n)
+		want := slices.Clone(in)
+		slices.Sort(want)
+		got := slices.Clone(in)
+		HybridSort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("HybridSort diverges on median-of-3 killer n=%d", n)
+		}
+	}
+	// All-equal and two-valued inputs stress the partition's duplicate
+	// handling.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(2)
+		}
+		want := slices.Clone(in)
+		slices.Sort(want)
+		HybridSort(in)
+		if !slices.Equal(in, want) {
+			t.Fatalf("HybridSort diverges on two-valued input n=%d", n)
+		}
+	}
+}
+
+func TestHeapsortFallbackDirect(t *testing.T) {
+	// The fallback must be correct on its own, not only as a rescue.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(50) - 25
+		}
+		want := slices.Clone(in)
+		slices.Sort(want)
+		heapsort(in)
+		if !slices.Equal(in, want) {
+			t.Fatalf("heapsort diverges at n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package sortgen generates complete sorting libraries from synthesized
+// kernels: the deployment story of the paper (§1, §5.3), where the
+// n ≤ 5 kernels matter because they sit inside real sorts, not because
+// anyone sorts exactly five elements.
+//
+// The package has two halves:
+//
+//   - a composer (Compose) that plans a fully branchless sorter for a
+//     fixed small n by covering the array with synthesized-kernel blocks
+//     and gluing the sorted runs with Batcher odd-even merge layers, and
+//     a hybrid introsort (HybridSort) that uses the kernels as ≤ 5-element
+//     base cases for arbitrary or dynamic n; and
+//   - an emitter (Plan.GoFile) that renders a plan as compilable,
+//     gofmt-clean Go source, next to an in-process interpreter
+//     (Plan.Sorter) for serving a sorter without a codegen round-trip.
+//
+// Every plan is certified at composition time: each merge layer is
+// exhaustively checked over all (m+1)·(k+1) sorted 0-1 run pairs (the
+// 0-1 principle restricted to merge inputs), and the kernel blocks are
+// synthesized programs that were verified over all n! permutations and
+// the duplicate suite when they entered internal/kernels.
+package sortgen
+
+import (
+	"fmt"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/kernels"
+	"sortsynth/internal/sortnet"
+)
+
+// MaxKernelN is the largest block a synthesized kernel covers; beyond it
+// the composer merges and the hybrid sorter partitions.
+const MaxKernelN = 5
+
+// Block is one kernel application in a plan: the synthesized kernel for
+// length N sorts the elements [Lo, Lo+N). Blocks of length ≤ 1 are
+// already sorted and cost nothing; a block of length 2 is a single
+// compare-and-swap.
+type Block struct {
+	Lo int
+	N  int
+}
+
+// Merge is one merge layer: an oblivious comparator schedule (absolute
+// element indices) that merges the sorted runs [Lo, Lo+M) and
+// [Lo+M, Lo+M+K).
+type Merge struct {
+	Lo   int
+	M, K int
+	Ops  []sortnet.CAS
+}
+
+// Plan is a branchless sorter for a fixed array length: kernel blocks
+// followed by merge layers. The zero-length and length-1 plans are
+// valid no-ops.
+type Plan struct {
+	N      int
+	Blocks []Block
+	Merges []Merge
+}
+
+// Compose plans a branchless sorter for fixed length n. The block
+// cutover policy (DESIGN.md §12): cover the array with synthesized
+// 5-kernels while more than 7 elements remain, then split the tail so
+// no block is smaller than 2 unless n itself is (6 → 3+3, 7 → 4+3,
+// 2..5 → one kernel). Runs are then merged pairwise, balanced-tree
+// style, with Batcher odd-even merges; every merge layer is certified
+// against all sorted 0-1 run pairs before the plan is returned.
+func Compose(n int) (*Plan, error) {
+	blocks, err := BlocksFor(n)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{N: n, Blocks: blocks}
+
+	// Merge adjacent runs pairwise until one run spans the array.
+	runs := make([]Block, len(p.Blocks))
+	copy(runs, p.Blocks)
+	for len(runs) > 1 {
+		var next []Block
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				next = append(next, runs[i])
+				continue
+			}
+			a, b := runs[i], runs[i+1]
+			m, err := mergeRuns(a.Lo, a.N, b.N)
+			if err != nil {
+				return nil, err
+			}
+			p.Merges = append(p.Merges, m)
+			next = append(next, Block{Lo: a.Lo, N: a.N + b.N})
+		}
+		runs = next
+	}
+	return p, nil
+}
+
+// BlocksFor returns the deterministic kernel-block cover for length n
+// under the cutover policy, without building (or certifying) the merge
+// layers — cheap enough for cache-hit metadata on the serving path.
+func BlocksFor(n int) ([]Block, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sortgen: invalid length n=%d", n)
+	}
+	var blocks []Block
+	for lo := 0; lo < n; {
+		rem := n - lo
+		var size int
+		switch {
+		case rem > 7:
+			size = 5
+		case rem == 7:
+			size = 4
+		case rem == 6:
+			size = 3
+		default: // 1..5
+			size = rem
+		}
+		blocks = append(blocks, Block{Lo: lo, N: size})
+		lo += size
+	}
+	return blocks, nil
+}
+
+// mergeRuns builds and certifies the odd-even merge of the adjacent
+// sorted runs [lo, lo+m) and [lo+m, lo+m+k).
+func mergeRuns(lo, m, k int) (Merge, error) {
+	chA := make([]int, m)
+	for i := range chA {
+		chA[i] = i
+	}
+	chB := make([]int, k)
+	for i := range chB {
+		chB[i] = m + i
+	}
+	rel := sortnet.OddEvenMergeRuns(chA, chB)
+	if !sortnet.MergesRuns01(rel, m, k) {
+		// Unreachable for a correct generator; certified anyway so a
+		// regression in the construction can never ship a wrong sorter.
+		return Merge{}, fmt.Errorf("sortgen: generated merge(%d,%d) failed 0-1 certification", m, k)
+	}
+	ops := make([]sortnet.CAS, len(rel))
+	for i, c := range rel {
+		ops[i] = sortnet.CAS{I: lo + c.I, J: lo + c.J}
+	}
+	return Merge{Lo: lo, M: m, K: k, Ops: ops}, nil
+}
+
+// Comparators returns the total number of merge-layer compare-and-swaps.
+func (p *Plan) Comparators() int {
+	total := 0
+	for _, m := range p.Merges {
+		total += len(m.Ops)
+	}
+	return total
+}
+
+// KernelInstructions returns the total abstract-instruction count of the
+// plan's kernel blocks (a length-2 block counts as one comparator's
+// worth of work, reported as 0 abstract instructions).
+func (p *Plan) KernelInstructions() int {
+	total := 0
+	for _, b := range p.Blocks {
+		if prog := kernelProg(b.N); prog != nil {
+			total += len(prog.prog)
+		}
+	}
+	return total
+}
+
+// MergeOps returns the flattened merge schedule in execution order.
+func (p *Plan) MergeOps() []sortnet.CAS {
+	ops := make([]sortnet.CAS, 0, p.Comparators())
+	for _, m := range p.Merges {
+		ops = append(ops, m.Ops...)
+	}
+	return ops
+}
+
+// Sorter returns an in-process sorter executing the plan directly —
+// kernel blocks through their compiled Go forms, merge layers as
+// compare-and-swap loops — so the service can hand out a working
+// sorter without emitting and compiling source. The returned function
+// sorts a[:p.N] in place and panics if len(a) < p.N.
+func (p *Plan) Sorter() func(a []int) {
+	type blockFn struct {
+		lo, n int
+		fn    func([]int)
+	}
+	var blocks []blockFn
+	for _, b := range p.Blocks {
+		if b.N < 2 {
+			continue
+		}
+		blocks = append(blocks, blockFn{lo: b.Lo, n: b.N, fn: kernelFunc(b.N)})
+	}
+	ops := p.MergeOps()
+	n := p.N
+	return func(a []int) {
+		a = a[:n]
+		for _, b := range blocks {
+			b.fn(a[b.lo : b.lo+b.n])
+		}
+		for _, c := range ops {
+			if a[c.I] > a[c.J] {
+				a[c.I], a[c.J] = a[c.J], a[c.I]
+			}
+		}
+	}
+}
+
+// kernelEntry is one synthesized kernel in both forms: the native Go
+// function for execution and the abstract program for emission.
+type kernelEntry struct {
+	fn   func([]int)
+	prog isa.Program
+	set  *isa.Set
+}
+
+// synthKernels caches the registry lookups: the model-best synthesized
+// cmov kernels for n = 3, 4, 5 (the "enum" contenders of §5.3).
+var synthKernels = func() map[int]kernelEntry {
+	ks := make(map[int]kernelEntry, 3)
+	for n := 3; n <= MaxKernelN; n++ {
+		k, ok := kernels.Lookup("enum", n)
+		if !ok {
+			panic(fmt.Sprintf("sortgen: no synthesized kernel for n=%d in the registry", n))
+		}
+		ks[n] = kernelEntry{fn: k.Go, prog: k.Prog, set: k.Set}
+	}
+	return ks
+}()
+
+// kernelFunc returns the native sorter for a block of length n (2..5).
+func kernelFunc(n int) func([]int) {
+	if n == 2 {
+		return sort2
+	}
+	return synthKernels[n].fn
+}
+
+// kernelProg returns the abstract program behind a block of length n,
+// or nil when the block is a bare compare-and-swap (n ≤ 2).
+func kernelProg(n int) *kernelEntry {
+	if e, ok := synthKernels[n]; ok {
+		return &e
+	}
+	return nil
+}
+
+func sort2(a []int) {
+	if a[1] < a[0] {
+		a[0], a[1] = a[1], a[0]
+	}
+}

@@ -1,0 +1,151 @@
+package sortgen
+
+import (
+	"testing"
+)
+
+func TestComposeCoversArray(t *testing.T) {
+	for n := 0; n <= 130; n++ {
+		p, err := Compose(n)
+		if err != nil {
+			t.Fatalf("Compose(%d): %v", n, err)
+		}
+		if p.N != n {
+			t.Fatalf("Compose(%d).N = %d", n, p.N)
+		}
+		lo := 0
+		for _, b := range p.Blocks {
+			if b.Lo != lo {
+				t.Fatalf("Compose(%d): block gap at %d (got Lo=%d)", n, lo, b.Lo)
+			}
+			if b.N < 1 || b.N > MaxKernelN {
+				t.Fatalf("Compose(%d): block size %d out of 1..%d", n, b.N, MaxKernelN)
+			}
+			// The tail-splitting policy never leaves a 1-block unless the
+			// whole array is one element.
+			if b.N == 1 && n > 1 {
+				t.Fatalf("Compose(%d): stranded 1-element block at %d", n, b.Lo)
+			}
+			lo += b.N
+		}
+		if lo != n {
+			t.Fatalf("Compose(%d): blocks cover %d elements", n, lo)
+		}
+	}
+}
+
+func TestComposePolicy(t *testing.T) {
+	// The documented cutover policy: 5s while > 7 remain, 6 → 3+3,
+	// 7 → 4+3.
+	cases := map[int][]int{
+		2:  {2},
+		3:  {3},
+		5:  {5},
+		6:  {3, 3},
+		7:  {4, 3},
+		8:  {5, 3},
+		12: {5, 4, 3},
+		13: {5, 5, 3},
+		32: {5, 5, 5, 5, 5, 4, 3},
+	}
+	for n, want := range cases {
+		p, err := Compose(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for _, b := range p.Blocks {
+			got = append(got, b.N)
+		}
+		if len(got) != len(want) {
+			t.Errorf("Compose(%d) blocks = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("Compose(%d) blocks = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestComposeRejectsNegative(t *testing.T) {
+	if _, err := Compose(-1); err == nil {
+		t.Error("Compose(-1) succeeded")
+	}
+}
+
+func TestPlanDifferential(t *testing.T) {
+	// Every fixed-n interpreter up to 96 (and the acceptance sizes 6,
+	// 13, 32 with more trials) must be byte-equal with slices.Sort over
+	// all five distributions.
+	for n := 0; n <= 96; n++ {
+		p, err := Compose(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckFixed(p.Sorter(), n, 25, int64(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []int{6, 13, 32} {
+		p, err := Compose(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckFixed(p.Sorter(), n, 400, int64(1000+n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlanCounters(t *testing.T) {
+	p, err := Compose(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 5+5+3: two 33-instruction and one 11-instruction kernel.
+	if got := p.KernelInstructions(); got != 33+33+11 {
+		t.Errorf("KernelInstructions() = %d, want 77", got)
+	}
+	if got := p.Comparators(); got != len(p.MergeOps()) || got == 0 {
+		t.Errorf("Comparators() = %d inconsistent with MergeOps() (%d)", got, len(p.MergeOps()))
+	}
+	if got := p.BlocksDesc(); got != "5+5+3" {
+		t.Errorf("BlocksDesc() = %q", got)
+	}
+	if got, err := Compose(0); err != nil || got.BlocksDesc() != "0" {
+		t.Errorf("Compose(0) = %v, %v", got.BlocksDesc(), err)
+	}
+}
+
+func TestSorterPanicsOnShortSlice(t *testing.T) {
+	p, err := Compose(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sorter() accepted a slice shorter than n")
+		}
+	}()
+	p.Sorter()(make([]int, 7))
+}
+
+func TestSorterSortsPrefixOnly(t *testing.T) {
+	p, err := Compose(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int{5, 4, 3, 2, 1, 0, -99, 42}
+	p.Sorter()(a)
+	for i := 0; i < 5; i++ {
+		if a[i] > a[i+1] {
+			t.Fatalf("prefix not sorted: %v", a)
+		}
+	}
+	if a[6] != -99 || a[7] != 42 {
+		t.Fatalf("suffix touched: %v", a)
+	}
+}

@@ -1,0 +1,85 @@
+package sortnet
+
+// This file generates Batcher odd-even *merge* networks for two adjacent
+// sorted runs of arbitrary (not necessarily power-of-two) lengths. They
+// are the glue sortgen uses to compose synthesized n ≤ 5 kernels into
+// branchless sorters for any fixed n: sort each block with a kernel,
+// then merge the sorted runs with an oblivious comparator schedule.
+//
+// Correctness of a merge network is cheap to certify: by the 0-1
+// principle restricted to merge inputs, a network merges all inputs iff
+// it merges every pair of sorted 0-1 runs — only (m+1)·(k+1) vectors for
+// run lengths m and k, instead of 2^(m+k) for a full sorting check.
+
+// OddEvenMergeRuns returns the comparator schedule that merges two
+// sorted runs living on the channel lists a and b (in run order) into
+// one sorted sequence over the concatenation a ++ b. The construction is
+// Batcher's odd-even merge generalized to arbitrary run lengths: merge
+// the even-indexed and odd-indexed subsequences recursively, then fix up
+// adjacent pairs of the interleaving.
+func OddEvenMergeRuns(a, b []int) []CAS {
+	var ops []CAS
+	oddEvenMerge(&ops, a, b)
+	return ops
+}
+
+func oddEvenMerge(ops *[]CAS, a, b []int) {
+	switch {
+	case len(a) == 0 || len(b) == 0:
+	case len(a) == 1 && len(b) == 1:
+		*ops = append(*ops, CAS{a[0], b[0]})
+	default:
+		oddEvenMerge(ops, everyOther(a, 0), everyOther(b, 0))
+		oddEvenMerge(ops, everyOther(a, 1), everyOther(b, 1))
+		z := make([]int, 0, len(a)+len(b))
+		z = append(z, a...)
+		z = append(z, b...)
+		for i := 1; i+1 < len(z); i += 2 {
+			*ops = append(*ops, CAS{z[i], z[i+1]})
+		}
+	}
+}
+
+func everyOther(s []int, start int) []int {
+	var out []int
+	for i := start; i < len(s); i += 2 {
+		out = append(out, s[i])
+	}
+	return out
+}
+
+// MergesRuns01 certifies a merge schedule over nch channels whose first
+// m channels hold one ascending run and whose next k channels hold
+// another: it exhaustively checks all (m+1)·(k+1) sorted 0-1 run pairs
+// (the 0-1 principle restricted to merge inputs). Channels beyond m+k
+// are ignored by the check but must not be touched by ops.
+func MergesRuns01(ops []CAS, m, k int) bool {
+	in := make([]int, m+k)
+	for ones1 := 0; ones1 <= m; ones1++ {
+		for ones2 := 0; ones2 <= k; ones2++ {
+			for i := 0; i < m; i++ {
+				in[i] = 0
+				if i >= m-ones1 {
+					in[i] = 1
+				}
+			}
+			for i := 0; i < k; i++ {
+				in[m+i] = 0
+				if i >= k-ones2 {
+					in[m+i] = 1
+				}
+			}
+			for _, c := range ops {
+				if in[c.I] > in[c.J] {
+					in[c.I], in[c.J] = in[c.J], in[c.I]
+				}
+			}
+			for i := 1; i < len(in); i++ {
+				if in[i-1] > in[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

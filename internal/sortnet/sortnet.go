@@ -174,13 +174,29 @@ var optimalOps = map[int][]CAS{
 	8: {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {1, 3}, {4, 6}, {5, 7}, {1, 2}, {5, 6}, {0, 4}, {3, 7}, {1, 5}, {2, 6}, {1, 4}, {3, 6}, {2, 4}, {3, 5}, {3, 4}},
 }
 
-// Optimal returns a size-optimal sorting network for n ≤ 8.
+// Optimal returns the best recorded sorting network for n: the proven
+// size-optimal networks for n ≤ 8, the best-known (also size-optimal)
+// tabulated networks for 9 ≤ n ≤ 12, and beyond the tables the smaller
+// of the Batcher and Bose-Nelson constructions — so callers (sortgen in
+// particular) can plan any fixed n without special-casing.
 func Optimal(n int) Network {
-	ops, ok := optimalOps[n]
-	if !ok {
-		panic(fmt.Sprintf("sortnet: no optimal network recorded for n=%d", n))
+	if n < 0 {
+		panic(fmt.Sprintf("sortnet: invalid channel count n=%d", n))
 	}
-	return Network{N: n, Ops: append([]CAS(nil), ops...)}
+	if ops, ok := optimalOps[n]; ok {
+		return Network{N: n, Ops: append([]CAS(nil), ops...)}
+	}
+	if ops, ok := bestKnownOps[n]; ok {
+		return Network{N: n, Ops: append([]CAS(nil), ops...)}
+	}
+	if n == 0 {
+		return Network{N: 0}
+	}
+	b, bn := Batcher(n), BoseNelson(n)
+	if bn.Size() < b.Size() {
+		return bn
+	}
+	return b
 }
 
 // CompileCmov emits the 4-instruction cmov compare-and-swap pattern for

@@ -149,11 +149,118 @@ func TestCompiledInstructionsAreLegal(t *testing.T) {
 	}
 }
 
-func TestOptimalPanicsBeyond8(t *testing.T) {
+func TestBestKnownTabulated(t *testing.T) {
+	// The 9..12 tables carry the proven-optimal comparator counts and
+	// must sort (0-1 principle, 2^n vectors each).
+	want := map[int]int{9: 25, 10: 29, 11: 35, 12: 39}
+	for n, size := range want {
+		w := Optimal(n)
+		if got := w.Size(); got != size {
+			t.Errorf("Optimal(%d).Size() = %d, want %d", n, got, size)
+		}
+		if !w.Sorts01() {
+			t.Errorf("Optimal(%d) fails the 0-1 test", n)
+		}
+	}
+}
+
+func TestOptimalFallbackBeyondTables(t *testing.T) {
+	// Past the tables Optimal must return the smaller of Batcher and
+	// Bose-Nelson, still sorting (0-1 checked up to n=16, sampled
+	// beyond), so sortgen can plan any fixed n.
+	for n := 13; n <= 16; n++ {
+		w := Optimal(n)
+		if !w.Sorts01() {
+			t.Errorf("Optimal(%d) fails the 0-1 test", n)
+		}
+		if bn, b := BoseNelson(n).Size(), Batcher(n).Size(); w.Size() != min(bn, b) {
+			t.Errorf("Optimal(%d).Size() = %d, want min(bose-nelson %d, batcher %d)", n, w.Size(), bn, b)
+		}
+	}
+	rng := rand.New(rand.NewSource(33))
+	for _, n := range []int{17, 24, 32, 50} {
+		w := Optimal(n)
+		for trial := 0; trial < 100; trial++ {
+			in := make([]int, n)
+			for i := range in {
+				in[i] = rng.Intn(2*n) - n
+			}
+			out := w.Apply(in)
+			for i := 1; i < n; i++ {
+				if out[i-1] > out[i] {
+					t.Fatalf("Optimal(%d) failed on %v: %v", n, in, out)
+				}
+			}
+		}
+	}
+	if got := Optimal(0).Size(); got != 0 {
+		t.Errorf("Optimal(0).Size() = %d, want 0", got)
+	}
+}
+
+func TestOptimalPanicsOnNegative(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("Optimal(9) did not panic")
+			t.Error("Optimal(-1) did not panic")
 		}
 	}()
-	Optimal(9)
+	Optimal(-1)
+}
+
+func TestOddEvenMergeRuns(t *testing.T) {
+	// Exhaustive 0-1 run-pair certification for every run-length split
+	// of up to 16 channels, plus a random-valued spot check.
+	for m := 0; m <= 8; m++ {
+		for k := 0; k <= 8; k++ {
+			chA, chB := make([]int, m), make([]int, k)
+			for i := range chA {
+				chA[i] = i
+			}
+			for i := range chB {
+				chB[i] = m + i
+			}
+			ops := OddEvenMergeRuns(chA, chB)
+			if !MergesRuns01(ops, m, k) {
+				t.Errorf("OddEvenMergeRuns(%d,%d) does not merge", m, k)
+			}
+			if m > 0 && k > 0 && len(ops) == 0 {
+				t.Errorf("OddEvenMergeRuns(%d,%d) emitted no comparators", m, k)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m, k := 1+rng.Intn(10), 1+rng.Intn(10)
+		in := make([]int, m+k)
+		for i := range in {
+			in[i] = rng.Intn(40) - 20
+		}
+		sortInts(in[:m])
+		sortInts(in[m:])
+		chA, chB := make([]int, m), make([]int, k)
+		for i := range chA {
+			chA[i] = i
+		}
+		for i := range chB {
+			chB[i] = m + i
+		}
+		for _, c := range OddEvenMergeRuns(chA, chB) {
+			if in[c.I] > in[c.J] {
+				in[c.I], in[c.J] = in[c.J], in[c.I]
+			}
+		}
+		for i := 1; i < len(in); i++ {
+			if in[i-1] > in[i] {
+				t.Fatalf("merge(%d,%d) left %v unsorted", m, k, in)
+			}
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
 }

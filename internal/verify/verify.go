@@ -7,6 +7,17 @@
 // also offers randomized checking on arbitrary integers (including
 // duplicates), which exercises the same property the formal criterion
 // implies.
+//
+// One subtlety the paper's criterion glosses over: scratch registers are
+// zero-initialized, so a program that reads a scratch register before
+// writing it is not constant-free — the initial 0 leaks in as a constant.
+// Such a program can sort every positive-valued test input (where 0 loses
+// every max and wins every min) yet fail on inputs at or below zero;
+// "max s1 r1; min r1 r2; max r2 s1" is a three-instruction example found
+// by FuzzVerifySorts. Sorts and Counterexample intentionally keep the
+// paper's permutation criterion; SortsDuplicates and
+// DuplicateCounterexample close the hole by also sliding the test values
+// past 0 whenever ReadsInitialScratch reports the leak is observable.
 package verify
 
 import (
@@ -35,25 +46,105 @@ func Sorts(set *isa.Set, p isa.Program) bool {
 	return true
 }
 
-// SortsDuplicates reports whether p also sorts every input with repeated
-// values. Testing all canonical weak orders (perm.WeakOrders) is sound
-// and complete for arbitrary integers. This is strictly stronger than the
-// paper's §2.3 criterion: permutations of distinct values never make cmp
-// leave both flags clear, so a kernel can pass all n! permutations yet
-// mis-sort ties (see EXPERIMENTS.md).
+// SortsDuplicates reports whether p sorts every integer input, including
+// repeated and negative values. Testing all canonical weak orders
+// (perm.WeakOrders) covers every ordering class of the inputs; when p can
+// observe the zero-initialized scratch registers (ReadsInitialScratch)
+// the suite additionally varies where the constant 0 falls relative to
+// the inputs, which keeps the check sound and complete for arbitrary
+// integers. This is strictly stronger than the paper's §2.3 criterion:
+// permutations of distinct values never make cmp leave both flags clear,
+// so a kernel can pass all n! permutations yet mis-sort ties (see
+// EXPERIMENTS.md).
 func SortsDuplicates(set *isa.Set, p isa.Program) bool {
 	return DuplicateCounterexample(set, p) == nil
 }
 
-// DuplicateCounterexample returns a weak-order input that p fails to
-// sort correctly (ascending and multiset-preserving), or nil.
+// DuplicateCounterexample returns an integer input that p fails to sort
+// correctly (ascending and multiset-preserving), or nil.
 func DuplicateCounterexample(set *isa.Set, p isa.Program) []int {
-	for _, in := range perm.WeakOrders(set.N) {
-		if !outputValid(in, state.RunInts(set, p, in)) {
-			return in
+	orders := perm.WeakOrders(set.N)
+	if !ReadsInitialScratch(set, p) {
+		// No initial scratch value can flow into the computation, so p is
+		// comparison-only over its inputs and one representative per weak
+		// order decides every integer input.
+		for _, in := range orders {
+			if !outputValid(in, state.RunInts(set, p, in)) {
+				return in
+			}
+		}
+		return nil
+	}
+	// p can observe the zero-initialized scratch registers, so its
+	// behaviour depends on the ordering class of the inputs *plus* the
+	// constant 0. Realize each weak order with even values 2·v and slide
+	// them down by s: s=0 puts every input above 0, s=2j makes the j-th
+	// distinct value equal 0, s=2j+1 puts 0 strictly between the j-th and
+	// j+1-th, and s=2k+1 puts every input below 0 — one representative
+	// per ordering class of inputs ∪ {0}.
+	for _, in := range orders {
+		k := 0
+		for _, v := range in {
+			k = max(k, v)
+		}
+		shifted := make([]int, len(in))
+		for s := 0; s <= 2*k+1; s++ {
+			for i, v := range in {
+				shifted[i] = 2*v - s
+			}
+			if !outputValid(shifted, state.RunInts(set, p, shifted)) {
+				return slices.Clone(shifted)
+			}
 		}
 	}
 	return nil
+}
+
+// ReadsInitialScratch reports whether running p can observe the initial
+// (zero) value of a scratch register: some instruction reads an s-register
+// that no earlier instruction has definitely written. Programs for which
+// this is false are genuinely constant-free, so §2.3's ordering-class
+// argument applies to them unchanged; programs for which it is true carry
+// the constant 0 and need the extended suites. The check is a
+// conservative static dataflow pass: a conditional move does not count as
+// initializing its destination (the old value survives when the move is
+// not taken), so it can report true for a program whose uninitialized
+// read turns out to be harmless — fine for its role of gating the
+// cheaper suite.
+func ReadsInitialScratch(set *isa.Set, p isa.Program) bool {
+	if set.M == 0 {
+		return false
+	}
+	init := make([]bool, set.Regs())
+	for i := 0; i < set.N; i++ {
+		init[i] = true
+	}
+	for _, in := range p {
+		switch in.Op {
+		case isa.Mov:
+			if !init[in.Src] {
+				return true
+			}
+			init[in.Dst] = true
+		case isa.Cmp:
+			if !init[in.Dst] || !init[in.Src] {
+				return true
+			}
+		case isa.Cmovl, isa.Cmovg:
+			// Reads src if taken and keeps dst's old value if not, so
+			// both operands must already be initialized, and dst does not
+			// become initialized.
+			if !init[in.Dst] || !init[in.Src] {
+				return true
+			}
+		case isa.Min, isa.Max:
+			if !init[in.Dst] || !init[in.Src] {
+				return true
+			}
+			init[in.Dst] = true
+		}
+	}
+	return false
 }
 
 // Counterexample returns a permutation of 1..n that p fails to sort, or
