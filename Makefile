@@ -4,13 +4,15 @@ GO ?= go
 # clean, the full test suite (including the sortsynthd service tests)
 # passes under the race detector, the backend portfolio race smoke test
 # (n=3, enum vs stoke) runs explicitly under -race, the cross-backend
-# conformance harness reports zero divergences, every fuzz target
-# survives a short -race fuzzing budget, the generated sorting library
-# passes its generate → vet → build → differential gate, and the enum
-# and sortgen rows of the committed BENCH_*.json files are re-measured
-# without -race as throughput regression gates.
+# conformance harness reports zero divergences, the baked-universe gate
+# proves a miniature bake identical to live synthesis and serveable with
+# zero searches, every fuzz target survives a short -race fuzzing
+# budget, the generated sorting library passes its generate → vet →
+# build → differential gate, and the enum and sortgen rows of the
+# committed BENCH_*.json files are re-measured without -race as
+# throughput regression gates.
 .PHONY: check
-check: build vet race smoke conformance fuzz-smoke sortgen-check bench-compare sortgen-compare
+check: build vet race smoke conformance bake-check fuzz-smoke sortgen-check bench-compare sortgen-compare
 
 # conformance runs the differential + metamorphic harness: 200 random
 # specs (n ≤ 3) judged across all registered backends against enum
@@ -19,6 +21,17 @@ check: build vet race smoke conformance fuzz-smoke sortgen-check bench-compare s
 .PHONY: conformance
 conformance:
 	$(GO) run ./cmd/experiments -table=conformance
+
+# bake-check is the precomputed-universe gate: bake a miniature universe
+# (enum, n=2..3, budgets L*±2, dupsafe variants), verify every record's
+# checksum, byte-compare every baked record against a fresh live
+# synthesis, judge the store with the conformance harness against
+# independent ground truth, and serve a baked spec from a mounted
+# sortsynthd with zero searches started. Exits nonzero on any
+# divergence; writes results/bakecheck.txt.
+.PHONY: bake-check
+bake-check:
+	$(GO) run ./cmd/experiments -table=bakecheck
 
 # Native Go fuzz targets with committed seed corpora under testdata/.
 # fuzz-smoke gives each target FUZZTIME (default 30s) under -race; the

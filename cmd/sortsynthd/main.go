@@ -44,6 +44,8 @@ func main() {
 		timeout   = flag.Duration("search-timeout", 2*time.Minute, "per-search wall-clock cap")
 		maxN      = flag.Int("max-n", 5, "largest array length to accept")
 		maxSortN  = flag.Int("max-sort-n", 256, "largest generated-sorter length for /v1/sortgen")
+		uniPath   = flag.String("universe", "", "baked universe artifact (sortsynth-bake) mounted as the L0 tier (empty = off)")
+		maxBatch  = flag.Int("max-batch", 32, "largest spec list accepted by /v1/synthesize/batch")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain period")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
@@ -57,9 +59,14 @@ func main() {
 		SearchTimeout:         *timeout,
 		MaxN:                  *maxN,
 		MaxSortN:              *maxSortN,
+		UniversePath:          *uniPath,
+		MaxBatch:              *maxBatch,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *uniPath != "" {
+		log.Printf("universe mounted: %s", *uniPath)
 	}
 
 	httpSrv := &http.Server{

@@ -116,11 +116,13 @@ func (o Options) resolved() Options {
 // searches the weak-order suite directly, smt switches CEGIS to
 // arbitrary-input counterexamples, and the portfolio inherits soundness
 // from central verification (a merely permutation-correct winner is
-// rejected before it can win). The other engines synthesize against the
-// permutation suite only, so running them on duplicate-safe specs would
-// manufacture IncorrectError "divergences" that are really just an
-// unsupported capability.
-var dupCapable = map[string]bool{"enum": true, "smt": true, "portfolio": true}
+// rejected before it can win). The universe store replays enum-baked
+// records keyed on the duplicate-safe flag, so its answers carry the
+// same guarantee. The other engines synthesize against the permutation
+// suite only, so running them on duplicate-safe specs would manufacture
+// IncorrectError "divergences" that are really just an unsupported
+// capability.
+var dupCapable = map[string]bool{"enum": true, "smt": true, "portfolio": true, "universe": true}
 
 // Run executes the conformance harness. The returned Report carries
 // every divergence found; err is reserved for harness failures (a

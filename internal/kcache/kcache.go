@@ -23,6 +23,14 @@ type Entry struct {
 	// kernel ("" on entries predating the backend field means "enum").
 	Backend string `json:"backend,omitempty"`
 
+	// NoKernel marks a negative artifact: a completed search proved (or,
+	// for non-optimality-preserving configurations, determined) that no
+	// kernel exists within the key's length bound. Only the baked
+	// universe records negatives — the live cache tiers never store
+	// them — so a mounted universe can answer hopeless budgets without
+	// re-running the refutation search. Length holds the refuted bound.
+	NoKernel bool `json:"no_kernel,omitempty"`
+
 	// Program is the synthesized kernel in the textual ISA syntax.
 	Program string `json:"program"`
 	// Programs holds the enumerated kernels in AllSolutions mode.

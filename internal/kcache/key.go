@@ -9,7 +9,6 @@ package kcache
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"strconv"
 
 	"sortsynth/internal/enum"
@@ -58,6 +57,13 @@ func KeyForBackend(set *isa.Set, backendName string, maxLen int, seed int64, dup
 	}
 }
 
+// KeyVersion is the canonicalization scheme version: the "v2" prefix of
+// Canonical. Artifacts that persist keys outside this process (the disk
+// tier's entry files, the baked universe header) record it so a store
+// written under an older scheme is rejected instead of silently missing
+// on every lookup.
+const KeyVersion = 2
+
 // Canonical returns the canonical text form of the key — the string that
 // is hashed for content addressing and stored inside each entry for
 // verification on load.
@@ -77,6 +83,17 @@ func KeyForBackend(set *isa.Set, backendName string, maxLen int, seed int64, dup
 // a zero Weight means 1, CutK is meaningless when the cut is off, and
 // an empty Backend means "enum".
 func (k Key) Canonical() string {
+	return string(k.AppendCanonical(make([]byte, 0, canonicalBufSize)))
+}
+
+// canonicalBufSize comfortably holds any canonical key with the
+// registry's backend names; longer names just spill into the heap.
+const canonicalBufSize = 192
+
+// AppendCanonical appends the canonical text form (see Canonical) to b
+// and returns the extended slice. With enough capacity in b it performs
+// no allocation, which keeps hot-path key hashing (Sum) off the heap.
+func (k Key) AppendCanonical(b []byte) []byte {
 	o := k.Opt
 	w := o.Weight
 	if w == 0 {
@@ -90,24 +107,51 @@ func (k Key) Canonical() string {
 	if be == "" {
 		be = "enum"
 	}
-	return fmt.Sprintf(
-		"v2|backend=%s|seed=%d|isa=%s|n=%d|m=%d|heur=%d|w=%s|cut=%d|k=%s|dist=%t|guide=%t|erase=%t|maxlen=%d|all=%t|maxsols=%d|dupsafe=%t",
-		be, k.Seed,
-		k.ISA, k.N, k.M,
-		o.Heuristic,
-		strconv.FormatFloat(w, 'g', -1, 64),
-		o.Cut,
-		strconv.FormatFloat(cutK, 'g', -1, 64),
-		o.UseDistPrune, o.UseActionGuide, o.ViabilityErase,
-		o.MaxLen,
-		o.AllSolutions, o.MaxSolutions,
-		o.DuplicateSafe,
-	)
+	b = append(b, "v2|backend="...)
+	b = append(b, be...)
+	b = append(b, "|seed="...)
+	b = strconv.AppendInt(b, k.Seed, 10)
+	b = append(b, "|isa="...)
+	b = append(b, k.ISA...)
+	b = append(b, "|n="...)
+	b = strconv.AppendInt(b, int64(k.N), 10)
+	b = append(b, "|m="...)
+	b = strconv.AppendInt(b, int64(k.M), 10)
+	b = append(b, "|heur="...)
+	b = strconv.AppendUint(b, uint64(o.Heuristic), 10)
+	b = append(b, "|w="...)
+	b = strconv.AppendFloat(b, w, 'g', -1, 64)
+	b = append(b, "|cut="...)
+	b = strconv.AppendUint(b, uint64(o.Cut), 10)
+	b = append(b, "|k="...)
+	b = strconv.AppendFloat(b, cutK, 'g', -1, 64)
+	b = append(b, "|dist="...)
+	b = strconv.AppendBool(b, o.UseDistPrune)
+	b = append(b, "|guide="...)
+	b = strconv.AppendBool(b, o.UseActionGuide)
+	b = append(b, "|erase="...)
+	b = strconv.AppendBool(b, o.ViabilityErase)
+	b = append(b, "|maxlen="...)
+	b = strconv.AppendInt(b, int64(o.MaxLen), 10)
+	b = append(b, "|all="...)
+	b = strconv.AppendBool(b, o.AllSolutions)
+	b = append(b, "|maxsols="...)
+	b = strconv.AppendInt(b, int64(o.MaxSolutions), 10)
+	b = append(b, "|dupsafe="...)
+	b = strconv.AppendBool(b, o.DuplicateSafe)
+	return b
+}
+
+// Sum returns the raw SHA-256 of the canonical key without allocating:
+// the fixed-width content address used by the baked universe index.
+func (k Key) Sum() [sha256.Size]byte {
+	var buf [canonicalBufSize]byte
+	return sha256.Sum256(k.AppendCanonical(buf[:0]))
 }
 
 // Hash returns the hex SHA-256 of the canonical key: the entry's content
 // address, used as both the LRU map key and the on-disk file name.
 func (k Key) Hash() string {
-	sum := sha256.Sum256([]byte(k.Canonical()))
+	sum := k.Sum()
 	return hex.EncodeToString(sum[:])
 }

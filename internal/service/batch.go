@@ -1,0 +1,73 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// batchRequest is the POST /v1/synthesize/batch body: a bounded list of
+// synthesize specs resolved concurrently. With a mounted universe the
+// baked specs answer immediately; the stragglers coalesce through the
+// same singleflight group as /v1/synthesize, so identical specs in one
+// batch (or across concurrent batches) share a single search.
+type batchRequest struct {
+	Specs []synthesizeRequest `json:"specs"`
+}
+
+// batchItem is one spec's outcome. Exactly one of Response (ok) or
+// Error (with Status, the HTTP status the spec would have gotten from
+// /v1/synthesize) is set.
+type batchItem struct {
+	OK       bool                `json:"ok"`
+	Status   int                 `json:"status"`
+	Error    string              `json:"error,omitempty"`
+	Response *synthesizeResponse `json:"response,omitempty"`
+}
+
+// batchResponse is the POST /v1/synthesize/batch reply: one item per
+// spec, in request order.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	Count   int         `json:"count"`
+}
+
+func (s *Server) handleSynthesizeBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty specs list")
+		return
+	}
+	if len(req.Specs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d specs exceeds the limit %d", len(req.Specs), s.cfg.MaxBatch)
+		return
+	}
+
+	results := make([]batchItem, len(req.Specs))
+	var wg sync.WaitGroup
+	for i := range req.Specs {
+		sreq := &req.Specs[i]
+		p, err := s.prepareSynthesize(sreq)
+		if err != nil {
+			results[i] = batchItem{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, timeoutMS int64) {
+			defer wg.Done()
+			resp, err := s.resolveSynthesize(r.Context(), p, timeoutMS, start)
+			if err != nil {
+				status, msg := searchErrorStatus(r.Context(), err)
+				results[i] = batchItem{Status: status, Error: msg}
+				return
+			}
+			results[i] = batchItem{OK: true, Status: http.StatusOK, Response: &resp}
+		}(i, sreq.TimeoutMS)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchResponse{Results: results, Count: len(results)})
+}

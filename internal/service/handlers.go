@@ -191,16 +191,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
 	cs := s.cache.Stats()
 	latency := m.latencySnapshot()
+	uni := map[string]any{"mounted": false}
+	if s.universe != nil {
+		us := s.universe.Stats()
+		uni = map[string]any{
+			"mounted":       true,
+			"records":       us.Records,
+			"hits":          us.Hits,
+			"misses":        us.Misses,
+			"corrupt_skips": us.Corrupt,
+			"negatives":     m.universeNegatives.Load(),
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_ms": float64(time.Since(m.start)) / float64(time.Millisecond),
 		"cache": map[string]any{
-			"hits":      m.cacheHits.Load(),
-			"misses":    m.cacheMisses.Load(),
-			"mem_hits":  cs.MemHits,
-			"disk_hits": cs.DiskHits,
-			"corrupt":   cs.Corrupt,
-			"evictions": cs.Evictions,
+			"hits":       m.cacheHits.Load(),
+			"misses":     m.cacheMisses.Load(),
+			"mem_hits":   cs.MemHits,
+			"disk_hits":  cs.DiskHits,
+			"corrupt":    cs.Corrupt,
+			"evictions":  cs.Evictions,
+			"put_errors": m.cachePutErrors.Load(),
 		},
+		"universe": uni,
 		"searches": map[string]any{
 			"started":        m.searchesStarted.Load(),
 			"completed":      m.searchesCompleted.Load(),

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"log"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,18 @@ type metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// cachePutErrors counts failed kcache.Put disk writes. A dead disk
+	// tier silently degrades to permanent re-computation; this is the
+	// signal that it is happening.
+	cachePutErrors atomic.Int64
+	putErrMu       sync.Mutex
+	putErrSeen     map[string]bool // error strings already logged
+
+	// universeNegatives counts requests answered 422 straight from a
+	// baked refutation record (hits/misses/corruption-skips live in
+	// universe.Stats and are merged into the /metrics payload).
+	universeNegatives atomic.Int64
+
 	searchesStarted   atomic.Int64
 	searchesCompleted atomic.Int64
 	searchesCancelled atomic.Int64
@@ -81,6 +94,28 @@ type metrics struct {
 
 	bmu      sync.Mutex // guards backends (counters are self-synchronizing)
 	backends map[string]*backendCounters
+}
+
+// recordPutError counts a failed cache write and logs the first
+// occurrence of each distinct error string — enough to surface a dead
+// disk tier without flooding the log on every miss.
+func (m *metrics) recordPutError(err error) {
+	m.cachePutErrors.Add(1)
+	msg := err.Error()
+	m.putErrMu.Lock()
+	defer m.putErrMu.Unlock()
+	if m.putErrSeen == nil {
+		m.putErrSeen = make(map[string]bool)
+	}
+	// Bound the dedup set; past it, repeat messages may re-log, which
+	// beats unbounded growth on pathological error strings.
+	if len(m.putErrSeen) >= 128 {
+		m.putErrSeen = make(map[string]bool)
+	}
+	if !m.putErrSeen[msg] {
+		m.putErrSeen[msg] = true
+		log.Printf("kcache: disk write failed (will re-synthesize on future misses): %v", err)
+	}
 }
 
 // backendCounters tracks one registry backend's synthesis outcomes and

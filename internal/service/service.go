@@ -7,7 +7,8 @@
 //
 // Endpoints (stdlib net/http only):
 //
-//	POST /v1/synthesize  synthesize (or fetch) a kernel
+//	POST /v1/synthesize        synthesize (or fetch) a kernel
+//	POST /v1/synthesize/batch  many specs, one response each
 //	GET  /v1/kernels     the §5.3 contender registry, filterable
 //	GET  /v1/sortgen     a full generated sorter for fixed n (Go source)
 //	POST /v1/verify      counterexample check + cost model for a program
@@ -27,6 +28,7 @@ import (
 	"sortsynth/internal/backend"
 	"sortsynth/internal/isa"
 	"sortsynth/internal/kcache"
+	"sortsynth/internal/universe"
 )
 
 // Config tunes a Server. The zero value is usable: an in-memory-only
@@ -54,6 +56,14 @@ type Config struct {
 	// limit: composition is polynomial, but the emitted source grows
 	// O(n log² n) comparators.
 	MaxSortN int
+	// UniversePath mounts a baked universe artifact (sortsynth-bake) as
+	// the L0 tier: read-only, mmap-served, consulted before the kcache
+	// tiers, so a replica answers every baked spec with zero searches
+	// and zero warmup ("" = no universe).
+	UniversePath string
+	// MaxBatch bounds the spec list accepted by /v1/synthesize/batch
+	// (0 = 32).
+	MaxBatch int
 }
 
 // Server is the sortsynthd HTTP handler. Create it with New, serve it
@@ -62,6 +72,7 @@ type Config struct {
 type Server struct {
 	cfg        Config
 	cache      *kcache.Cache
+	universe   *universe.Store // L0 baked tier; nil when not mounted
 	flights    *flightGroup
 	sem        chan struct{} // bounded search worker pool
 	metrics    *metrics
@@ -87,14 +98,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxSortN <= 0 {
 		cfg.MaxSortN = 256
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
 	cache, err := kcache.New(cfg.CacheDir, cfg.CacheSize)
 	if err != nil {
 		return nil, err
+	}
+	var uni *universe.Store
+	if cfg.UniversePath != "" {
+		uni, err = universe.Open(cfg.UniversePath)
+		if err != nil {
+			return nil, err
+		}
 	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		cache:      cache,
+		universe:   uni,
 		flights:    newFlightGroup(base),
 		sem:        make(chan struct{}, cfg.MaxConcurrentSearches),
 		registry:   backend.Default(),
@@ -102,8 +124,9 @@ func New(cfg Config) (*Server, error) {
 		baseCancel: cancel,
 	}
 	routes := map[string]http.HandlerFunc{
-		"POST /v1/synthesize": s.handleSynthesize,
-		"GET /v1/kernels":     s.handleKernels,
+		"POST /v1/synthesize":       s.handleSynthesize,
+		"POST /v1/synthesize/batch": s.handleSynthesizeBatch,
+		"GET /v1/kernels":           s.handleKernels,
 		"GET /v1/sortgen":     s.handleSortgen,
 		"POST /v1/verify":     s.handleVerify,
 		"GET /metrics":        s.handleMetrics,
@@ -126,10 +149,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close cancels the server's base context, aborting every in-flight
-// search. Call it after http.Server.Shutdown has drained (or given up
-// on) the in-flight requests.
+// search, and unmaps the universe artifact if one is mounted. Call it
+// after http.Server.Shutdown has drained (or given up on) the in-flight
+// requests.
 func (s *Server) Close() {
 	s.baseCancel()
+	if s.universe != nil {
+		s.universe.Close()
+	}
 }
 
 // apiError is the JSON error envelope.

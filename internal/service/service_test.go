@@ -64,11 +64,12 @@ func getMetrics(t *testing.T, url string) map[string]map[string]any {
 	var m struct {
 		Cache    map[string]any `json:"cache"`
 		Searches map[string]any `json:"searches"`
+		Universe map[string]any `json:"universe"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
-	return map[string]map[string]any{"cache": m.Cache, "searches": m.Searches}
+	return map[string]map[string]any{"cache": m.Cache, "searches": m.Searches, "universe": m.Universe}
 }
 
 func counter(t *testing.T, m map[string]map[string]any, section, name string) int64 {

@@ -24,10 +24,14 @@ type sortgenResponse struct {
 	// compare-and-swaps.
 	KernelInstructions int     `json:"kernel_instructions"`
 	Comparators        int     `json:"comparators"`
-	Source             string  `json:"source"`
-	Cached             bool    `json:"cached"`
-	Key                string  `json:"key"`
-	GeneratedMS        float64 `json:"generated_ms"`
+	Source string `json:"source"`
+	Cached bool   `json:"cached"`
+	Key    string `json:"key"`
+	// GeneratedMS is the artifact's cost: what the original composition
+	// and emission took. On a cache hit it does NOT describe this
+	// request — that is ServedMS, measured from this request's start.
+	GeneratedMS float64 `json:"generated_ms"`
+	ServedMS    float64 `json:"served_ms"`
 }
 
 // sortgenKey builds the cache key for a generated sorter. The artifact
@@ -57,6 +61,15 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 	if elem == "" {
 		elem = "int"
 	}
+	// Validate the element type before any composition work (and before
+	// keying: "Int" and "int" would otherwise mint distinct cache keys
+	// through the ISA slot). The spelling is the exact Go type name —
+	// case variants are rejected here, not normalized.
+	if !sortgen.ValidElem(elem) {
+		writeError(w, http.StatusBadRequest,
+			"unsupported element type %q (ordered integer types and string only, exact Go spelling)", elem)
+		return
+	}
 
 	key := sortgenKey(n, elem)
 	hash := key.Hash()
@@ -79,8 +92,9 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 	}
 	src, err := plan.GoFile(sortgen.EmitOptions{Elem: elem})
 	if err != nil {
-		// The only client-influenced failure is the element type.
-		writeError(w, http.StatusBadRequest, "%v", err)
+		// The element type was validated up front, so an emitter failure
+		// here is a server bug, not a client error.
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	entry := &kcache.Entry{
@@ -91,7 +105,7 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 		ElapsedNS:     int64(time.Since(start)),
 	}
 	if err := s.cache.Put(key, entry); err != nil {
-		_ = err // memory tier still serves it; see runSearch
+		s.metrics.recordPutError(err) // memory tier still serves it; see runSearch
 	}
 	resp, err := sortgenResponseFor(n, elem, entry, hash, false, start)
 	if err != nil {
@@ -125,5 +139,6 @@ func sortgenResponseFor(n int, elem string, e *kcache.Entry, hash string, cached
 		Cached:             cached,
 		Key:                hash,
 		GeneratedMS:        float64(e.ElapsedNS) / float64(time.Millisecond),
+		ServedMS:           float64(time.Since(start)) / float64(time.Millisecond),
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"go/format"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -106,10 +107,120 @@ func TestSortgenEndpointRejectsBadInput(t *testing.T) {
 		"?n=257",            // beyond default MaxSortN
 		"?n=8&elem=float64", // NaN breaks the verified total order
 		"?n=8&elem=chan+int",
+		// Element types are exact Go spellings: case variants are
+		// rejected, not normalized, so "Int" can never mint a cache key
+		// distinct from "int" through the ISA slot.
+		"?n=8&elem=Int",
+		"?n=8&elem=INT",
+		"?n=8&elem=String",
 	} {
 		resp, blob := getSortgen(t, ts.URL, q)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("GET /v1/sortgen%s: got %d, want 400: %s", q, resp.StatusCode, blob)
+		}
+	}
+}
+
+func TestSortgenRejectedElemDoesNoWork(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// A bogus element type must be rejected before the handler touches
+	// the cache or composes anything: no cache traffic (the old code
+	// counted a miss and ran the full Compose before the emitter's 400)
+	// and a message naming the element type, not an emitter internal.
+	resp, blob := getSortgen(t, ts.URL, "?n=200&elem=float64")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", resp.StatusCode, blob)
+	}
+	if !strings.Contains(string(blob), "unsupported element type") {
+		t.Errorf("error does not name the element type: %s", blob)
+	}
+	m := getMetrics(t, ts.URL)
+	hits := int(m["cache"]["hits"].(float64))
+	misses := int(m["cache"]["misses"].(float64))
+	if hits != 0 || misses != 0 {
+		t.Errorf("rejected elem touched the cache: hits=%d misses=%d, want 0/0", hits, misses)
+	}
+}
+
+func TestSortgenServedMSDistinctFromGeneratedMS(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// n=200 makes generation (compose + emit + gofmt) expensive enough
+	// that a cache hit's serving time is unambiguously smaller.
+	resp, blob := getSortgen(t, ts.URL, "?n=200")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("miss: %d: %s", resp.StatusCode, blob)
+	}
+	var first sortgenResponse
+	if err := json.Unmarshal(blob, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.GeneratedMS <= 0 {
+		t.Fatalf("miss generated_ms = %v, want > 0", first.GeneratedMS)
+	}
+	// On a miss, serving includes generation, so served_ms ≥ generated_ms.
+	if first.ServedMS < first.GeneratedMS {
+		t.Errorf("miss served_ms %v < generated_ms %v", first.ServedMS, first.GeneratedMS)
+	}
+
+	resp, blob = getSortgen(t, ts.URL, "?n=200")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hit: %d: %s", resp.StatusCode, blob)
+	}
+	var second sortgenResponse
+	if err := json.Unmarshal(blob, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second request not cached")
+	}
+	// generated_ms is the artifact's cost — replayed verbatim on a hit —
+	// while served_ms is THIS request's latency, measured from its own
+	// start. The old response conflated them.
+	if second.GeneratedMS != first.GeneratedMS {
+		t.Errorf("hit generated_ms %v != artifact cost %v", second.GeneratedMS, first.GeneratedMS)
+	}
+	if second.ServedMS >= second.GeneratedMS {
+		t.Errorf("hit served_ms %v not smaller than generated_ms %v: looks like the replayed value", second.ServedMS, second.GeneratedMS)
+	}
+}
+
+func TestSortgenBoundarySpecs(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// n=0 and n=1 are degenerate but legal: the sorter is a no-op and
+	// the endpoint must serve (and cache) it rather than erroring.
+	for _, n := range []int{0, 1} {
+		q := "?n=" + strconv.Itoa(n)
+		resp, blob := getSortgen(t, ts.URL, q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/sortgen%s: %d: %s", q, resp.StatusCode, blob)
+		}
+		var sr sortgenResponse
+		if err := json.Unmarshal(blob, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.N != n || sr.Func != "Sort"+strconv.Itoa(n) {
+			t.Errorf("n=%d metadata: %+v", n, sr)
+		}
+		if sr.KernelInstructions != 0 || sr.Comparators != 0 {
+			t.Errorf("n=%d degenerate sorter has work: %+v", n, sr)
+		}
+		if !strings.Contains(sr.Source, "func Sort"+strconv.Itoa(n)+"(a []int)") {
+			t.Errorf("n=%d source missing func:\n%s", n, sr.Source)
+		}
+		if _, err := format.Source([]byte(sr.Source)); err != nil {
+			t.Errorf("n=%d source does not parse: %v", n, err)
+		}
+		// And it caches like any other artifact.
+		resp, blob = getSortgen(t, ts.URL, q)
+		var again sortgenResponse
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || !again.Cached {
+			t.Errorf("n=%d repeat not cached", n)
 		}
 	}
 }

@@ -61,15 +61,18 @@ type searchStats struct {
 
 // synthesizeResponse is the POST /v1/synthesize reply.
 type synthesizeResponse struct {
-	Kernel        string      `json:"kernel"`
-	Programs      []string    `json:"programs,omitempty"`
-	Length        int         `json:"length"`
-	SolutionCount int64       `json:"solution_count"`
-	Backend       string      `json:"backend"`
-	Cached        bool        `json:"cached"`
-	Coalesced     bool        `json:"coalesced,omitempty"`
-	Key           string      `json:"key"`
-	Stats         searchStats `json:"stats"`
+	Kernel        string   `json:"kernel"`
+	Programs      []string `json:"programs,omitempty"`
+	Length        int      `json:"length"`
+	SolutionCount int64    `json:"solution_count"`
+	Backend       string   `json:"backend"`
+	Cached        bool     `json:"cached"`
+	Coalesced     bool     `json:"coalesced,omitempty"`
+	// Source is the tier that answered: "universe" (baked L0),
+	// "cache" (kcache L1/L2), or "search" (a live synthesis).
+	Source string      `json:"source"`
+	Key    string      `json:"key"`
+	Stats  searchStats `json:"stats"`
 }
 
 // noKernelError reports an exhausted search: no kernel exists within the
@@ -88,14 +91,39 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	p, err := s.prepareSynthesize(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.resolveSynthesize(r.Context(), p, req.TimeoutMS, start)
+	if err != nil {
+		s.writeSearchError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// prepared is a validated synthesize request: the serving cache key and
+// the flight function that computes the artifact on a full miss. All
+// validation errors happen here (client errors, 400) so that resolution
+// errors are purely search outcomes.
+type prepared struct {
+	key  kcache.Key
+	hash string
+	run  func(fctx context.Context) (*kcache.Entry, error)
+}
+
+// prepareSynthesize validates req and builds its cache key and flight.
+func (s *Server) prepareSynthesize(req *synthesizeRequest) (prepared, error) {
+	var p prepared
 	m := 1
 	if req.M != nil {
 		m = *req.M
 	}
 	set, err := s.setFor(req.ISA, req.N, m)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return p, err
 	}
 	beName := req.Backend
 	if beName == "" {
@@ -103,63 +131,74 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.registry.Has(beName) {
 		_, err := s.registry.Get(beName) // *backend.UnknownBackendError
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return p, err
 	}
 
 	// The enum backend keeps the full option surface (configs, all-
 	// solutions enumeration); every other backend takes the reduced
 	// Spec and runs through the registry.
-	var key kcache.Key
-	var run func(fctx context.Context) (*kcache.Entry, error)
 	if beName == "enum" {
-		opt, err := s.buildOptions(set, &req)
+		opt, err := s.buildOptions(set, req)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return p, err
 		}
-		key = kcache.KeyFor(set, opt)
-		run = func(fctx context.Context) (*kcache.Entry, error) {
-			return s.runSearch(fctx, key, set, opt)
+		p.key = kcache.KeyFor(set, opt)
+		p.run = func(fctx context.Context) (*kcache.Entry, error) {
+			return s.runSearch(fctx, p.key, set, opt)
 		}
 	} else {
-		spec, err := s.buildSpec(set, beName, &req)
+		spec, err := s.buildSpec(set, beName, req)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return p, err
 		}
-		key = kcache.KeyForBackend(set, beName, spec.MaxLen, spec.Seed, spec.DuplicateSafe)
-		run = func(fctx context.Context) (*kcache.Entry, error) {
-			return s.runBackend(fctx, key, set, beName, spec)
+		p.key = kcache.KeyForBackend(set, beName, spec.MaxLen, spec.Seed, spec.DuplicateSafe)
+		p.run = func(fctx context.Context) (*kcache.Entry, error) {
+			return s.runBackend(fctx, p.key, set, beName, spec)
 		}
 	}
-	hash := key.Hash()
+	p.hash = p.key.Hash()
+	return p, nil
+}
 
-	if e, ok := s.cache.Get(key); ok {
+// resolveSynthesize answers a prepared request through the tiers in
+// order: the baked universe (L0, lock-free, zero searches), the kcache
+// memory/disk tiers (L1/L2), then a singleflight-coalesced live
+// synthesis. Errors are search outcomes for writeSearchError.
+func (s *Server) resolveSynthesize(ctx context.Context, p prepared, timeoutMS int64, start time.Time) (synthesizeResponse, error) {
+	if s.universe != nil {
+		if e, ok := s.universe.Lookup(p.key); ok {
+			if e.NoKernel {
+				// A baked refutation: the search that would prove it
+				// again is exactly what the universe exists to avoid.
+				s.metrics.universeNegatives.Add(1)
+				return synthesizeResponse{}, noKernelError{bound: e.Length}
+			}
+			return responseFor(e, p.hash, sourceUniverse, false, start), nil
+		}
+	}
+
+	if e, ok := s.cache.Get(p.key); ok {
 		s.metrics.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, responseFor(e, hash, true, false, start))
-		return
+		return responseFor(e, p.hash, sourceCache, false, start), nil
 	}
 	s.metrics.cacheMisses.Add(1)
 
 	// Bound this caller's wait; the flight itself runs under the group's
 	// base context and its own SearchTimeout.
-	ctx := r.Context()
-	if req.TimeoutMS > 0 {
+	if timeoutMS > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
 		defer cancel()
 	}
 
-	entry, shared, err := s.flights.Do(ctx, hash, run)
+	entry, shared, err := s.flights.Do(ctx, p.hash, p.run)
 	if shared {
 		s.metrics.coalesced.Add(1)
 	}
 	if err != nil {
-		s.writeSearchError(w, r, err)
-		return
+		return synthesizeResponse{}, err
 	}
-	writeJSON(w, http.StatusOK, responseFor(entry, hash, false, shared, start))
+	return responseFor(entry, p.hash, sourceSearch, shared, start), nil
 }
 
 // buildOptions maps the request onto the named enum configurations.
@@ -322,7 +361,7 @@ func (s *Server) runSearch(ctx context.Context, key kcache.Key, set *isa.Set, op
 	if err := s.cache.Put(key, entry); err != nil {
 		// A failed disk write only costs a future re-synthesis; the
 		// entry is still served from memory and to this request.
-		_ = err
+		s.metrics.recordPutError(err)
 	}
 	return entry, nil
 }
@@ -390,7 +429,7 @@ func (s *Server) runBackend(ctx context.Context, key kcache.Key, set *isa.Set, b
 		ElapsedNS:     int64(res.Stats.Elapsed),
 	}
 	if err := s.cache.Put(key, entry); err != nil {
-		_ = err // memory tier still serves it; see runSearch
+		s.metrics.recordPutError(err) // memory tier still serves it; see runSearch
 	}
 	return entry, nil
 }
@@ -409,6 +448,14 @@ func (e budgetExhaustedError) Error() string {
 
 // writeSearchError maps flight errors onto HTTP statuses.
 func (s *Server) writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
+	status, msg := searchErrorStatus(r.Context(), err)
+	writeError(w, status, "%s", msg)
+}
+
+// searchErrorStatus maps a resolution error onto an HTTP status and
+// message. ctx is the caller's request (or batch item) context, used to
+// distinguish a gone client from a search timeout.
+func searchErrorStatus(ctx context.Context, err error) (int, string) {
 	var noKernel noKernelError
 	var budgetErr budgetExhaustedError
 	var depthErr *enum.DepthLimitError
@@ -416,26 +463,33 @@ func (s *Server) writeSearchError(w http.ResponseWriter, r *http.Request, err er
 	case errors.As(err, &depthErr):
 		// Normally rejected in buildOptions before a flight starts; this
 		// is the engines' own guard surfacing as a client error.
-		writeError(w, http.StatusBadRequest, "%v", err)
-	case r.Context().Err() != nil:
+		return http.StatusBadRequest, err.Error()
+	case ctx.Err() != nil:
 		// The client is gone; the status is for the log only.
-		writeError(w, http.StatusRequestTimeout, "client disconnected: %v", err)
+		return http.StatusRequestTimeout, "client disconnected: " + err.Error()
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, errSearchTimeout):
-		writeError(w, http.StatusGatewayTimeout, "%v", errSearchTimeout)
+		return http.StatusGatewayTimeout, errSearchTimeout.Error()
 	case errors.Is(err, errShuttingDown), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "%v", errShuttingDown)
+		return http.StatusServiceUnavailable, errShuttingDown.Error()
 	case errors.As(err, &noKernel):
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return http.StatusUnprocessableEntity, err.Error()
 	case errors.As(err, &budgetErr):
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return http.StatusUnprocessableEntity, err.Error()
 	default:
 		// Includes *backend.IncorrectError: a backend bug, never a
 		// client error, so it surfaces as a 500.
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		return http.StatusInternalServerError, err.Error()
 	}
 }
 
-func responseFor(e *kcache.Entry, hash string, cached, coalesced bool, start time.Time) synthesizeResponse {
+// Response sources, in tier order.
+const (
+	sourceUniverse = "universe"
+	sourceCache    = "cache"
+	sourceSearch   = "search"
+)
+
+func responseFor(e *kcache.Entry, hash, source string, coalesced bool, start time.Time) synthesizeResponse {
 	be := e.Backend
 	if be == "" {
 		be = "enum" // entries written before the backend field
@@ -446,8 +500,9 @@ func responseFor(e *kcache.Entry, hash string, cached, coalesced bool, start tim
 		Length:        e.Length,
 		SolutionCount: e.SolutionCount,
 		Backend:       be,
-		Cached:        cached,
+		Cached:        source != sourceSearch,
 		Coalesced:     coalesced,
+		Source:        source,
 		Key:           hash,
 		Stats: searchStats{
 			Expanded:  e.Expanded,

@@ -1,0 +1,320 @@
+package universe
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/kcache"
+)
+
+// Spec is one bakeable synthesis instance. Its Key must be constructed
+// exactly the way sortsynthd constructs serving keys, or the baked
+// record never hits.
+type Spec struct {
+	ISA           string // "cmov" or "minmax"
+	N             int
+	M             int
+	Backend       string // registry name
+	Budget        int    // MaxLen bound
+	DuplicateSafe bool   // enum only: the service rejects it elsewhere
+}
+
+// Set instantiates the instruction set for the spec.
+func (sp Spec) Set() *isa.Set {
+	if sp.ISA == "minmax" {
+		return isa.NewMinMax(sp.N, sp.M)
+	}
+	return isa.NewCmov(sp.N, sp.M)
+}
+
+// Key returns the serving cache key for the spec, mirroring
+// handleSynthesize: the enum backend keys on the full ConfigBest option
+// surface, every other backend on the reduced (name, budget) form.
+func (sp Spec) Key() kcache.Key {
+	if sp.Backend == "enum" {
+		opt := enum.ConfigBest()
+		opt.MaxLen = sp.Budget
+		opt.DuplicateSafe = sp.DuplicateSafe
+		return kcache.KeyFor(sp.Set(), opt)
+	}
+	return kcache.KeyForBackend(sp.Set(), sp.Backend, sp.Budget, 0, false)
+}
+
+func (sp Spec) String() string {
+	s := fmt.Sprintf("%s/%s n=%d m=%d maxlen=%d", sp.Backend, sp.ISA, sp.N, sp.M, sp.Budget)
+	if sp.DuplicateSafe {
+		s += " dupsafe"
+	}
+	return s
+}
+
+// DeterministicBackends lists the registry backends whose artifact is a
+// pure function of the spec — the only ones worth baking. The
+// randomized backends (stoke, mcts, portfolio) key on a seed and would
+// only ever hit for the exact seed baked.
+func DeterministicBackends() []string {
+	return []string{"enum", "smt", "cp", "ilp", "plan"}
+}
+
+// Options configures a bake. The zero value is completed by defaults():
+// both ISAs, n=2..5, m=1, budgets L*±2, the deterministic backends,
+// duplicate-safe variants on, one worker, 60s per spec.
+type Options struct {
+	ISAs     []string
+	MinN     int
+	MaxN     int
+	Slack    int // budgets span [L*-Slack, L*+Slack]
+	Backends []string
+	// DuplicateSafe also bakes the duplicate-safe variant of every enum
+	// spec (the service accepts the knob only for enum).
+	DuplicateSafe bool
+	// Workers is the number of specs synthesized concurrently.
+	Workers int
+	// SpecTimeout bounds each synthesis; a spec that exceeds it is
+	// skipped (and counted), not failed — the live tier still covers it.
+	SpecTimeout time.Duration
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+func (o Options) defaults() Options {
+	if len(o.ISAs) == 0 {
+		o.ISAs = []string{"cmov", "minmax"}
+	}
+	if o.MinN == 0 {
+		o.MinN = 2
+	}
+	if o.MaxN == 0 {
+		o.MaxN = 5
+	}
+	if o.Slack == 0 {
+		o.Slack = 2
+	}
+	if len(o.Backends) == 0 {
+		o.Backends = DeterministicBackends()
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.SpecTimeout == 0 {
+		o.SpecTimeout = 60 * time.Second
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// optimalLength mirrors service.knownOptimalLength (and the root
+// package's KnownOptimalLength, unimportable from internal/ without a
+// cycle): certified optimal kernel lengths for m=1.
+func optimalLength(isaName string, n, m int) (int, bool) {
+	if m != 1 {
+		return 0, false
+	}
+	var table map[int]int
+	if isaName == "minmax" {
+		table = map[int]int{2: 3, 3: 8, 4: 15, 5: 26}
+	} else {
+		table = map[int]int{2: 4, 3: 11, 4: 20, 5: 33}
+	}
+	l, ok := table[n]
+	return l, ok
+}
+
+// EnumerateSpecs produces the deterministic, duplicate-free spec list a
+// bake covers under opt. Exported so verification tooling (bake-check)
+// walks exactly the baked space.
+func EnumerateSpecs(opt Options) []Spec {
+	opt = opt.defaults()
+	var specs []Spec
+	for _, isaName := range opt.ISAs {
+		for n := opt.MinN; n <= opt.MaxN; n++ {
+			lstar, ok := optimalLength(isaName, n, 1)
+			if !ok {
+				continue
+			}
+			for _, be := range opt.Backends {
+				for budget := lstar - opt.Slack; budget <= lstar+opt.Slack; budget++ {
+					if budget < 1 {
+						continue
+					}
+					specs = append(specs, Spec{ISA: isaName, N: n, M: 1, Backend: be, Budget: budget})
+					if opt.DuplicateSafe && be == "enum" {
+						specs = append(specs, Spec{ISA: isaName, N: n, M: 1, Backend: be, Budget: budget, DuplicateSafe: true})
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// BakeStats summarizes a bake.
+type BakeStats struct {
+	Specs    int // enumerated
+	Baked    int // positive records written
+	Negative int // refutation records written
+	Skipped  int // timed out or inconclusive — left to the live tier
+	Failed   int // synthesis errors
+}
+
+// result is one worker's outcome for a spec.
+type result struct {
+	spec  Spec
+	entry *kcache.Entry // nil when skipped or failed
+	err   error
+}
+
+// Bake synthesizes every spec in opt's space through the registry's
+// central verification (backend.Run) and writes the artifact to path
+// atomically (temp file + rename). Failed specs do not abort the bake;
+// they are counted in Stats.Failed and the caller decides. The returned
+// contentID is the artifact's hex SHA-256.
+func Bake(ctx context.Context, path string, registry *backend.Registry, opt Options) (contentID string, stats BakeStats, err error) {
+	opt = opt.defaults()
+	if registry == nil {
+		registry = backend.Default()
+	}
+	specs := EnumerateSpecs(opt)
+	stats.Specs = len(specs)
+
+	jobs := make(chan Spec)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range jobs {
+				e, err := bakeOne(ctx, registry, sp, opt)
+				results <- result{spec: sp, entry: e, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, sp := range specs {
+			select {
+			case jobs <- sp:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	collected := make([]result, 0, len(specs))
+	for r := range results {
+		switch {
+		case r.err != nil:
+			stats.Failed++
+			opt.Log("FAIL %s: %v", r.spec, r.err)
+		case r.entry == nil:
+			stats.Skipped++
+			opt.Log("skip %s", r.spec)
+		case r.entry.NoKernel:
+			stats.Negative++
+			opt.Log("none %s", r.spec)
+		default:
+			stats.Baked++
+			opt.Log("bake %s: length %d", r.spec, r.entry.Length)
+		}
+		if r.entry != nil {
+			collected = append(collected, r)
+		}
+	}
+	if ctx.Err() != nil {
+		return "", stats, ctx.Err()
+	}
+	// Deterministic write order (the index re-sorts by key sum anyway,
+	// but a stable record section keeps equal bakes byte-identical).
+	sort.Slice(collected, func(i, j int) bool {
+		return collected[i].spec.Key().Canonical() < collected[j].spec.Key().Canonical()
+	})
+
+	tmp := path + ".tmp"
+	w, err := Create(tmp)
+	if err != nil {
+		return "", stats, err
+	}
+	defer os.Remove(tmp)
+	for _, r := range collected {
+		if err := w.Add(r.spec.Key(), r.entry); err != nil {
+			w.Close()
+			return "", stats, err
+		}
+	}
+	contentID, _, err = w.Close()
+	if err != nil {
+		return "", stats, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", stats, fmt.Errorf("universe: %w", err)
+	}
+	opt.Log("wrote %s: %d records (%d kernels, %d refutations), content %s",
+		filepath.Base(path), stats.Baked+stats.Negative, stats.Baked, stats.Negative, contentID[:12])
+	return contentID, stats, nil
+}
+
+// bakeOne synthesizes one spec. It returns (nil, nil) for outcomes the
+// universe cannot speak for: timeouts and non-enum budget exhaustion.
+func bakeOne(ctx context.Context, registry *backend.Registry, sp Spec, opt Options) (*kcache.Entry, error) {
+	ctx, cancel := context.WithTimeout(ctx, opt.SpecTimeout)
+	defer cancel()
+
+	set := sp.Set()
+	res, err := registry.Synthesize(ctx, sp.Backend, set, backend.Spec{
+		MaxLen:        sp.Budget,
+		DuplicateSafe: sp.DuplicateSafe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case backend.StatusFound:
+		// ElapsedNS is deliberately not recorded: wall clock is the one
+		// run-dependent field, and dropping it keeps equal bakes
+		// byte-identical (same content ID), so replicas can compare
+		// artifacts by hash. A universe hit therefore reports search_ms 0
+		// — no search ran for this request.
+		return &kcache.Entry{
+			Backend:       sp.Backend,
+			Program:       res.Program.Format(set.N),
+			Length:        res.Length,
+			SolutionCount: 1,
+			Expanded:      res.Stats.Nodes,
+			Generated:     res.Stats.Generated,
+		}, nil
+	case backend.StatusNoProgram:
+		// A completed refutation: no kernel within the budget.
+		return &kcache.Entry{Backend: sp.Backend, NoKernel: true, Length: sp.Budget}, nil
+	case backend.StatusExhausted:
+		// The live enum path treats any completed empty-handed search as
+		// "no kernel within the bound" (runSearch: Length < 0 →
+		// noKernelError), even when cuts void the exhaustion proof — so a
+		// baked negative reproduces the exact live answer. Other backends
+		// map exhaustion to a non-cacheable 422 and make no claim.
+		if sp.Backend == "enum" {
+			return &kcache.Entry{Backend: sp.Backend, NoKernel: true, Length: sp.Budget}, nil
+		}
+		return nil, nil
+	default: // StatusTimedOut, StatusCancelled
+		// A per-spec timeout is a skip; a bake-wide cancel is an error.
+		if ctx.Err() == context.Canceled {
+			return nil, ctx.Err()
+		}
+		return nil, nil
+	}
+}

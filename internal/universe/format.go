@@ -1,0 +1,227 @@
+// Package universe is the precomputed serving tier below sortsynthd's
+// two-tier kernel cache: an immutable, versioned, checksummed,
+// content-addressed artifact holding every synthesis result in a
+// reachable spec space, baked offline by cmd/sortsynth-bake and served
+// read-only (memory-mapped where the platform allows) so a replica
+// starts with zero warmup and the hot path never searches at all.
+//
+// Artifact layout (all integers little-endian):
+//
+//	header   96 bytes   magic "ssuniv01", format version, kcache key
+//	                    version, record count, index offset/length,
+//	                    SHA-256 of the index section
+//	records  variable   concatenated record payloads, each the compact
+//	                    JSON encoding of a kcache.Entry (canonical key
+//	                    inside, so a loaded record re-verifies against
+//	                    the requested key exactly like the disk tier)
+//	index    n×80 bytes sorted fixed-width entries: SHA-256 of the
+//	                    canonical key, record offset, record length,
+//	                    SHA-256 of the record payload
+//
+// The index is validated eagerly at Open (cheap: tens of kilobytes);
+// record payload checksums are validated lazily on first lookup, so
+// opening a large artifact costs one mmap plus one pass over the index.
+// The artifact's content address is the SHA-256 of the whole file.
+package universe
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sortsynth/internal/kcache"
+)
+
+const (
+	// magic opens every universe artifact; the trailing digits are the
+	// format version's first line of defense against foreign files.
+	magic = "ssuniv01"
+
+	// formatVersion is the layout version of this file format.
+	formatVersion = 1
+
+	headerSize     = 96
+	indexEntrySize = sha256.Size + 8 + 8 + sha256.Size // keySum, off, len, recSum
+)
+
+// header is the decoded fixed-size artifact header.
+type header struct {
+	format     uint32
+	keyVersion uint32
+	count      uint64
+	indexOff   uint64
+	indexLen   uint64
+	indexSum   [sha256.Size]byte
+}
+
+func (h *header) encode() [headerSize]byte {
+	var b [headerSize]byte
+	copy(b[0:8], magic)
+	binary.LittleEndian.PutUint32(b[8:12], h.format)
+	binary.LittleEndian.PutUint32(b[12:16], h.keyVersion)
+	binary.LittleEndian.PutUint64(b[16:24], h.count)
+	binary.LittleEndian.PutUint64(b[24:32], h.indexOff)
+	binary.LittleEndian.PutUint64(b[32:40], h.indexLen)
+	copy(b[40:72], h.indexSum[:])
+	return b
+}
+
+func decodeHeader(b []byte) (header, error) {
+	var h header
+	if len(b) < headerSize {
+		return h, fmt.Errorf("universe: file too short for a header (%d bytes)", len(b))
+	}
+	if string(b[0:8]) != magic {
+		return h, fmt.Errorf("universe: bad magic %q (not a universe artifact)", b[0:8])
+	}
+	h.format = binary.LittleEndian.Uint32(b[8:12])
+	if h.format != formatVersion {
+		return h, fmt.Errorf("universe: format version %d, this build reads %d", h.format, formatVersion)
+	}
+	h.keyVersion = binary.LittleEndian.Uint32(b[12:16])
+	if h.keyVersion != kcache.KeyVersion {
+		return h, fmt.Errorf("universe: artifact baked under key scheme v%d, this build canonicalizes v%d — re-bake",
+			h.keyVersion, kcache.KeyVersion)
+	}
+	h.count = binary.LittleEndian.Uint64(b[16:24])
+	h.indexOff = binary.LittleEndian.Uint64(b[24:32])
+	h.indexLen = binary.LittleEndian.Uint64(b[32:40])
+	copy(h.indexSum[:], b[40:72])
+	return h, nil
+}
+
+// indexEntry is one decoded index row.
+type indexEntry struct {
+	keySum [sha256.Size]byte
+	off    uint64
+	length uint64
+	recSum [sha256.Size]byte
+}
+
+func (e *indexEntry) encode() [indexEntrySize]byte {
+	var b [indexEntrySize]byte
+	copy(b[0:32], e.keySum[:])
+	binary.LittleEndian.PutUint64(b[32:40], e.off)
+	binary.LittleEndian.PutUint64(b[40:48], e.length)
+	copy(b[48:80], e.recSum[:])
+	return b
+}
+
+func decodeIndexEntry(b []byte) indexEntry {
+	var e indexEntry
+	copy(e.keySum[:], b[0:32])
+	e.off = binary.LittleEndian.Uint64(b[32:40])
+	e.length = binary.LittleEndian.Uint64(b[40:48])
+	copy(e.recSum[:], b[48:80])
+	return e
+}
+
+// Writer streams records into a new universe artifact. Records may be
+// added in any order; Close sorts the index, rejects duplicate keys,
+// writes index and header, and returns the artifact's content address.
+type Writer struct {
+	f     *os.File
+	off   uint64
+	index []indexEntry
+	err   error
+}
+
+// Create opens path for writing and reserves the header. An existing
+// file is truncated.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("universe: %w", err)
+	}
+	// Header placeholder; rewritten with real values in Close.
+	var zero [headerSize]byte
+	if _, err := f.Write(zero[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("universe: %w", err)
+	}
+	return &Writer{f: f, off: headerSize}, nil
+}
+
+// Add appends one record under key. The entry's Key field is overwritten
+// with the canonical key string, mirroring kcache.Cache.Put.
+func (w *Writer) Add(key kcache.Key, e *kcache.Entry) error {
+	if w.err != nil {
+		return w.err
+	}
+	e.Key = key.Canonical()
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return w.fail(fmt.Errorf("universe: %w", err))
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return w.fail(fmt.Errorf("universe: %w", err))
+	}
+	w.index = append(w.index, indexEntry{
+		keySum: key.Sum(),
+		off:    w.off,
+		length: uint64(len(payload)),
+		recSum: sha256.Sum256(payload),
+	})
+	w.off += uint64(len(payload))
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	w.err = err
+	return err
+}
+
+// Close sorts and writes the index, fills in the header, syncs, and
+// returns the content address (hex SHA-256 of the finished file) and the
+// record count. The writer is unusable afterwards.
+func (w *Writer) Close() (contentID string, count int, err error) {
+	defer w.f.Close()
+	if w.err != nil {
+		return "", 0, w.err
+	}
+	sort.Slice(w.index, func(i, j int) bool {
+		return bytes.Compare(w.index[i].keySum[:], w.index[j].keySum[:]) < 0
+	})
+	for i := 1; i < len(w.index); i++ {
+		if w.index[i].keySum == w.index[i-1].keySum {
+			return "", 0, fmt.Errorf("universe: duplicate key in bake (sum %x)", w.index[i].keySum[:8])
+		}
+	}
+	indexSum := sha256.New()
+	for i := range w.index {
+		row := w.index[i].encode()
+		if _, err := w.f.Write(row[:]); err != nil {
+			return "", 0, fmt.Errorf("universe: %w", err)
+		}
+		indexSum.Write(row[:])
+	}
+	h := header{
+		format:     formatVersion,
+		keyVersion: kcache.KeyVersion,
+		count:      uint64(len(w.index)),
+		indexOff:   w.off,
+		indexLen:   uint64(len(w.index)) * indexEntrySize,
+	}
+	indexSum.Sum(h.indexSum[:0])
+	hb := h.encode()
+	if _, err := w.f.WriteAt(hb[:], 0); err != nil {
+		return "", 0, fmt.Errorf("universe: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return "", 0, fmt.Errorf("universe: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return "", 0, fmt.Errorf("universe: %w", err)
+	}
+	content := sha256.New()
+	if _, err := io.Copy(content, w.f); err != nil {
+		return "", 0, fmt.Errorf("universe: %w", err)
+	}
+	return hex.EncodeToString(content.Sum(nil)), len(w.index), nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package universe
+
+// mapFile reads the file into memory on platforms without a usable
+// mmap; see mmap_unix.go for the mapped path.
+func mapFile(path string) ([]byte, func() error, error) {
+	return readFallback(path)
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package universe
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. Empty files and mmap failures
+// (exotic filesystems, resource limits) fall back to reading the file
+// into memory — the store works either way, the mapping is an
+// optimization for sharing page cache across replicas.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 || int64(int(size)) != size {
+		return readFallback(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFallback(path)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

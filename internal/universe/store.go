@@ -1,0 +1,235 @@
+package universe
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"sortsynth/internal/kcache"
+)
+
+// corruptSentinel marks a record that failed its lazy checksum or key
+// verification so subsequent lookups skip it without re-hashing.
+var corruptSentinel = new(kcache.Entry)
+
+// Stats counts store outcomes since Open.
+type Stats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Corrupt int64 `json:"corrupt"`
+	Records int64 `json:"records"`
+}
+
+// Store is a read-only view of a baked universe artifact. All methods
+// are safe for concurrent use; the backing file is memory-mapped where
+// the platform supports it and must not be modified while open.
+type Store struct {
+	path  string
+	data  []byte
+	unmap func() error
+
+	hdr   header
+	index []byte // the index section, length hdr.count*indexEntrySize
+
+	// entries memoizes decoded records (or corruptSentinel) per index
+	// position, so each payload is checksummed and unmarshalled at most
+	// once per process.
+	entries []atomic.Pointer[kcache.Entry]
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	corrupt atomic.Int64
+}
+
+// Open maps the artifact at path and validates its header, index
+// checksum, index ordering, and record bounds. Record payload checksums
+// are deferred to first lookup.
+func Open(path string) (*Store, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("universe: %w", err)
+	}
+	s := &Store{path: path, data: data, unmap: unmap}
+	if err := s.validate(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.entries = make([]atomic.Pointer[kcache.Entry], s.hdr.count)
+	return s, nil
+}
+
+func (s *Store) validate() error {
+	h, err := decodeHeader(s.data)
+	if err != nil {
+		return err
+	}
+	size := uint64(len(s.data))
+	if h.indexLen != h.count*indexEntrySize {
+		return fmt.Errorf("universe: index length %d does not cover %d records", h.indexLen, h.count)
+	}
+	if h.indexOff < headerSize || h.indexOff > size || h.indexLen > size-h.indexOff {
+		return fmt.Errorf("universe: index section [%d,+%d) out of bounds (file %d bytes)", h.indexOff, h.indexLen, size)
+	}
+	index := s.data[h.indexOff : h.indexOff+h.indexLen]
+	if sha256.Sum256(index) != h.indexSum {
+		return fmt.Errorf("universe: index checksum mismatch — artifact damaged")
+	}
+	var prev []byte
+	for i := uint64(0); i < h.count; i++ {
+		row := index[i*indexEntrySize : (i+1)*indexEntrySize]
+		keySum := row[:sha256.Size]
+		if prev != nil && bytes.Compare(prev, keySum) >= 0 {
+			return fmt.Errorf("universe: index not strictly sorted at record %d", i)
+		}
+		prev = keySum
+		e := decodeIndexEntry(row)
+		if e.off < headerSize || e.off > h.indexOff || e.length > h.indexOff-e.off {
+			return fmt.Errorf("universe: record %d at [%d,+%d) outside the record section", i, e.off, e.length)
+		}
+	}
+	s.hdr = h
+	s.index = index
+	return nil
+}
+
+// Lookup returns the baked entry for key, or (nil, false). The returned
+// entry is shared and must not be mutated. A hit that fails its lazy
+// payload checksum or holds a different canonical key is counted as
+// corrupt and reported as a miss — the caller falls through to the live
+// tiers, never serves a damaged artifact.
+//
+// The hot path (memoized hit) performs no allocation: the key is hashed
+// on the stack and the index is binary-searched in place.
+func (s *Store) Lookup(key kcache.Key) (*kcache.Entry, bool) {
+	sum := key.Sum()
+	i, ok := s.find(sum[:])
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if e := s.entries[i].Load(); e != nil {
+		if e == corruptSentinel {
+			s.misses.Add(1)
+			return nil, false
+		}
+		s.hits.Add(1)
+		return e, true
+	}
+	e, err := s.decode(i, key)
+	if err != nil {
+		s.entries[i].Store(corruptSentinel)
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.entries[i].Store(e)
+	s.hits.Add(1)
+	return e, true
+}
+
+// find binary-searches the index for keySum, returning its position.
+func (s *Store) find(keySum []byte) (int, bool) {
+	lo, hi := 0, int(s.hdr.count)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		row := s.index[mid*indexEntrySize:]
+		switch bytes.Compare(row[:sha256.Size], keySum) {
+		case -1:
+			lo = mid + 1
+		case 1:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return 0, false
+}
+
+// decode verifies and unmarshals the record at index position i.
+func (s *Store) decode(i int, key kcache.Key) (*kcache.Entry, error) {
+	ie := decodeIndexEntry(s.index[uint64(i)*indexEntrySize:])
+	payload := s.data[ie.off : ie.off+ie.length]
+	if sha256.Sum256(payload) != ie.recSum {
+		return nil, fmt.Errorf("universe: record %d checksum mismatch", i)
+	}
+	e := new(kcache.Entry)
+	if err := json.Unmarshal(payload, e); err != nil {
+		return nil, fmt.Errorf("universe: record %d: %w", i, err)
+	}
+	if e.Key != key.Canonical() {
+		return nil, fmt.Errorf("universe: record %d holds key %q, want %q", i, e.Key, key.Canonical())
+	}
+	return e, nil
+}
+
+// Len returns the number of baked records.
+func (s *Store) Len() int { return int(s.hdr.count) }
+
+// Path returns the artifact path the store was opened from.
+func (s *Store) Path() string { return s.path }
+
+// Stats returns a snapshot of the lookup counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Corrupt: s.corrupt.Load(),
+		Records: int64(s.hdr.count),
+	}
+}
+
+// ContentID returns the artifact's content address: the hex SHA-256 of
+// the whole file, as printed by the bake.
+func (s *Store) ContentID() string {
+	sum := sha256.Sum256(s.data)
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifyFull eagerly checks every record payload checksum (Open defers
+// them). It does not decode payloads or touch the memoization slots.
+func (s *Store) VerifyFull() error {
+	for i := uint64(0); i < s.hdr.count; i++ {
+		ie := decodeIndexEntry(s.index[i*indexEntrySize:])
+		if sha256.Sum256(s.data[ie.off:ie.off+ie.length]) != ie.recSum {
+			return fmt.Errorf("universe: record %d checksum mismatch", i)
+		}
+	}
+	return nil
+}
+
+// Keys calls fn with each baked entry's index position and canonical key
+// sum, in index order. Used by bake verification tooling.
+func (s *Store) Keys(fn func(i int, keySum [sha256.Size]byte)) {
+	for i := uint64(0); i < s.hdr.count; i++ {
+		ie := decodeIndexEntry(s.index[i*indexEntrySize:])
+		fn(int(i), ie.keySum)
+	}
+}
+
+// Close unmaps the artifact. The store and any entries already handed
+// out that alias the mapping must not be used afterwards (decoded
+// entries do not alias; they are safe).
+func (s *Store) Close() error {
+	if s.unmap == nil {
+		return nil
+	}
+	err := s.unmap()
+	s.unmap = nil
+	s.data = nil
+	s.index = nil
+	return err
+}
+
+// readFallback loads the whole file into memory when mmap is
+// unavailable or fails; the "unmap" is then a no-op.
+func readFallback(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
