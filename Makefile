@@ -10,9 +10,21 @@ GO ?= go
 # budget, the generated sorting library passes its generate → vet →
 # build → differential gate, and the enum and sortgen rows of the
 # committed BENCH_*.json files are re-measured without -race as
-# throughput regression gates.
+# throughput regression gates, and the objective gate proves re-rank
+# determinism across worker counts and the loud rejection of pre-v3
+# kernel stores.
 .PHONY: check
-check: build vet race smoke conformance bake-check fuzz-smoke sortgen-check bench-compare sortgen-compare
+check: build vet race smoke conformance bake-check objective-check fuzz-smoke sortgen-check bench-compare sortgen-compare
+
+# objective-check is the ranking-objective gate: the fastest winner must
+# be byte-identical at workers 1/2/4/8 with model cost ≤ the shortest
+# pick's, objectives must mint distinct v3 cache keys, kernel stores
+# written under the pre-v3 key scheme must be rejected with a "re-bake"
+# message, and the default bake universe must carry fastest specs (so
+# bake-check's baked == live replay covers them).
+.PHONY: objective-check
+objective-check:
+	$(GO) run ./cmd/experiments -table=objectivecheck
 
 # conformance runs the differential + metamorphic harness: 200 random
 # specs (n ≤ 3) judged across all registered backends against enum
@@ -82,9 +94,15 @@ race:
 # bench runs the kernel microbenchmarks plus the synthesis-throughput
 # benchmark (n=3 and n=4, best configuration, at 1 / GOMAXPROCS / 8
 # workers, plus a portfolio race row), which writes backend-labelled
-# measurements to BENCH_enum.json at the repository root.
+# measurements to BENCH_enum.json at the repository root, and the
+# shortest-vs-fastest objective latency rows, which land in the same
+# file (each table preserves the other's half on rewrite).
 .PHONY: bench
-bench: bench-kernels bench-enum
+bench: bench-kernels bench-enum bench-objective
+
+.PHONY: bench-objective
+bench-objective:
+	$(GO) run ./cmd/experiments -table=objective
 
 .PHONY: bench-kernels
 bench-kernels:

@@ -15,6 +15,7 @@ import (
 
 	"sortsynth/internal/backend"
 	"sortsynth/internal/conformance"
+	"sortsynth/internal/enum"
 	"sortsynth/internal/kcache"
 	"sortsynth/internal/service"
 	"sortsynth/internal/universe"
@@ -175,17 +176,28 @@ func bakecheckLive(reg *backend.Registry, sp universe.Spec) (*kcache.Entry, erro
 	res, err := reg.Synthesize(context.Background(), sp.Backend, set, backend.Spec{
 		MaxLen:        sp.Budget,
 		DuplicateSafe: sp.DuplicateSafe,
+		Objective:     sp.Objective,
 	})
 	if err != nil {
 		return nil, err
 	}
 	switch res.Status {
 	case backend.StatusFound:
+		sc := res.Solutions
+		if sc == 0 {
+			sc = 1
+		}
+		var objName string
+		if sp.Objective != enum.ObjectiveShortest {
+			objName = sp.Objective.String()
+		}
 		return &kcache.Entry{
 			Backend:       sp.Backend,
+			Objective:     objName,
+			Cost:          res.Cost,
 			Program:       res.Program.Format(set.N),
 			Length:        res.Length,
-			SolutionCount: 1,
+			SolutionCount: sc,
 		}, nil
 	case backend.StatusNoProgram:
 		return &kcache.Entry{Backend: sp.Backend, NoKernel: true, Length: sp.Budget}, nil
@@ -205,6 +217,8 @@ func bakecheckLive(reg *backend.Registry, sp universe.Spec) (*kcache.Entry, erro
 func bakecheckIdentity(e *kcache.Entry) map[string]any {
 	return map[string]any{
 		"backend":   e.Backend,
+		"objective": e.Objective,
+		"cost":      e.Cost,
 		"program":   e.Program,
 		"length":    e.Length,
 		"no_kernel": e.NoKernel,

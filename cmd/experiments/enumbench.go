@@ -38,6 +38,38 @@ type enumBenchReport struct {
 	// parallel engine this PR replaced.
 	SeqMergeBaselineN4MS float64 `json:"seq_merge_baseline_n4_ms"`
 	SpeedupVsSeqMergeN4  float64 `json:"speedup_vs_seq_merge_n4"`
+
+	// ObjectiveRows are the shortest-vs-fastest kernel latency rows
+	// written by -table=objective. enumbench carries them over unchanged
+	// when it regenerates the throughput rows (and vice versa), so the
+	// two tables can be re-run independently without clobbering each
+	// other's half of the file.
+	ObjectiveRows []objectiveRow `json:"objective_rows,omitempty"`
+}
+
+// loadBenchReport reads the committed BENCH_enum.json if present; a
+// missing file yields a zero report (the writer fills its half).
+func loadBenchReport() (enumBenchReport, error) {
+	var rep enumBenchReport
+	data, err := os.ReadFile("BENCH_enum.json")
+	if os.IsNotExist(err) {
+		return rep, nil
+	}
+	if err != nil {
+		return rep, err
+	}
+	return rep, json.Unmarshal(data, &rep)
+}
+
+// writeBenchReport writes BENCH_enum.json in the working directory (the
+// repository root under `make bench`) so the headline numbers are
+// versioned next to the code they measure.
+func writeBenchReport(rep enumBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_enum.json", append(data, '\n'), 0o644)
 }
 
 func init() {
@@ -62,10 +94,15 @@ func init() {
 			{4, 20, 2},
 		}
 
+		prevRep, err := loadBenchReport()
+		if err != nil {
+			return fmt.Errorf("read committed BENCH_enum.json: %w", err)
+		}
 		rep := enumBenchReport{
 			GOMAXPROCS:             runtime.GOMAXPROCS(0),
 			IdenticalAcrossWorkers: true,
 			SeqMergeBaselineN4MS:   seqMergeBaselineN4MS,
+			ObjectiveRows:          prevRep.ObjectiveRows,
 		}
 		var t tableWriter
 		t.row("n", "workers", "wall", "expanded", "expanded/s", "length")
@@ -131,14 +168,7 @@ func init() {
 				seqMergeBaselineN4MS, rep.SpeedupVsSeqMergeN4)
 		}
 
-		// BENCH_enum.json lands in the working directory (the repository
-		// root under `make bench`) so the headline numbers are versioned
-		// next to the code they measure.
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile("BENCH_enum.json", append(data, '\n'), 0o644); err != nil {
+		if err := writeBenchReport(rep); err != nil {
 			return err
 		}
 		c.printf("wrote BENCH_enum.json\n")

@@ -82,6 +82,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The selectors are mutually exclusive; silently honoring one of
+	// several (the old behavior) ran something other than what was asked.
+	selectors := 0
+	for _, on := range []bool{*table != "", *figure != "", *all} {
+		if on {
+			selectors++
+		}
+	}
+	if selectors > 1 {
+		log.Fatalf("conflicting selectors: -table=%q -figure=%q -all=%v — pass exactly one of -table, -figure, -all",
+			*table, *figure, *all)
+	}
+
 	want := map[string]bool{}
 	switch {
 	case *table != "":

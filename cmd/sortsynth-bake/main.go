@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"sortsynth/internal/enum"
 	"sortsynth/internal/universe"
 )
 
@@ -40,11 +41,22 @@ func main() {
 		banames = flag.String("backends", strings.Join(universe.DeterministicBackends(), ","),
 			"comma-separated deterministic backends to bake")
 		dupsafe = flag.Bool("dupsafe", true, "also bake duplicate-safe enum variants")
+		objs    = flag.String("objectives", "shortest,fastest",
+			"comma-separated ranking objectives to bake for the enum backend")
 		workers = flag.Int("workers", 2, "specs synthesized concurrently")
 		timeout = flag.Duration("spec-timeout", 60*time.Second, "per-spec synthesis bound (exceeding it skips the spec)")
 		quiet   = flag.Bool("q", false, "suppress per-spec progress lines")
 	)
 	flag.Parse()
+
+	objectives := make([]enum.Objective, 0, 3)
+	for _, name := range splitList(*objs) {
+		o, err := enum.ParseObjective(name)
+		if err != nil {
+			log.Fatalf("-objectives: %v", err)
+		}
+		objectives = append(objectives, o)
+	}
 
 	opt := universe.Options{
 		ISAs:          splitList(*isas),
@@ -53,6 +65,7 @@ func main() {
 		Slack:         *slack,
 		Backends:      splitList(*banames),
 		DuplicateSafe: *dupsafe,
+		Objectives:    objectives,
 		Workers:       *workers,
 		SpecTimeout:   *timeout,
 	}

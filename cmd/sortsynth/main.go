@@ -38,14 +38,17 @@ func main() {
 		all     = flag.Bool("all", false, "enumerate all optimal kernels")
 		maxSols = flag.Int("max-solutions", 10, "programs to print in -all mode")
 		dupsafe = flag.Bool("dupsafe", false, "require correctness on duplicate values")
-		minimal = flag.Bool("minimal", false, "certify minimality (no known bound needed; may be slow)")
-		asm     = flag.Bool("asm", false, "print x86-64 assembly instead of the abstract syntax")
-		prove   = flag.Int("prove", 0, "prove no kernel of length ≤ N exists (exhaustive)")
-		verify  = flag.String("verify", "", "verify a kernel given as text instead of synthesizing")
-		k       = flag.Float64("k", 1, "cut constant (0 disables the cut)")
-		workers = flag.Int("workers", 1, "parallel level-synchronous workers")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
-		quiet   = flag.Bool("q", false, "print only the kernel")
+
+		objective = flag.String("objective", "", `ranking objective: "shortest" (default), "fastest" or "balanced"; for -emit-sorter: "fastest" (default) or "shortest"`)
+		profile   = flag.String("uarch-profile", "", "uarch profile for objective ranking (see internal/uarch; empty = big-ooo default)")
+		minimal   = flag.Bool("minimal", false, "certify minimality (no known bound needed; may be slow)")
+		asm       = flag.Bool("asm", false, "print x86-64 assembly instead of the abstract syntax")
+		prove     = flag.Int("prove", 0, "prove no kernel of length ≤ N exists (exhaustive)")
+		verify    = flag.String("verify", "", "verify a kernel given as text instead of synthesizing")
+		k         = flag.Float64("k", 1, "cut constant (0 disables the cut)")
+		workers   = flag.Int("workers", 1, "parallel level-synchronous workers")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		quiet     = flag.Bool("q", false, "print only the kernel")
 
 		backendName = flag.String("backend", "enum",
 			"synthesis backend: one of the registry names ("+strings.Join(backend.Default().Names(), ", ")+")")
@@ -62,7 +65,14 @@ func main() {
 	flag.Parse()
 
 	if *emitSorter {
-		plan, err := sortgen.Compose(*n)
+		sorterObj := enum.ObjectiveFastest // a generated sorter exists to be executed
+		if *objective != "" {
+			var err error
+			if sorterObj, err = enum.ParseObjective(*objective); err != nil {
+				log.Fatal(err)
+			}
+		}
+		plan, err := sortgen.ComposeObjective(*n, sorterObj)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -150,11 +160,16 @@ func main() {
 		}
 	}
 
+	obj, err := enum.ParseObjective(*objective)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *portfolioList != "" || *backendName != "enum" {
 		if *all {
 			log.Fatal("-all applies only to the default enum backend")
 		}
-		runBackend(set, *n, bound, *backendName, *portfolioList, *seed, *dupsafe, *timeout, *asm, *quiet)
+		runBackend(set, *n, bound, *backendName, *portfolioList, *seed, *dupsafe, obj, *profile, *timeout, *asm, *quiet)
 		return
 	}
 
@@ -178,6 +193,8 @@ func main() {
 			opt.Cut, opt.CutK = enum.CutFactor, *k
 		}
 	}
+	opt.Objective = obj
+	opt.Profile = *profile
 
 	res := sortsynth.Synthesize(set, opt)
 	if res.TimedOut || res.Cancelled {
@@ -212,6 +229,10 @@ func main() {
 		a := sortsynth.Analyze(set, res.Program)
 		fmt.Printf("# length %d, %v, %d states expanded, score %d, est. throughput %.2f cycles\n",
 			res.Length, res.Elapsed.Round(time.Millisecond), res.Expanded, a.Score, a.Throughput)
+		if obj != enum.ObjectiveShortest {
+			fmt.Printf("# objective %s: ranked %d optimal kernels, winner cost %.3f\n",
+				obj, res.RerankCandidates, res.Cost)
+		}
 	}
 	fmt.Print(emit(res.Program))
 }
@@ -220,9 +241,9 @@ func main() {
 // backend, or a portfolio race over a comma-separated list ("all" races
 // every non-portfolio backend). Correctness is checked centrally by
 // backend.Run; a printed kernel is always verified.
-func runBackend(set *sortsynth.Set, n, bound int, name, portfolio string, seed int64, dupsafe bool, timeout time.Duration, asm, quiet bool) {
+func runBackend(set *sortsynth.Set, n, bound int, name, portfolio string, seed int64, dupsafe bool, obj enum.Objective, profile string, timeout time.Duration, asm, quiet bool) {
 	reg := backend.Default()
-	spec := backend.Spec{MaxLen: bound, Seed: seed, DuplicateSafe: dupsafe}
+	spec := backend.Spec{MaxLen: bound, Seed: seed, DuplicateSafe: dupsafe, Objective: obj, Profile: profile}
 
 	ctx := context.Background()
 	if timeout > 0 {

@@ -42,6 +42,8 @@ func (b *Enum) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result
 		opt.MaxLen = spec.MaxLen
 	}
 	opt.DuplicateSafe = spec.DuplicateSafe
+	opt.Objective = spec.Objective
+	opt.Profile = spec.Profile
 	r := enum.RunContext(ctx, set, opt)
 	if r.Err != nil {
 		return nil, r.Err
@@ -57,6 +59,8 @@ func (b *Enum) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result
 		res.Program = r.Program
 		res.Length = r.Length
 		res.Optimal = opt.Cut == enum.CutNone && !opt.UseActionGuide
+		res.Solutions = r.SolutionCount
+		res.Cost = r.Cost
 	case r.Cancelled:
 		res.Status = stopStatus(ctx)
 	case r.TimedOut:
@@ -86,6 +90,9 @@ func (b *SMT) Name() string { return "smt" }
 // Synthesize implements Backend. Stats: Nodes = CDCL conflicts,
 // Iterations = CEGIS refinement rounds.
 func (b *SMT) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	if err := requireShortest(b.Name(), spec); err != nil {
+		return nil, err
+	}
 	length, err := fixedLen(b.Name(), spec)
 	if err != nil {
 		return nil, err
@@ -131,6 +138,9 @@ func (b *CP) Name() string { return "cp" }
 
 // Synthesize implements Backend. Stats: Nodes = DFS nodes.
 func (b *CP) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	if err := requireShortest(b.Name(), spec); err != nil {
+		return nil, err
+	}
 	length, err := fixedLen(b.Name(), spec)
 	if err != nil {
 		return nil, err
@@ -168,6 +178,9 @@ func (b *ILP) Name() string { return "ilp" }
 
 // Synthesize implements Backend. Stats: Nodes = branch-and-bound nodes.
 func (b *ILP) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	if err := requireShortest(b.Name(), spec); err != nil {
+		return nil, err
+	}
 	length, err := fixedLen(b.Name(), spec)
 	if err != nil {
 		return nil, err
@@ -207,6 +220,9 @@ func (b *Stoke) Name() string { return "stoke" }
 // Synthesize implements Backend. Stats: Nodes = MCMC proposals. The
 // chain cannot refute, so a spent budget is always StatusExhausted.
 func (b *Stoke) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	if err := requireShortest(b.Name(), spec); err != nil {
+		return nil, err
+	}
 	length, err := fixedLen(b.Name(), spec)
 	if err != nil {
 		return nil, err
@@ -245,6 +261,9 @@ func (b *MCTS) Name() string { return "mcts" }
 // Synthesize implements Backend. Stats: Nodes = tree nodes,
 // Iterations = MCTS iterations. Like stoke, it cannot refute.
 func (b *MCTS) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	if err := requireShortest(b.Name(), spec); err != nil {
+		return nil, err
+	}
 	opt := b.Opt
 	if spec.MaxLen > 0 {
 		opt.MaxLen = spec.MaxLen
@@ -288,6 +307,9 @@ func (b *Plan) Name() string { return "plan" }
 // plan longer than Spec.MaxLen maps to StatusExhausted rather than a
 // refutation.
 func (b *Plan) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	if err := requireShortest(b.Name(), spec); err != nil {
+		return nil, err
+	}
 	prob := plan.Encode(set, nil)
 	r := plan.SolveContext(ctx, prob, b.Opt)
 	res := &Result{

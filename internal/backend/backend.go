@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"sortsynth/internal/enum"
 	"sortsynth/internal/isa"
 	"sortsynth/internal/verify"
 )
@@ -39,6 +40,18 @@ type Spec struct {
 	// against that suite; either way Run verifies the winner against
 	// it, so a merely permutation-correct program is rejected.
 	DuplicateSafe bool
+
+	// Objective selects which member of the optimal-length solution
+	// set the backend returns (enum.ObjectiveShortest, the zero value,
+	// is every backend's historical behavior). Only the enum backend
+	// enumerates solution sets; the single-solution backends accept
+	// shortest only and reject anything else with an
+	// *UnsupportedObjectiveError — they have no set to rank.
+	Objective enum.Objective
+
+	// Profile names the uarch profile an objective ranking runs under
+	// ("" = default). Ignored when Objective is shortest.
+	Profile string
 }
 
 // Status classifies a synthesis outcome.
@@ -125,7 +138,14 @@ type Result struct {
 	// no shorter program exists (only the enum backend in an
 	// optimality-preserving configuration asserts this).
 	Optimal bool
-	Stats   Stats
+	// Solutions is the exact optimal-program count when the backend
+	// enumerated the solution set (enum under AllSolutions or a
+	// non-shortest objective); 0 when it synthesized a single program.
+	Solutions int64
+	// Cost is the winner's primary uarch metric for non-shortest
+	// objectives (see enum.Result.Cost); 0 under shortest.
+	Cost  float64
+	Stats Stats
 
 	// Winner and Race are set by Portfolio: the name of the backend
 	// whose result this is, and the per-backend outcome table.
@@ -153,6 +173,28 @@ type UnknownBackendError struct {
 func (e *UnknownBackendError) Error() string {
 	return fmt.Sprintf("backend: unknown backend %q (known: %s)",
 		e.Name, strings.Join(e.Known, ", "))
+}
+
+// UnsupportedObjectiveError reports a non-shortest Spec.Objective sent
+// to a backend that synthesizes a single program and therefore has no
+// solution set to rank. A client error, like UnknownBackendError —
+// never a backend bug.
+type UnsupportedObjectiveError struct {
+	Backend   string
+	Objective enum.Objective
+}
+
+func (e *UnsupportedObjectiveError) Error() string {
+	return fmt.Sprintf("backend %s: objective %q is not supported (single-solution backend accepts only \"shortest\")",
+		e.Backend, e.Objective)
+}
+
+// requireShortest is the shared guard for the single-solution backends.
+func requireShortest(name string, spec Spec) error {
+	if spec.Objective != enum.ObjectiveShortest {
+		return &UnsupportedObjectiveError{Backend: name, Objective: spec.Objective}
+	}
+	return nil
 }
 
 // IncorrectError reports that a backend claimed StatusFound but central

@@ -51,6 +51,12 @@ func (p *Portfolio) Backends() []string {
 // cancellation (see aggregateStatus). If every racer failed with an
 // error, the first error is returned.
 func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
+	// The race is heterogeneous: most members are single-solution
+	// engines, so a non-shortest objective would degenerate into "race
+	// enum against a field of guaranteed errors". Reject it up front.
+	if err := requireShortest(p.Name(), spec); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()

@@ -20,7 +20,12 @@
 //     refute the same budgets);
 //   - exhausted, timed-out, and cancelled outcomes claim nothing and are
 //     never divergences: under a 300ms-per-backend budget the slower
-//     encodings time out routinely, and that must stay harmless.
+//     encodings time out routinely, and that must stay harmless;
+//   - ranking objectives (fastest, balanced) are a distinct spec class:
+//     the enum backend must still land exactly on the certified optimal
+//     length (re-ranking changes which member of the set is returned,
+//     never its length), while single-solution backends must refuse with
+//     the typed UnsupportedObjectiveError — a no-claim outcome.
 //
 // The metamorphic half checks invariants that hold by construction —
 // canonicalization idempotence and hash stability, initial-state
@@ -202,6 +207,6 @@ func Run(ctx context.Context, opt Options) (*Report, error) {
 
 // specLabel renders the spec identity used in divergence reports.
 func specLabel(sp spec) string {
-	return fmt.Sprintf("%s budget=%d seed=%d dup=%v timeout=%s",
-		sp.set().String(), sp.budget, sp.seed, sp.dup, sp.timeout)
+	return fmt.Sprintf("%s budget=%d seed=%d dup=%v obj=%s timeout=%s",
+		sp.set().String(), sp.budget, sp.seed, sp.dup, sp.obj, sp.timeout)
 }

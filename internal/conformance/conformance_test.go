@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sortsynth/internal/backend"
+	"sortsynth/internal/enum"
 	"sortsynth/internal/isa"
 )
 
@@ -208,4 +209,38 @@ func paddedN2(t *testing.T, set *isa.Set) isa.Program {
 		t.Fatal(err)
 	}
 	return p
+}
+
+// TestObjectiveSpecClass pins the judge's objective rules directly: the
+// enum backend honors a fastest spec at the certified optimal length,
+// and a single-solution backend's typed refusal is a no-claim outcome,
+// never a divergence.
+func TestObjectiveSpecClass(t *testing.T) {
+	ctx := context.Background()
+	sp := spec{kind: isa.KindCmov, n: 3, m: 1, obj: enum.ObjectiveFastest,
+		budget: 11, opt: 11, timeout: 5 * time.Second}
+
+	eb, err := backend.Default().Get("enum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs, st := judgeBackend(ctx, sp, "enum", eb)
+	if len(divs) != 0 || st != "found" {
+		t.Fatalf("enum on a fastest spec: status %q, divergences %v", st, divs)
+	}
+
+	sb, err := backend.Default().Get("stoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs, st = judgeBackend(ctx, sp, "stoke", sb)
+	if len(divs) != 0 || st != "unsupported-objective" {
+		t.Fatalf("stoke on a fastest spec: status %q, divergences %v, want a clean unsupported-objective", st, divs)
+	}
+
+	// The same refusal on a shortest spec would be a genuine backend bug.
+	sp.obj = enum.ObjectiveShortest
+	if divs, _ = judgeBackend(ctx, sp, "stoke", sb); len(divs) != 0 {
+		t.Fatalf("stoke on a shortest spec diverged: %v", divs)
+	}
 }

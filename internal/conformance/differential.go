@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sortsynth/internal/backend"
+	"sortsynth/internal/enum"
 	"sortsynth/internal/verify"
 )
 
@@ -58,7 +59,7 @@ func judgeSpec(ctx context.Context, opt Options, sp spec) ([]Divergence, map[str
 // and applies the divergence rules documented on the package.
 func judgeBackend(ctx context.Context, sp spec, name string, b backend.Backend) ([]Divergence, string) {
 	set := sp.set()
-	bspec := backend.Spec{MaxLen: sp.budget, Seed: sp.seed, DuplicateSafe: sp.dup}
+	bspec := backend.Spec{MaxLen: sp.budget, Seed: sp.seed, DuplicateSafe: sp.dup, Objective: sp.obj}
 	tctx, cancel := context.WithTimeout(ctx, sp.timeout)
 	defer cancel()
 	res, err := backend.Run(tctx, b, set, bspec)
@@ -78,6 +79,14 @@ func judgeBackend(ctx context.Context, sp spec, name string, b backend.Backend) 
 		if errors.As(err, &incorrect) {
 			return []Divergence{div("incorrect-program",
 				"claimed a kernel that fails central verification: %v", err)}, "error"
+		}
+		// Objectives are a distinct spec class: single-solution backends
+		// have no solution set to rank, and their typed refusal is the
+		// contract, not a failure — a no-claim outcome, like a timeout.
+		// The same error on a shortest spec would be a real backend bug.
+		var unsup *backend.UnsupportedObjectiveError
+		if errors.As(err, &unsup) && sp.obj != enum.ObjectiveShortest {
+			return nil, "unsupported-objective"
 		}
 		return []Divergence{div("backend-error", "%v", err)}, "error"
 	}

@@ -21,10 +21,11 @@ type spec struct {
 	kind    isa.Kind
 	n, m    int
 	dup     bool
-	budget  int           // Spec.MaxLen: optimum + δ, δ ∈ [-2, 2], clamped ≥ 1
-	opt     int           // ground-truth optimal length for (kind, n, m, suite)
-	seed    int64         // Spec.Seed for the randomized backends
-	timeout time.Duration // per-backend deadline for this spec
+	obj     enum.Objective // ranking objective: a distinct spec class, like dup
+	budget  int            // Spec.MaxLen: optimum + δ, δ ∈ [-2, 2], clamped ≥ 1
+	opt     int            // ground-truth optimal length for (kind, n, m, suite)
+	seed    int64          // Spec.Seed for the randomized backends
+	timeout time.Duration  // per-backend deadline for this spec
 }
 
 func (s spec) set() *isa.Set { return isa.New(s.kind, s.n, s.m) }
@@ -139,6 +140,7 @@ func generateSpecs(ctx context.Context, opt Options, truths *truthCache) ([]spec
 		delta := deltas[rng.Intn(len(deltas))]
 		seed := rng.Int63()
 		tinyRoll := rng.Intn(100)
+		objRoll := rng.Intn(100)
 
 		sp := spec{idx: i, kind: isa.KindCmov, n: 2, m: 1, seed: seed, timeout: opt.BackendTimeout}
 		if kindRoll >= 55 {
@@ -161,6 +163,22 @@ func generateSpecs(ctx context.Context, opt Options, truths *truthCache) ([]spec
 			// cancellation paths, which must never read as divergences.
 			sp.timeout = time.Millisecond
 		}
+		// Objectives are a distinct spec class, like the duplicate-safe
+		// flag: the judge expects the enum backend to still land exactly
+		// on the certified optimal length (re-ranking never changes the
+		// length, only which member of the set is returned), and every
+		// single-solution backend to refuse with the typed
+		// UnsupportedObjectiveError — a no-claim outcome, never a
+		// divergence. n ≤ 3 keeps the forced all-solutions enumeration in
+		// the same cost band as the rest of the stream.
+		if sp.n <= 3 {
+			switch {
+			case objRoll < 10:
+				sp.obj = enum.ObjectiveFastest
+			case objRoll < 15:
+				sp.obj = enum.ObjectiveBalanced
+			}
+		}
 
 		l, err := truths.optimalLen(ctx, truthKey{kind: sp.kind, n: sp.n, m: sp.m, dup: sp.dup})
 		if err != nil {
@@ -182,8 +200,8 @@ func generateSpecs(ctx context.Context, opt Options, truths *truthCache) ([]spec
 func digestSpecs(specs []spec) string {
 	h := fnv.New64a()
 	for _, sp := range specs {
-		fmt.Fprintf(h, "%d|%s|%v|%d|%d|%d|%s\n",
-			sp.idx, sp.set(), sp.dup, sp.budget, sp.opt, sp.seed, sp.timeout)
+		fmt.Fprintf(h, "%d|%s|%v|%s|%d|%d|%d|%s\n",
+			sp.idx, sp.set(), sp.dup, sp.obj, sp.budget, sp.opt, sp.seed, sp.timeout)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

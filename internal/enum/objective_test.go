@@ -1,0 +1,312 @@
+package enum
+
+import (
+	"fmt"
+	"testing"
+
+	"sortsynth/internal/isa"
+	"sortsynth/internal/uarch"
+	"sortsynth/internal/verify"
+)
+
+func TestParseObjective(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Objective
+		ok   bool
+	}{
+		{"", ObjectiveShortest, true},
+		{"shortest", ObjectiveShortest, true},
+		{"fastest", ObjectiveFastest, true},
+		{"balanced", ObjectiveBalanced, true},
+		{"FASTEST", 0, false},
+		{"speed", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseObjective(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseObjective(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseObjective(%q): expected error", c.in)
+		}
+	}
+	for _, o := range []Objective{ObjectiveShortest, ObjectiveFastest, ObjectiveBalanced} {
+		back, err := ParseObjective(o.String())
+		if err != nil || back != o {
+			t.Errorf("round trip %v -> %q -> %v, %v", o, o.String(), back, err)
+		}
+	}
+}
+
+func TestObjectiveValidation(t *testing.T) {
+	set := isa.NewCmov(2, 1)
+	opt := ConfigBest()
+	opt.MaxLen = 4
+	opt.Objective = Objective(99)
+	res := Run(set, opt)
+	var objErr *UnknownObjectiveError
+	if res.Err == nil || !asError(res.Err, &objErr) {
+		t.Fatalf("invalid objective: Err = %v, want *UnknownObjectiveError", res.Err)
+	}
+
+	opt = ConfigBest()
+	opt.MaxLen = 4
+	opt.Objective = ObjectiveFastest
+	opt.Profile = "no-such-core"
+	res = Run(set, opt)
+	var profErr *UnknownProfileError
+	if res.Err == nil || !asError(res.Err, &profErr) {
+		t.Fatalf("invalid profile: Err = %v, want *UnknownProfileError", res.Err)
+	}
+
+	// An unknown profile is rejected even under the default shortest
+	// objective — a misspelled flag must not silently no-op.
+	opt = ConfigBest()
+	opt.MaxLen = 4
+	opt.Profile = "no-such-core"
+	res = Run(set, opt)
+	if res.Err == nil || !asError(res.Err, &profErr) {
+		t.Fatalf("invalid profile (shortest): Err = %v, want *UnknownProfileError", res.Err)
+	}
+}
+
+func asError[T error](err error, target *T) bool {
+	t, ok := err.(T)
+	if ok {
+		*target = t
+	}
+	return ok
+}
+
+// TestFastestWinnerInOptimalSet is the differential guarantee of the
+// objective stage: the fastest winner is a member of the optimal-length
+// solution set (computed independently, without cuts, by the
+// all-solutions engine), verifies, and its uarch cost is no worse than
+// the shortest pick's.
+func TestFastestWinnerInOptimalSet(t *testing.T) {
+	specs := []struct {
+		set    *isa.Set
+		maxLen int
+	}{
+		{isa.NewCmov(3, 1), 11},
+		{isa.NewMinMax(3, 1), 8},
+	}
+	for _, sp := range specs {
+		// Independent ground truth: every optimal program, no cuts.
+		all := ConfigAllSolutions()
+		all.MaxLen = sp.maxLen
+		truth := Run(sp.set, all)
+		if truth.Length != sp.maxLen {
+			t.Fatalf("%v: ground truth length %d", sp.set, truth.Length)
+		}
+		optimal := make(map[string]bool, len(truth.Programs))
+		for _, p := range truth.Programs {
+			optimal[p.Format(sp.set.N)] = true
+		}
+
+		for _, obj := range []Objective{ObjectiveFastest, ObjectiveBalanced} {
+			opt := ConfigBest()
+			opt.MaxLen = sp.maxLen
+			opt.Objective = obj
+			res := Run(sp.set, opt)
+			if res.Length != sp.maxLen || res.Program == nil {
+				t.Fatalf("%v/%v: length %d, want %d", sp.set, obj, res.Length, sp.maxLen)
+			}
+			text := res.Program.Format(sp.set.N)
+			if !optimal[text] {
+				t.Errorf("%v/%v: winner not in the optimal-length solution set:\n%s", sp.set, obj, text)
+			}
+			if ce := verify.Counterexample(sp.set, res.Program); ce != nil {
+				t.Errorf("%v/%v: winner fails on %v", sp.set, obj, ce)
+			}
+			if res.RerankCandidates == 0 || res.Cost <= 0 {
+				t.Errorf("%v/%v: rerank stats missing: candidates %d cost %v",
+					sp.set, obj, res.RerankCandidates, res.Cost)
+			}
+
+			// Cost must be ≤ the shortest pick's cost under the same metric.
+			short := ConfigBest()
+			short.MaxLen = sp.maxLen
+			sres := Run(sp.set, short)
+			ranked, _, err := RankPrograms(sp.set, []isa.Program{sres.Program, res.Program}, obj, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ranked[0].Format(sp.set.N) != text && optimal[text] {
+				// The shortest pick ranked strictly better than the winner —
+				// only possible if the ranking is broken.
+				t.Errorf("%v/%v: shortest pick outranks the objective winner", sp.set, obj)
+			}
+		}
+	}
+}
+
+// TestObjectiveWorkerMatrix pins the tentpole determinism claim: the
+// uarch-ranked winner (and its cost) is byte-identical at workers
+// 1/2/4/8, for both objectives, with and without the §3.5 cut. The
+// sequential engine walks a cost-ordered open list and the parallel
+// engine a level-synchronous frontier — the winner must not care.
+func TestObjectiveWorkerMatrix(t *testing.T) {
+	sets := []*isa.Set{isa.NewCmov(3, 1), isa.NewMinMax(3, 1)}
+	maxLen := map[isa.Kind]int{isa.KindCmov: 11, isa.KindMinMax: 8}
+	configs := []struct {
+		name string
+		opt  Options
+	}{
+		{"best", ConfigBest()},
+		{"allsol", ConfigAllSolutions()},
+	}
+	for _, set := range sets {
+		for _, cfg := range configs {
+			for _, obj := range []Objective{ObjectiveFastest, ObjectiveBalanced} {
+				var wantProg, wantCost string
+				var wantCount int64
+				for _, workers := range []int{1, 2, 4, 8} {
+					opt := cfg.opt
+					opt.MaxLen = maxLen[set.Kind]
+					opt.Objective = obj
+					opt.Workers = workers
+					res := Run(set, opt)
+					if res.Program == nil {
+						t.Fatalf("%v/%s/%v w=%d: no program", set, cfg.name, obj, workers)
+					}
+					prog := res.Program.Format(set.N)
+					cost := fmt.Sprintf("%.6f", res.Cost)
+					if workers == 1 {
+						wantProg, wantCost, wantCount = prog, cost, res.SolutionCount
+						continue
+					}
+					if prog != wantProg {
+						t.Errorf("%v/%s/%v: winner differs at workers=%d:\n  w1: %s\n  w%d: %s",
+							set, cfg.name, obj, workers, wantProg, workers, prog)
+					}
+					if cost != wantCost {
+						t.Errorf("%v/%s/%v: cost differs at workers=%d: %s vs %s",
+							set, cfg.name, obj, workers, wantCost, cost)
+					}
+					if res.SolutionCount != wantCount {
+						t.Errorf("%v/%s/%v: solution count differs at workers=%d: %d vs %d",
+							set, cfg.name, obj, workers, wantCount, res.SolutionCount)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestObjectivesDivergeAtSort3 pins the Neri-style divergence the whole
+// feature exists for: at n=3 (cmov), shortest and fastest pick
+// different programs, and the fastest one is strictly cheaper under the
+// default profile's throughput model.
+func TestObjectivesDivergeAtSort3(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+	short := ConfigBest()
+	short.MaxLen = 11
+	sres := Run(set, short)
+
+	fast := ConfigBest()
+	fast.MaxLen = 11
+	fast.Objective = ObjectiveFastest
+	fres := Run(set, fast)
+
+	if sres.Length != 11 || fres.Length != 11 {
+		t.Fatalf("lengths %d/%d, want 11/11", sres.Length, fres.Length)
+	}
+	st, ft := sres.Program.Format(set.N), fres.Program.Format(set.N)
+	if st == ft {
+		t.Fatalf("shortest and fastest picked the same program at n=3:\n%s", st)
+	}
+	sc := uarch.Analyze(set, sres.Program).Throughput
+	fc := uarch.Analyze(set, fres.Program).Throughput
+	if fc > sc {
+		t.Errorf("fastest throughput %.3f worse than shortest %.3f", fc, sc)
+	}
+	if fres.Cost != fc {
+		t.Errorf("Result.Cost %.3f != analyzed throughput %.3f", fres.Cost, fc)
+	}
+}
+
+// TestObjectiveAllSolutionsSurface checks that the caller's enumeration
+// request survives the internal AllSolutions forcing: no Programs
+// unless asked, ranked best-first and capped when asked.
+func TestObjectiveAllSolutionsSurface(t *testing.T) {
+	set := isa.NewCmov(3, 1)
+
+	opt := ConfigAllSolutions()
+	opt.AllSolutions = false // same pruning surface as the capped run below
+	opt.MaxLen = 11
+	opt.Objective = ObjectiveFastest
+	res := Run(set, opt)
+	if res.Programs != nil {
+		t.Errorf("non-all run returned %d programs", len(res.Programs))
+	}
+	if res.SolutionCount < 2 {
+		t.Errorf("objective run should report the exact solution count, got %d", res.SolutionCount)
+	}
+
+	all := ConfigAllSolutions()
+	all.MaxLen = 11
+	all.Objective = ObjectiveFastest
+	all.MaxSolutions = 5
+	ares := Run(set, all)
+	if len(ares.Programs) != 5 {
+		t.Fatalf("capped all run returned %d programs, want 5", len(ares.Programs))
+	}
+	if ares.Programs[0].Format(set.N) != res.Program.Format(set.N) {
+		t.Errorf("ranked Programs[0] differs from the winner")
+	}
+	// Best-first: re-ranking the returned slice must not change it.
+	ranked, _, err := RankPrograms(set, ares.Programs, ObjectiveFastest, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ranked {
+		if ranked[i].Format(set.N) != ares.Programs[i].Format(set.N) {
+			t.Errorf("Programs not in ranked order at %d", i)
+			break
+		}
+	}
+	if ares.SolutionCount != res.SolutionCount {
+		t.Errorf("solution counts differ: %d vs %d", ares.SolutionCount, res.SolutionCount)
+	}
+}
+
+// TestCostOrderBucketQueue pins the cost-ordered bucket mode against
+// the default LIFO: same multiset of entries, cost-ascending pops
+// within one (f, g) bucket, id-descending on ties.
+func TestCostOrderBucketQueue(t *testing.T) {
+	var q bucketQueue
+	q.costOrder = true
+	entries := []openEntry{
+		{id: 1, cost: 9, g: 3},
+		{id: 2, cost: 2, g: 3},
+		{id: 3, cost: 5, g: 3},
+		{id: 4, cost: 2, g: 3},
+		{id: 5, cost: 7, g: 3},
+	}
+	for _, e := range entries {
+		q.Push(10, e)
+	}
+	wantIDs := []int32{4, 2, 3, 5, 1} // cost asc, id desc on the 2/2 tie
+	for i, want := range wantIDs {
+		e, f, ok := q.Pop()
+		if !ok || e.id != want || f != 10 {
+			t.Fatalf("pop %d = id %d f %d ok %v, want id %d f 10", i, e.id, f, ok, want)
+		}
+	}
+	if _, _, ok := q.Pop(); ok || q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+
+	// Lower f still wins regardless of cost, and a drained bucket's
+	// occupancy bit is cleared even in cost-ordered mode.
+	q.Push(12, openEntry{id: 10, cost: 1, g: 3})
+	q.Push(11, openEntry{id: 11, cost: 99, g: 3})
+	if e, _, _ := q.Pop(); e.id != 11 {
+		t.Fatalf("f-order broken: got id %d", e.id)
+	}
+	if e, _, _ := q.Pop(); e.id != 10 {
+		t.Fatalf("single-entry cost bucket broken: got id %d", e.id)
+	}
+}

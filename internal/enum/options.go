@@ -15,6 +15,8 @@ package enum
 
 import (
 	"time"
+
+	"sortsynth/internal/uarch"
 )
 
 // Heuristic selects the A* guidance of §3.1.
@@ -122,6 +124,22 @@ type Options struct {
 	// This repository's extension — the paper's §2.3 criterion admits
 	// kernels that mis-sort duplicates (see EXPERIMENTS.md).
 	DuplicateSafe bool
+
+	// Objective selects which member of the optimal-length solution set
+	// the run returns (see the Objective type). The zero value,
+	// ObjectiveShortest, is the paper's first-found behavior. Any other
+	// objective makes the engine enumerate the optimal set internally
+	// (as if AllSolutions were set) and rank it with the uarch cost
+	// model; the bucket queue additionally orders equal-(f, g) pops by
+	// accumulated instruction weight so the sequential engine walks
+	// toward cheap programs first.
+	Objective Objective
+
+	// Profile names the uarch profile the objective ranking runs under
+	// ("" = the default big out-of-order core). Unknown names are
+	// rejected with an *UnknownProfileError in Result.Err. Ignored —
+	// and excluded from cache keys — when Objective is shortest.
+	Profile string
 }
 
 // weight returns the effective heuristic weight.
@@ -130,6 +148,22 @@ func (o *Options) weight() float64 {
 		return 1
 	}
 	return o.Weight
+}
+
+// CanonicalProfile returns the profile name as it participates in cache
+// keys: "" when the objective is shortest (the ranking never runs, so
+// the profile cannot influence the artifact and must not fragment the
+// key space), otherwise the resolved profile name with the default
+// spelled out. Unresolvable names are returned verbatim — they are
+// rejected before any artifact exists.
+func (o Options) CanonicalProfile() string {
+	if o.Objective == ObjectiveShortest {
+		return ""
+	}
+	if p, ok := uarch.ProfileByName(o.Profile); ok {
+		return p.Name
+	}
+	return o.Profile
 }
 
 // ConfigDijkstra is plain Dijkstra enumeration with deduplication

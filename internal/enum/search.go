@@ -10,6 +10,7 @@ import (
 	"sortsynth/internal/isa"
 	"sortsynth/internal/state"
 	"sortsynth/internal/tables"
+	"sortsynth/internal/uarch"
 )
 
 // Result reports the outcome of a synthesis run.
@@ -23,8 +24,23 @@ type Result struct {
 	Length int
 	// SolutionCount is the exact number of distinct optimal programs
 	// (DAG path count) in AllSolutions mode; 1 if a single program was
-	// synthesized; 0 if none.
+	// synthesized; 0 if none. Objective runs enumerate the DAG
+	// internally, so they always report the exact count.
 	SolutionCount int64
+
+	// Objective echoes the ranking objective the run was executed
+	// under. For any objective other than shortest, Program is the
+	// uarch-ranked winner of the optimal-length solution set and Cost is
+	// its primary metric (estimated cycles per invocation for fastest;
+	// the throughput/critical-path blend for balanced).
+	Objective Objective
+	Cost      float64
+	// RerankCandidates is the number of optimal programs the ranking
+	// stage scored; RerankTruncated reports that the solution set
+	// exceeded the engine's ranking cap and the winner was chosen from
+	// a deterministic prefix.
+	RerankCandidates int
+	RerankTruncated  bool
 
 	// Search statistics.
 	Expanded  int64 // states popped and expanded
@@ -100,6 +116,12 @@ type searcher struct {
 	ctx      context.Context
 	buf      state.State
 	done     bool // single-solution mode: stop at the first solution
+
+	// The caller's enumeration request, before newSearcher forced
+	// AllSolutions for an objective run: finish restores the requested
+	// Programs surface after the ranking stage.
+	userAll     bool
+	userMaxSols int
 }
 
 // Run synthesizes sorting kernels for the given instruction set according
@@ -120,6 +142,14 @@ func RunContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 	if opt.MaxLen > MaxDepth {
 		return &Result{Length: -1, Err: &DepthLimitError{MaxLen: opt.MaxLen}}
 	}
+	if opt.Objective > ObjectiveBalanced {
+		return &Result{Length: -1, Err: &UnknownObjectiveError{Name: opt.Objective.String()}}
+	}
+	if opt.Objective != ObjectiveShortest || opt.Profile != "" {
+		if _, ok := uarch.ProfileByName(opt.Profile); !ok {
+			return &Result{Length: -1, Err: &UnknownProfileError{Name: opt.Profile}}
+		}
+	}
 	if opt.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
@@ -139,6 +169,16 @@ func RunContext(ctx context.Context, set *isa.Set, opt Options) *Result {
 // and dedup table are seeded separately (seedOpen); the parallel engine
 // brings its own sharded dedup layer and frontier instead.
 func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
+	userAll, userMaxSols := opt.AllSolutions, opt.MaxSolutions
+	if opt.Objective != ObjectiveShortest {
+		// The objective winner is defined over the optimal-length
+		// solution set, so objective runs always record the full path
+		// DAG and enumerate it — in both engines — regardless of what
+		// program surface the caller asked for. finish() restores the
+		// caller's AllSolutions/MaxSolutions view after ranking.
+		opt.AllSolutions = true
+		opt.MaxSolutions = max(rerankCap, userMaxSols)
+	}
 	suite := state.SuitePermutations
 	if opt.DuplicateSafe {
 		suite = state.SuiteWeakOrders
@@ -153,9 +193,11 @@ func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 		// sorting kernel comes anywhere near it (n=6 needs 45), so an
 		// exhausted depth-250 search is reported as a genuine exhaustion
 		// exactly as before. MaxLen > MaxDepth is rejected in RunContext.
-		bound: MaxDepth,
-		res:   &Result{Length: -1},
-		start: time.Now(),
+		bound:       MaxDepth,
+		res:         &Result{Length: -1, Objective: opt.Objective},
+		start:       time.Now(),
+		userAll:     userAll,
+		userMaxSols: userMaxSols,
 	}
 	if opt.MaxLen > 0 {
 		s.bound = opt.MaxLen
@@ -180,6 +222,7 @@ func (s *searcher) seedOpen() {
 	init := s.m.Initial()
 	s.dedup = newFlatTable(1 << 12)
 	s.dedup.set(state.HashKey(init), 0)
+	s.open.costOrder = s.opt.Objective != ObjectiveShortest
 	off, n := s.arena.Save(init)
 	s.open.Push(s.priority(0, init, 0, false), openEntry{id: 0, off: off, n: n, g: 0})
 }
@@ -249,7 +292,7 @@ func (s *searcher) search() {
 			if useGuide && !guide.Has(id) {
 				continue
 			}
-			s.expandChild(it.id, g, st, uint16(id), in)
+			s.expandChild(it.id, g, it.cost, st, uint16(id), in)
 			if s.done {
 				return
 			}
@@ -274,8 +317,10 @@ func (s *searcher) stopped() bool {
 }
 
 // expandChild applies in to the parent state and routes the successor
-// through the viability, cut, and deduplication pipeline.
-func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID uint16, in isa.Instr) {
+// through the viability, cut, and deduplication pipeline. parentCost is
+// the parent's accumulated instruction weight (maintained only in
+// cost-ordered runs; 0 otherwise).
+func (s *searcher) expandChild(parentID int32, g int, parentCost int32, st state.State, instrID uint16, in isa.Instr) {
 	// The raw successor keeps the parent's order; the prune predicates
 	// and the cut's exceeds-test are order-insensitive, so the
 	// canonicalizing sort is deferred until a candidate survives all of
@@ -347,6 +392,10 @@ func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID ui
 		}
 	}
 
+	var childCost int32
+	if s.open.costOrder {
+		childCost = parentCost + int32(uarch.InstrScore(in))
+	}
 	key := state.HashKey(child)
 	id := int32(len(s.nodes))
 	if ex, inserted := s.dedup.getOrPut(key, id); !inserted {
@@ -366,7 +415,7 @@ func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID ui
 			if exn.sorted {
 				s.recordSolution(ex, cg)
 			} else {
-				s.pushOpen(ex, cg, child, pc, havePC)
+				s.pushOpen(ex, cg, childCost, child, pc, havePC)
 			}
 		}
 		return
@@ -381,13 +430,13 @@ func (s *searcher) expandChild(parentID int32, g int, st state.State, instrID ui
 		s.recordSolution(id, cg)
 		return
 	}
-	s.pushOpen(id, cg, child, pc, havePC)
+	s.pushOpen(id, cg, childCost, child, pc, havePC)
 }
 
 // pushOpen copies the state into the arena and queues the node.
-func (s *searcher) pushOpen(id int32, g int, st state.State, pc int, havePC bool) {
+func (s *searcher) pushOpen(id int32, g int, cost int32, st state.State, pc int, havePC bool) {
 	off, n := s.arena.Save(st)
-	s.open.Push(s.priority(g, st, pc, havePC), openEntry{id: id, off: off, n: n, g: uint8(g)})
+	s.open.Push(s.priority(g, st, pc, havePC), openEntry{id: id, off: off, n: n, cost: cost, g: uint8(g)})
 }
 
 // recordSolution registers a sorted state found at depth g and tightens
@@ -424,6 +473,38 @@ func (s *searcher) program(id int32) isa.Program {
 	return p
 }
 
+// rerank is the objective stage: it scores every enumerated
+// optimal-length program with the uarch cost model and installs the
+// ranking winner as Result.Program. Because the final tie-break is the
+// canonical program text, the winner depends only on the enumerated
+// set — the engines (sequential cost-ordered, parallel level-
+// synchronous) agree whenever their solution sets agree, which the
+// crosscheck matrix pins for every cut. The caller's enumeration
+// request is restored afterwards: Programs stays nil unless the caller
+// asked for AllSolutions, and is truncated to the caller's
+// MaxSolutions, in ranked (best-first) order.
+func (s *searcher) rerank(r *Result) {
+	prof, _ := uarch.ProfileByName(s.opt.Profile) // validated in RunContext
+	ranked := rankPrograms(s.set, r.Programs, s.opt.Objective, prof)
+	r.RerankCandidates = len(ranked)
+	r.RerankTruncated = r.SolutionCount > int64(len(ranked))
+	r.Program = ranked[0].prog
+	r.Cost = ranked[0].primary
+	if !s.userAll {
+		r.Programs = nil
+		return
+	}
+	limit := s.userMaxSols
+	if limit == 0 || limit > len(ranked) {
+		limit = len(ranked)
+	}
+	out := make([]isa.Program, limit)
+	for i := range out {
+		out[i] = ranked[i].prog
+	}
+	r.Programs = out
+}
+
 // finish assembles the Result after the main loop.
 func (s *searcher) finish() *Result {
 	r := s.res
@@ -436,6 +517,9 @@ func (s *searcher) finish() *Result {
 			r.Programs = s.enumeratePrograms()
 		} else {
 			r.SolutionCount = 1
+		}
+		if s.opt.Objective != ObjectiveShortest {
+			s.rerank(r)
 		}
 	}
 	r.Proof = r.Exhausted && !r.TimedOut && !r.Cancelled &&

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -30,6 +32,14 @@ type Entry struct {
 	// them — so a mounted universe can answer hopeless budgets without
 	// re-running the refutation search. Length holds the refuted bound.
 	NoKernel bool `json:"no_kernel,omitempty"`
+
+	// Objective names the ranking objective the kernel was picked under
+	// ("" on shortest entries, which predate — and are unchanged by —
+	// the objective field).
+	Objective string `json:"objective,omitempty"`
+	// Cost is the winner's primary uarch metric under a non-shortest
+	// objective (enum.Result.Cost); 0 on shortest entries.
+	Cost float64 `json:"cost,omitempty"`
 
 	// Program is the synthesized kernel in the textual ISA syntax.
 	Program string `json:"program"`
@@ -91,9 +101,18 @@ type lruItem struct {
 	entry *Entry
 }
 
+// versionMarker is the disk store's key-scheme stamp, written next to
+// the entries. A store whose marker disagrees with KeyVersion — or a
+// non-empty store predating the marker — fails loudly at mount time:
+// every lookup in it would miss silently (the canonical text changed),
+// which is indistinguishable from a cold cache until the bill arrives.
+const versionMarker = "KEYVERSION"
+
 // New returns a cache holding at most capacity entries in memory
 // (capacity <= 0 means 256). dir is the on-disk store directory, created
-// if missing; an empty dir disables the disk tier.
+// if missing; an empty dir disables the disk tier. A directory holding
+// entries written under an older key scheme is rejected with a
+// StaleStoreError telling the operator to clear it or re-bake.
 func New(dir string, capacity int) (*Cache, error) {
 	if capacity <= 0 {
 		capacity = 256
@@ -102,6 +121,9 @@ func New(dir string, capacity int) (*Cache, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("kcache: %w", err)
 		}
+		if err := checkVersion(dir); err != nil {
+			return nil, err
+		}
 	}
 	return &Cache{
 		dir:   dir,
@@ -109,6 +131,53 @@ func New(dir string, capacity int) (*Cache, error) {
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
 	}, nil
+}
+
+// StaleStoreError reports a disk store written under a different key
+// scheme than this build canonicalizes.
+type StaleStoreError struct {
+	Dir string
+	// Found is the store's recorded key version; 0 means the store
+	// predates version markers (necessarily ≤ v2).
+	Found int
+	Want  int
+}
+
+func (e *StaleStoreError) Error() string {
+	found := "an unmarked (pre-v3) scheme"
+	if e.Found != 0 {
+		found = fmt.Sprintf("key scheme v%d", e.Found)
+	}
+	return fmt.Sprintf("kcache: disk store %s was written under %s, this build canonicalizes v%d — clear the directory or re-bake it",
+		e.Dir, found, e.Want)
+}
+
+// checkVersion enforces the key-scheme stamp on dir: a fresh (or
+// entry-free) directory is stamped with the current KeyVersion; a
+// stamped directory must match it; an unstamped directory that already
+// holds entries is a pre-marker store and is rejected.
+func checkVersion(dir string) error {
+	marker := filepath.Join(dir, versionMarker)
+	blob, err := os.ReadFile(marker)
+	switch {
+	case err == nil:
+		found, perr := strconv.Atoi(strings.TrimSpace(string(blob)))
+		if perr != nil || found != KeyVersion {
+			return &StaleStoreError{Dir: dir, Found: found, Want: KeyVersion}
+		}
+		return nil
+	case os.IsNotExist(err):
+		entries, gerr := filepath.Glob(filepath.Join(dir, "*.json"))
+		if gerr == nil && len(entries) > 0 {
+			return &StaleStoreError{Dir: dir, Want: KeyVersion}
+		}
+		if werr := os.WriteFile(marker, []byte(strconv.Itoa(KeyVersion)+"\n"), 0o644); werr != nil {
+			return fmt.Errorf("kcache: %w", werr)
+		}
+		return nil
+	default:
+		return fmt.Errorf("kcache: %w", err)
+	}
 }
 
 // Get returns the cached entry for key, consulting memory first and then

@@ -282,3 +282,48 @@ func TestConcurrentAccess(t *testing.T) {
 		<-done
 	}
 }
+
+func TestVersionMarker(t *testing.T) {
+	// A fresh directory is stamped with the current scheme and mounts
+	// again without complaint.
+	dir := t.TempDir()
+	if _, err := New(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, versionMarker))
+	if err != nil || strings.TrimSpace(string(blob)) != "3" {
+		t.Fatalf("marker = %q, %v; want \"3\"", blob, err)
+	}
+	if _, err := New(dir, 4); err != nil {
+		t.Fatalf("remount of a stamped store: %v", err)
+	}
+
+	// A store stamped under an older scheme is rejected loudly.
+	old := t.TempDir()
+	os.WriteFile(filepath.Join(old, versionMarker), []byte("2\n"), 0o644)
+	_, err = New(old, 4)
+	var stale *StaleStoreError
+	if !asStale(err, &stale) || stale.Found != 2 || stale.Want != KeyVersion {
+		t.Fatalf("v2 store: err = %v, want *StaleStoreError{Found: 2}", err)
+	}
+	if !strings.Contains(err.Error(), "re-bake") {
+		t.Errorf("stale error %q should tell the operator to re-bake", err)
+	}
+
+	// An unmarked directory that already holds entries predates the
+	// marker and is rejected too; Found is 0 ("unmarked").
+	pre := t.TempDir()
+	os.WriteFile(filepath.Join(pre, "deadbeef.json"), []byte("{}"), 0o644)
+	_, err = New(pre, 4)
+	if !asStale(err, &stale) || stale.Found != 0 {
+		t.Fatalf("pre-marker store: err = %v, want *StaleStoreError{Found: 0}", err)
+	}
+}
+
+func asStale(err error, target **StaleStoreError) bool {
+	s, ok := err.(*StaleStoreError)
+	if ok {
+		*target = s
+	}
+	return ok
+}

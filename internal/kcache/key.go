@@ -57,12 +57,16 @@ func KeyForBackend(set *isa.Set, backendName string, maxLen int, seed int64, dup
 	}
 }
 
-// KeyVersion is the canonicalization scheme version: the "v2" prefix of
+// KeyVersion is the canonicalization scheme version: the "v3" prefix of
 // Canonical. Artifacts that persist keys outside this process (the disk
-// tier's entry files, the baked universe header) record it so a store
-// written under an older scheme is rejected instead of silently missing
-// on every lookup.
-const KeyVersion = 2
+// tier's version marker, the baked universe header) record it so a
+// store written under an older scheme is rejected loudly — with a
+// "re-bake" error — instead of silently missing on every lookup.
+//
+// v3 (this version) appends the synthesis objective and, for
+// non-shortest objectives, the uarch profile name; v2 predates
+// objectives entirely.
+const KeyVersion = 3
 
 // Canonical returns the canonical text form of the key — the string that
 // is hashed for content addressing and stored inside each entry for
@@ -80,15 +84,17 @@ const KeyVersion = 2
 //     is the same.
 //
 // Normalizations keep distinct spellings of the same search identical:
-// a zero Weight means 1, CutK is meaningless when the cut is off, and
-// an empty Backend means "enum".
+// a zero Weight means 1, CutK is meaningless when the cut is off, an
+// empty Backend means "enum", and the uarch profile is keyed only for
+// non-shortest objectives (where it can influence the winner), with
+// the default profile's name spelled out (Options.CanonicalProfile).
 func (k Key) Canonical() string {
 	return string(k.AppendCanonical(make([]byte, 0, canonicalBufSize)))
 }
 
 // canonicalBufSize comfortably holds any canonical key with the
 // registry's backend names; longer names just spill into the heap.
-const canonicalBufSize = 192
+const canonicalBufSize = 224
 
 // AppendCanonical appends the canonical text form (see Canonical) to b
 // and returns the extended slice. With enough capacity in b it performs
@@ -107,7 +113,7 @@ func (k Key) AppendCanonical(b []byte) []byte {
 	if be == "" {
 		be = "enum"
 	}
-	b = append(b, "v2|backend="...)
+	b = append(b, "v3|backend="...)
 	b = append(b, be...)
 	b = append(b, "|seed="...)
 	b = strconv.AppendInt(b, k.Seed, 10)
@@ -139,6 +145,10 @@ func (k Key) AppendCanonical(b []byte) []byte {
 	b = strconv.AppendInt(b, int64(o.MaxSolutions), 10)
 	b = append(b, "|dupsafe="...)
 	b = strconv.AppendBool(b, o.DuplicateSafe)
+	b = append(b, "|obj="...)
+	b = append(b, o.Objective.String()...)
+	b = append(b, "|prof="...)
+	b = append(b, o.CanonicalProfile()...)
 	return b
 }
 

@@ -28,7 +28,7 @@ func referenceCanonical(k Key) string {
 		be = "enum"
 	}
 	return fmt.Sprintf(
-		"v2|backend=%s|seed=%d|isa=%s|n=%d|m=%d|heur=%d|w=%s|cut=%d|k=%s|dist=%t|guide=%t|erase=%t|maxlen=%d|all=%t|maxsols=%d|dupsafe=%t",
+		"v3|backend=%s|seed=%d|isa=%s|n=%d|m=%d|heur=%d|w=%s|cut=%d|k=%s|dist=%t|guide=%t|erase=%t|maxlen=%d|all=%t|maxsols=%d|dupsafe=%t|obj=%s|prof=%s",
 		be, k.Seed,
 		k.ISA, k.N, k.M,
 		o.Heuristic,
@@ -39,6 +39,7 @@ func referenceCanonical(k Key) string {
 		o.MaxLen,
 		o.AllSolutions, o.MaxSolutions,
 		o.DuplicateSafe,
+		o.Objective, o.CanonicalProfile(),
 	)
 }
 
@@ -59,6 +60,12 @@ func testKeys() []Key {
 			Heuristic: enum.HeurDistMax, Weight: 0.3333333333333333,
 			Cut: enum.CutFactor, CutK: 2,
 			UseDistPrune: true, ViabilityErase: true, MaxLen: 8,
+		}},
+		{ISA: "cmov", N: 3, M: 1, Opt: enum.Options{
+			MaxLen: 11, Objective: enum.ObjectiveFastest,
+		}},
+		{ISA: "cmov", N: 3, M: 1, Opt: enum.Options{
+			MaxLen: 11, Objective: enum.ObjectiveBalanced, Profile: "little",
 		}},
 	}
 }

@@ -79,6 +79,24 @@ func Lookup(name string, n int) (Kernel, bool) {
 	return Kernel{}, false
 }
 
+// FirstPick returns the frozen shortest-objective kernel for array
+// length n (3..5): the first solution the sequential ConfigBest search
+// reports, before any uarch re-ranking (cmd/genkernels -first). It is
+// deliberately not part of Contenders — the §5.3 field compares the
+// model-ranked picks — but backs the shortest-objective sortgen path.
+func FirstPick(n int) (Kernel, bool) {
+	cset := isa.NewCmov(n, 1)
+	switch n {
+	case 3:
+		return Kernel{Name: "enum_first", N: 3, Go: sort3First, Prog: mustParse(sort3FirstProg, cset), Set: cset}, true
+	case 4:
+		return Kernel{Name: "enum_first", N: 4, Go: sort4First, Prog: mustParse(sort4FirstProg, cset), Set: cset}, true
+	case 5:
+		return Kernel{Name: "enum_first", N: 5, Go: sort5First, Prog: mustParse(sort5FirstProg, cset), Set: cset}, true
+	}
+	return Kernel{}, false
+}
+
 // paperEnumN3Prog is the synthesized kernel printed in paper §2.1
 // (middle column), mapped rax→r1, rbx→r2, rcx→r3, rdi→s1.
 const paperEnumN3Prog = `

@@ -60,6 +60,12 @@ func runCancellationBurst(t *testing.T, rng *rand.Rand) bool {
 		`{"n": 2, "duplicate_safe": true}`,
 		`{"n": 3}`,
 		`{"n": 3, "isa": "minmax"}`,
+		// The n=4 search runs a few hundred ms: long enough to span many
+		// scheduler quanta, so the samplers reliably observe a live
+		// flight even on a single-CPU host where every n ≤ 3 search
+		// finishes inside one uninterrupted quantum. Most of its clients
+		// disconnect within 40ms, exercising mid-search detach.
+		`{"n": 4}`,
 	}
 
 	// Sample the flight group while the burst is in progress, so the
@@ -67,8 +73,20 @@ func runCancellationBurst(t *testing.T, rng *rand.Rand) bool {
 	// mid-run, not just the final state. The sampler spins with
 	// Gosched instead of a timer: under a 48-goroutine burst the timer
 	// goroutine can be starved past the whole burst, while a runnable
-	// spinner keeps getting quanta.
+	// spinner keeps getting quanta. On a single-CPU host even the
+	// spinner can starve for the whole burst, so the request goroutines
+	// below sample too — they are the ones holding the CPU.
 	seen := map[*flight]bool{}
+	var seenMu sync.Mutex
+	sample := func() {
+		s.flights.mu.Lock()
+		seenMu.Lock()
+		for _, f := range s.flights.m {
+			seen[f] = true
+		}
+		seenMu.Unlock()
+		s.flights.mu.Unlock()
+	}
 	var stop sync.Mutex // locked = keep sampling
 	stopped := func() bool {
 		if stop.TryLock() {
@@ -83,11 +101,7 @@ func runCancellationBurst(t *testing.T, rng *rand.Rand) bool {
 	go func() {
 		defer samplerWG.Done()
 		for !stopped() {
-			s.flights.mu.Lock()
-			for _, f := range s.flights.m {
-				seen[f] = true
-			}
-			s.flights.mu.Unlock()
+			sample()
 			runtime.Gosched()
 		}
 	}()
@@ -121,6 +135,9 @@ func runCancellationBurst(t *testing.T, rng *rand.Rand) bool {
 			}
 			req.Header.Set("Content-Type", "application/json")
 			resp, err := ts.Client().Do(req)
+			// Mid-burst sample: other requests' flights are live right
+			// now, whatever happened to this one.
+			sample()
 			if err != nil {
 				return // cancelled mid-flight: exactly the point
 			}

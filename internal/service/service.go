@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"sortsynth/internal/backend"
 	"sortsynth/internal/isa"
 	"sortsynth/internal/kcache"
+	"sortsynth/internal/uarch"
 	"sortsynth/internal/universe"
 )
 
@@ -64,6 +66,12 @@ type Config struct {
 	// MaxBatch bounds the spec list accepted by /v1/synthesize/batch
 	// (0 = 32).
 	MaxBatch int
+	// UarchProfile names the uarch profile objective rankings run under
+	// ("" = the default big out-of-order core; see internal/uarch).
+	// Deployment-wide, like SearchWorkers: the profile describes the
+	// hardware the fleet serves, so it is a server flag, not a request
+	// field. It participates in non-shortest cache keys.
+	UarchProfile string
 }
 
 // Server is the sortsynthd HTTP handler. Create it with New, serve it
@@ -101,6 +109,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 32
 	}
+	if _, ok := uarch.ProfileByName(cfg.UarchProfile); !ok {
+		return nil, fmt.Errorf("service: unknown uarch profile %q (known: %s)",
+			cfg.UarchProfile, strings.Join(uarch.ProfileNames(), ", "))
+	}
 	cache, err := kcache.New(cfg.CacheDir, cfg.CacheSize)
 	if err != nil {
 		return nil, err
@@ -125,6 +137,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	routes := map[string]http.HandlerFunc{
 		"POST /v1/synthesize":       s.handleSynthesize,
+		"GET /v1/synthesize":        s.handleSynthesizeGet,
 		"POST /v1/synthesize/batch": s.handleSynthesizeBatch,
 		"GET /v1/kernels":           s.handleKernels,
 		"GET /v1/sortgen":     s.handleSortgen,

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"sortsynth/internal/enum"
 	"sortsynth/internal/kcache"
 	"sortsynth/internal/sortgen"
 )
@@ -17,6 +18,9 @@ type sortgenResponse struct {
 	N    int    `json:"n"`
 	Elem string `json:"elem"`
 	Func string `json:"func"`
+	// Objective names the kernel set inlined into the sorter: "fastest"
+	// (default — the model-best picks) or "shortest" (the first picks).
+	Objective string `json:"objective"`
 	// Blocks is the kernel-block cover, e.g. "5+5+3" for n=13.
 	Blocks string `json:"blocks"`
 	// KernelInstructions counts the synthesized-kernel instructions
@@ -35,16 +39,20 @@ type sortgenResponse struct {
 }
 
 // sortgenKey builds the cache key for a generated sorter. The artifact
-// is a pure function of (n, element type) — the composer, kernel
-// registry, and emitter are deterministic — so those two fields are the
-// whole content address ("sortgen" sits in the Backend slot, the
-// element type in the ISA slot).
-func sortgenKey(n int, elem string) kcache.Key {
-	return kcache.Key{ISA: elem, N: n, Backend: "sortgen"}
+// is a pure function of (n, element type, objective) — the composer,
+// kernel registry, and emitter are deterministic — so those fields are
+// the whole content address ("sortgen" sits in the Backend slot, the
+// element type in the ISA slot, the objective in the option surface).
+func sortgenKey(n int, elem string, obj enum.Objective) kcache.Key {
+	return kcache.Key{ISA: elem, N: n, Backend: "sortgen", Opt: enum.Options{Objective: obj}}
 }
 
-// handleSortgen serves GET /v1/sortgen?n=13[&elem=int]: the generated
-// sorter source, cache-keyed through kcache like every other artifact.
+// handleSortgen serves GET /v1/sortgen?n=13[&elem=int][&objective=...]:
+// the generated sorter source, cache-keyed through kcache like every
+// other artifact. The objective defaults to "fastest" — unlike
+// /v1/synthesize, whose default preserves the historical first-pick
+// reply, a generated sorter has always inlined the model-best kernels,
+// and "fastest" is that set's name.
 func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	q := r.URL.Query()
@@ -55,6 +63,18 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 	}
 	if n < 0 || n > s.cfg.MaxSortN {
 		writeError(w, http.StatusBadRequest, "n=%d out of range (want 0..%d)", n, s.cfg.MaxSortN)
+		return
+	}
+	obj := enum.ObjectiveFastest
+	if objStr := q.Get("objective"); objStr != "" {
+		if obj, err = enum.ParseObjective(objStr); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if obj == enum.ObjectiveBalanced {
+		writeError(w, http.StatusBadRequest,
+			"objective %q has no frozen kernel set (sortgen serves shortest or fastest)", obj)
 		return
 	}
 	elem := q.Get("elem")
@@ -71,11 +91,11 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := sortgenKey(n, elem)
+	key := sortgenKey(n, elem, obj)
 	hash := key.Hash()
 	if e, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		resp, err := sortgenResponseFor(n, elem, e, hash, true, start)
+		resp, err := sortgenResponseFor(n, elem, obj, e, hash, true, start)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
@@ -85,7 +105,7 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.cacheMisses.Add(1)
 
-	plan, err := sortgen.Compose(n)
+	plan, err := sortgen.ComposeObjective(n, obj)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -99,6 +119,7 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 	}
 	entry := &kcache.Entry{
 		Backend:       "sortgen",
+		Objective:     obj.String(),
 		Program:       src,
 		Length:        plan.KernelInstructions() + plan.Comparators(),
 		SolutionCount: 1,
@@ -107,7 +128,7 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 	if err := s.cache.Put(key, entry); err != nil {
 		s.metrics.recordPutError(err) // memory tier still serves it; see runSearch
 	}
-	resp, err := sortgenResponseFor(n, elem, entry, hash, false, start)
+	resp, err := sortgenResponseFor(n, elem, obj, entry, hash, false, start)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -118,12 +139,12 @@ func (s *Server) handleSortgen(w http.ResponseWriter, r *http.Request) {
 // sortgenResponseFor rebuilds the plan metadata around a cached (or
 // fresh) entry. The block cover is deterministic and cheap, so a cache
 // hit never re-runs the merge construction or the emitter.
-func sortgenResponseFor(n int, elem string, e *kcache.Entry, hash string, cached bool, start time.Time) (sortgenResponse, error) {
+func sortgenResponseFor(n int, elem string, obj enum.Objective, e *kcache.Entry, hash string, cached bool, start time.Time) (sortgenResponse, error) {
 	blocks, err := sortgen.BlocksFor(n)
 	if err != nil {
 		return sortgenResponse{}, err
 	}
-	meta := &sortgen.Plan{N: n, Blocks: blocks}
+	meta := &sortgen.Plan{N: n, Blocks: blocks, Objective: obj}
 	ki := meta.KernelInstructions()
 	if e.Length < ki {
 		return sortgenResponse{}, fmt.Errorf("sortgen cache entry for n=%d is inconsistent (length %d < %d kernel instructions)", n, e.Length, ki)
@@ -132,6 +153,7 @@ func sortgenResponseFor(n int, elem string, e *kcache.Entry, hash string, cached
 		N:                  n,
 		Elem:               elem,
 		Func:               fmt.Sprintf("Sort%d", n),
+		Objective:          obj.String(),
 		Blocks:             meta.BlocksDesc(),
 		KernelInstructions: ki,
 		Comparators:        e.Length - ki,

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"sortsynth/internal/backend"
@@ -40,6 +42,12 @@ type synthesizeRequest struct {
 
 	DuplicateSafe bool `json:"duplicate_safe"`
 
+	// Objective selects which member of the optimal-length solution set
+	// comes back: "shortest" (default — the historical first pick),
+	// "fastest" (minimum modeled throughput under the server's uarch
+	// profile), or "balanced". Enum only; other backends reject it.
+	Objective string `json:"objective"`
+
 	// All enumerates every optimal kernel (ConfigAllSolutions);
 	// MaxSolutions caps the materialized programs (default 10).
 	All          bool `json:"all"`
@@ -61,11 +69,16 @@ type searchStats struct {
 
 // synthesizeResponse is the POST /v1/synthesize reply.
 type synthesizeResponse struct {
-	Kernel        string   `json:"kernel"`
-	Programs      []string `json:"programs,omitempty"`
-	Length        int      `json:"length"`
-	SolutionCount int64    `json:"solution_count"`
-	Backend       string   `json:"backend"`
+	Kernel   string   `json:"kernel"`
+	Programs []string `json:"programs,omitempty"`
+	Length   int      `json:"length"`
+	// Objective and Cost report the ranking objective of the kernel and
+	// its primary uarch metric; both are omitted for shortest (the
+	// historical reply shape).
+	Objective     string  `json:"objective,omitempty"`
+	Cost          float64 `json:"cost,omitempty"`
+	SolutionCount int64   `json:"solution_count"`
+	Backend       string  `json:"backend"`
 	Cached        bool     `json:"cached"`
 	Coalesced     bool     `json:"coalesced,omitempty"`
 	// Source is the tier that answered: "universe" (baked L0),
@@ -102,6 +115,76 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSynthesizeGet serves GET /v1/synthesize?n=3[&objective=fastest...]:
+// the query-parameter form of the POST body, for curl-friendly reads of
+// what is almost always a cached artifact. Unknown parameters are a 400,
+// mirroring the strict JSON decoding on the POST side.
+func (s *Server) handleSynthesizeGet(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, err := synthesizeRequestFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := s.prepareSynthesize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.resolveSynthesize(r.Context(), p, req.TimeoutMS, start)
+	if err != nil {
+		s.writeSearchError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// synthesizeRequestFromQuery maps URL query parameters onto the POST
+// body's fields (same names, same semantics).
+func synthesizeRequestFromQuery(q url.Values) (*synthesizeRequest, error) {
+	var req synthesizeRequest
+	ints := map[string]*int{
+		"n": &req.N, "max_len": &req.MaxLen, "max_solutions": &req.MaxSolutions,
+	}
+	bools := map[string]*bool{
+		"duplicate_safe": &req.DuplicateSafe, "all": &req.All,
+	}
+	strs := map[string]*string{
+		"isa": &req.ISA, "backend": &req.Backend,
+		"config": &req.Config, "objective": &req.Objective,
+	}
+	for name, vals := range q {
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("parameter %q given %d times", name, len(vals))
+		}
+		v := vals[0]
+		var err error
+		switch {
+		case ints[name] != nil:
+			*ints[name], err = strconv.Atoi(v)
+		case bools[name] != nil:
+			*bools[name], err = strconv.ParseBool(v)
+		case strs[name] != nil:
+			*strs[name] = v
+		case name == "m":
+			var m int
+			if m, err = strconv.Atoi(v); err == nil {
+				req.M = &m
+			}
+		case name == "seed":
+			req.Seed, err = strconv.ParseInt(v, 10, 64)
+		case name == "timeout_ms":
+			req.TimeoutMS, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return nil, fmt.Errorf("unknown parameter %q", name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %v", name, v, err)
+		}
+	}
+	return &req, nil
 }
 
 // prepared is a validated synthesize request: the serving cache key and
@@ -225,6 +308,15 @@ func (s *Server) buildOptions(set *isa.Set, req *synthesizeRequest) (enum.Option
 	} else if req.MaxSolutions != 0 {
 		return opt, errors.New("max_solutions requires \"all\": true")
 	}
+	obj, err := enum.ParseObjective(req.Objective)
+	if err != nil {
+		return opt, err
+	}
+	opt.Objective = obj
+	// The profile is a server-wide deployment knob (the hardware the
+	// fleet ranks for), not a per-request one: per-request profiles would
+	// fragment the cache by client whim.
+	opt.Profile = s.cfg.UarchProfile
 	opt.DuplicateSafe = req.DuplicateSafe
 	opt.MaxLen = req.MaxLen
 	if opt.MaxLen > enum.MaxDepth {
@@ -259,6 +351,16 @@ func (s *Server) buildSpec(set *isa.Set, beName string, req *synthesizeRequest) 
 	}
 	if req.DuplicateSafe {
 		return spec, fmt.Errorf("duplicate_safe applies only to the enum backend (got backend %q)", beName)
+	}
+	// Validate the objective spelling, then reject anything but shortest
+	// up front: the backend would return the same typed error, but this
+	// way it is a plain 400 before any flight is created.
+	obj, err := enum.ParseObjective(req.Objective)
+	if err != nil {
+		return spec, err
+	}
+	if obj != enum.ObjectiveShortest {
+		return spec, fmt.Errorf("objective %q applies only to the enum backend (backend %q synthesizes a single program)", obj, beName)
 	}
 	spec.MaxLen = req.MaxLen
 	if spec.MaxLen > enum.MaxDepth {
@@ -346,8 +448,14 @@ func (s *Server) runSearch(ctx context.Context, key kcache.Key, set *isa.Set, op
 	}
 	bc.found.Add(1)
 
+	var objName string
+	if opt.Objective != enum.ObjectiveShortest {
+		objName = opt.Objective.String()
+	}
 	entry := &kcache.Entry{
 		Backend:       "enum",
+		Objective:     objName,
+		Cost:          res.Cost,
 		Program:       res.Program.Format(set.N),
 		Length:        res.Length,
 		SolutionCount: res.SolutionCount,
@@ -459,10 +567,17 @@ func searchErrorStatus(ctx context.Context, err error) (int, string) {
 	var noKernel noKernelError
 	var budgetErr budgetExhaustedError
 	var depthErr *enum.DepthLimitError
+	var objErr *enum.UnknownObjectiveError
+	var profErr *enum.UnknownProfileError
+	var unsupErr *backend.UnsupportedObjectiveError
 	switch {
 	case errors.As(err, &depthErr):
 		// Normally rejected in buildOptions before a flight starts; this
 		// is the engines' own guard surfacing as a client error.
+		return http.StatusBadRequest, err.Error()
+	case errors.As(err, &objErr), errors.As(err, &profErr), errors.As(err, &unsupErr):
+		// Same story: prepareSynthesize rejects these before a flight,
+		// so hitting this arm means the engine-level guard fired.
 		return http.StatusBadRequest, err.Error()
 	case ctx.Err() != nil:
 		// The client is gone; the status is for the log only.
@@ -498,6 +613,8 @@ func responseFor(e *kcache.Entry, hash, source string, coalesced bool, start tim
 		Kernel:        e.Program,
 		Programs:      e.Programs,
 		Length:        e.Length,
+		Objective:     e.Objective,
+		Cost:          e.Cost,
 		SolutionCount: e.SolutionCount,
 		Backend:       be,
 		Cached:        source != sourceSearch,

@@ -1,0 +1,76 @@
+package sortgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sortsynth/internal/enum"
+)
+
+// TestComposeObjectiveKernelSets pins the objective split: shortest and
+// fastest plans share the block cover and merge schedule but inline
+// different kernel bodies, and both sort — including inputs with ties.
+func TestComposeObjectiveKernelSets(t *testing.T) {
+	const n = 13
+	short, err := ComposeObjective(n, enum.ObjectiveShortest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ComposeObjective(n, enum.ObjectiveFastest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Comparators() != fast.Comparators() || len(short.Blocks) != len(fast.Blocks) {
+		t.Error("objective changed the block cover or merge schedule")
+	}
+	ssrc, err := short.GoFile(EmitOptions{Elem: "int"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrc, err := fast.GoFile(EmitOptions{Elem: "int"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssrc == fsrc {
+		t.Error("shortest and fastest sorters emitted identical source; the kernel sets should diverge")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []*Plan{short, fast} {
+		sorter := p.Sorter()
+		for trial := 0; trial < 200; trial++ {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = rng.Intn(5) // dense ties
+			}
+			want := append([]int(nil), a...)
+			sort.Ints(want)
+			sorter(a)
+			for i := range a {
+				if a[i] != want[i] {
+					t.Fatalf("objective %v: mis-sorted at %d", p.Objective, i)
+				}
+			}
+		}
+	}
+}
+
+// TestComposeDefaultsToFastest pins Compose's choice: the deployment
+// default inlines the model-best (fastest) kernels — the bytes the
+// endpoint has always served.
+func TestComposeDefaultsToFastest(t *testing.T) {
+	p, err := Compose(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Objective != enum.ObjectiveFastest {
+		t.Errorf("Compose objective = %v, want fastest", p.Objective)
+	}
+}
+
+func TestComposeObjectiveRejectsBalanced(t *testing.T) {
+	if _, err := ComposeObjective(9, enum.ObjectiveBalanced); err == nil {
+		t.Fatal("balanced should be rejected: no frozen kernel set")
+	}
+}

@@ -24,6 +24,7 @@ package sortgen
 import (
 	"fmt"
 
+	"sortsynth/internal/enum"
 	"sortsynth/internal/isa"
 	"sortsynth/internal/kernels"
 	"sortsynth/internal/sortnet"
@@ -58,21 +59,44 @@ type Plan struct {
 	N      int
 	Blocks []Block
 	Merges []Merge
+	// Objective selects which frozen kernel set the blocks execute and
+	// emit: ObjectiveFastest (the model-best picks, Compose's choice)
+	// or ObjectiveShortest (the first picks, kernels.FirstPick). It
+	// changes the kernel bodies, never the block cover or the merges.
+	Objective enum.Objective
 }
 
-// Compose plans a branchless sorter for fixed length n. The block
-// cutover policy (DESIGN.md §12): cover the array with synthesized
-// 5-kernels while more than 7 elements remain, then split the tail so
-// no block is smaller than 2 unless n itself is (6 → 3+3, 7 → 4+3,
-// 2..5 → one kernel). Runs are then merged pairwise, balanced-tree
-// style, with Batcher odd-even merges; every merge layer is certified
-// against all sorted 0-1 run pairs before the plan is returned.
+// Compose plans a branchless sorter for fixed length n using the
+// fastest (model-best) kernels — the deployment default: a generated
+// sorter exists to be executed, so it inlines the uarch-ranked picks.
+// ComposeObjective selects the kernel set explicitly.
 func Compose(n int) (*Plan, error) {
+	return ComposeObjective(n, enum.ObjectiveFastest)
+}
+
+// ComposeObjective plans a branchless sorter for fixed length n with
+// the kernel set for obj: fastest (model-best picks) or shortest
+// (first picks). Balanced is rejected — sortgen inlines frozen,
+// duplicate-verified kernels, and only those two sets are frozen.
+//
+// The block cutover policy (DESIGN.md §12): cover the array with
+// synthesized 5-kernels while more than 7 elements remain, then split
+// the tail so no block is smaller than 2 unless n itself is (6 → 3+3,
+// 7 → 4+3, 2..5 → one kernel). Runs are then merged pairwise,
+// balanced-tree style, with Batcher odd-even merges; every merge layer
+// is certified against all sorted 0-1 run pairs before the plan is
+// returned.
+func ComposeObjective(n int, obj enum.Objective) (*Plan, error) {
+	switch obj {
+	case enum.ObjectiveShortest, enum.ObjectiveFastest:
+	default:
+		return nil, fmt.Errorf("sortgen: no frozen kernel set for objective %q (want shortest or fastest)", obj)
+	}
 	blocks, err := BlocksFor(n)
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{N: n, Blocks: blocks}
+	p := &Plan{N: n, Blocks: blocks, Objective: obj}
 
 	// Merge adjacent runs pairwise until one run spans the array.
 	runs := make([]Block, len(p.Blocks))
@@ -159,11 +183,12 @@ func (p *Plan) Comparators() int {
 
 // KernelInstructions returns the total abstract-instruction count of the
 // plan's kernel blocks (a length-2 block counts as one comparator's
-// worth of work, reported as 0 abstract instructions).
+// worth of work, reported as 0 abstract instructions). Both frozen
+// kernel sets are optimal-length, so the count is objective-independent.
 func (p *Plan) KernelInstructions() int {
 	total := 0
 	for _, b := range p.Blocks {
-		if prog := kernelProg(b.N); prog != nil {
+		if prog := p.kernel(b.N); prog != nil {
 			total += len(prog.prog)
 		}
 	}
@@ -194,7 +219,11 @@ func (p *Plan) Sorter() func(a []int) {
 		if b.N < 2 {
 			continue
 		}
-		blocks = append(blocks, blockFn{lo: b.Lo, n: b.N, fn: kernelFunc(b.N)})
+		fn := sort2
+		if b.N > 2 {
+			fn = p.kernel(b.N).fn
+		}
+		blocks = append(blocks, blockFn{lo: b.Lo, n: b.N, fn: fn})
 	}
 	ops := p.MergeOps()
 	n := p.N
@@ -220,7 +249,8 @@ type kernelEntry struct {
 }
 
 // synthKernels caches the registry lookups: the model-best synthesized
-// cmov kernels for n = 3, 4, 5 (the "enum" contenders of §5.3).
+// cmov kernels for n = 3, 4, 5 (the "enum" contenders of §5.3) — the
+// fastest-objective set.
 var synthKernels = func() map[int]kernelEntry {
 	ks := make(map[int]kernelEntry, 3)
 	for n := 3; n <= MaxKernelN; n++ {
@@ -233,18 +263,29 @@ var synthKernels = func() map[int]kernelEntry {
 	return ks
 }()
 
-// kernelFunc returns the native sorter for a block of length n (2..5).
-func kernelFunc(n int) func([]int) {
-	if n == 2 {
-		return sort2
+// firstKernels caches the shortest-objective set: the frozen first
+// picks of the sequential search (kernels.FirstPick).
+var firstKernels = func() map[int]kernelEntry {
+	ks := make(map[int]kernelEntry, 3)
+	for n := 3; n <= MaxKernelN; n++ {
+		k, ok := kernels.FirstPick(n)
+		if !ok {
+			panic(fmt.Sprintf("sortgen: no first-pick kernel for n=%d in the registry", n))
+		}
+		ks[n] = kernelEntry{fn: k.Go, prog: k.Prog, set: k.Set}
 	}
-	return synthKernels[n].fn
-}
+	return ks
+}()
 
-// kernelProg returns the abstract program behind a block of length n,
-// or nil when the block is a bare compare-and-swap (n ≤ 2).
-func kernelProg(n int) *kernelEntry {
-	if e, ok := synthKernels[n]; ok {
+// kernel returns the abstract-and-native kernel behind a block of
+// length n under the plan's objective, or nil when the block is a bare
+// compare-and-swap (n ≤ 2).
+func (p *Plan) kernel(n int) *kernelEntry {
+	ks := synthKernels
+	if p.Objective == enum.ObjectiveShortest {
+		ks = firstKernels
+	}
+	if e, ok := ks[n]; ok {
 		return &e
 	}
 	return nil

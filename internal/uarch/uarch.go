@@ -55,6 +55,34 @@ var BigCore = Profile{Name: "big-ooo", IssueWidth: 4, NumPorts: 4, MoveEliminati
 // elimination) for ranking-robustness checks.
 var LittleCore = Profile{Name: "little", IssueWidth: 2, NumPorts: 2, MoveElimination: false}
 
+// Profiles returns the named profiles, default first. The slice is
+// freshly allocated; callers may reorder it.
+func Profiles() []Profile { return []Profile{BigCore, LittleCore} }
+
+// ProfileNames returns the selectable profile names, default first —
+// the values accepted by the -uarch-profile flags and the API layer.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName resolves a profile by its Name. The empty string means
+// the default (BigCore); unknown names report ok = false. Allocation-
+// free — cache-key canonicalization calls it on the serving hot path.
+func ProfileByName(name string) (Profile, bool) {
+	switch name {
+	case "", BigCore.Name:
+		return BigCore, true
+	case LittleCore.Name:
+		return LittleCore, true
+	}
+	return Profile{}, false
+}
+
 // Modeled ports: 0..3 are ALU-capable; SIMD min/max can only use 0..2.
 var classes = [isa.NumOps]classInfo{
 	isa.Mov:   {latency: 0, eliminated: true},
@@ -71,16 +99,24 @@ var classes = [isa.NumOps]classInfo{
 func Score(p isa.Program) int {
 	s := 0
 	for _, in := range p {
-		switch in.Op {
-		case isa.Mov:
-			s++
-		case isa.Cmp, isa.Min, isa.Max:
-			s += 2
-		case isa.Cmovl, isa.Cmovg:
-			s += 4
-		}
+		s += InstrScore(in)
 	}
 	return s
+}
+
+// InstrScore is one instruction's §5.3 weight — the additive per-step
+// cost the search engine threads through its open list as a secondary
+// priority (the program-level metrics below are not additive).
+func InstrScore(in isa.Instr) int {
+	switch in.Op {
+	case isa.Mov:
+		return 1
+	case isa.Cmp, isa.Min, isa.Max:
+		return 2
+	case isa.Cmovl, isa.Cmovg:
+		return 4
+	}
+	return 0
 }
 
 // deps returns the register/flag read and write sets of an instruction.
@@ -144,22 +180,30 @@ type Analysis struct {
 	Throughput float64
 }
 
-// Analyze runs all metrics on p.
+// Analyze runs all metrics on p under the default BigCore profile.
 func Analyze(set *isa.Set, p isa.Program) Analysis {
+	return AnalyzeProfile(set, p, BigCore)
+}
+
+// AnalyzeProfile runs all metrics on p under prof. Score and
+// CriticalPath are profile-independent (the critical path assumes move
+// elimination either way — it measures the data-dependence structure);
+// Throughput and the uop count follow the profile.
+func AnalyzeProfile(set *isa.Set, p isa.Program, prof Profile) Analysis {
 	a := Analysis{
 		Instructions: len(p),
 		Score:        Score(p),
 		CriticalPath: CriticalPath(set, p),
 	}
 	for _, in := range p {
-		if !classes[in.Op].eliminated {
+		if !classes[in.Op].eliminated || !prof.MoveElimination {
 			a.Uops++
 		}
 	}
 	if a.CriticalPath > 0 {
 		a.ILP = float64(a.Uops) / float64(a.CriticalPath)
 	}
-	a.Throughput = Throughput(set, p)
+	a.Throughput = ThroughputProfile(set, p, prof)
 	return a
 }
 

@@ -1,4 +1,4 @@
-package uarch
+package uarch_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 	"sortsynth/internal/enum"
 	"sortsynth/internal/isa"
 	"sortsynth/internal/sortnet"
+	"sortsynth/internal/uarch"
 )
 
 func TestScoreWeights(t *testing.T) {
@@ -13,7 +14,7 @@ func TestScoreWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := Score(p); got != 1+2+4+4 {
+	if got := uarch.Score(p); got != 1+2+4+4 {
 		t.Errorf("Score = %d, want 11", got)
 	}
 }
@@ -24,10 +25,10 @@ func TestCriticalPathChainVsParallel(t *testing.T) {
 	chain, _ := isa.ParseProgram("cmp r1 r2; cmovg r1 r2; cmp r1 r3; cmovg r1 r3; cmp r1 r4; cmovg r1 r4", 4)
 	// Parallel: two independent chains.
 	par, _ := isa.ParseProgram("cmp r1 r2; cmovg r1 r2; cmp r3 r4; cmovg r3 r4", 4)
-	if cp := CriticalPath(set, chain); cp != 6 {
+	if cp := uarch.CriticalPath(set, chain); cp != 6 {
 		t.Errorf("chain critical path = %d, want 6", cp)
 	}
-	if cp := CriticalPath(set, par); cp != 2 {
+	if cp := uarch.CriticalPath(set, par); cp != 2 {
 		t.Errorf("parallel critical path = %d, want 2", cp)
 	}
 }
@@ -35,10 +36,10 @@ func TestCriticalPathChainVsParallel(t *testing.T) {
 func TestMovEliminated(t *testing.T) {
 	set := isa.NewCmov(2, 1)
 	p, _ := isa.ParseProgram("mov s1 r1; mov r1 r2; mov r2 s1", 2)
-	if cp := CriticalPath(set, p); cp != 0 {
+	if cp := uarch.CriticalPath(set, p); cp != 0 {
 		t.Errorf("mov-only critical path = %d, want 0 (rename elimination)", cp)
 	}
-	a := Analyze(set, p)
+	a := uarch.Analyze(set, p)
 	if a.Uops != 0 || a.Instructions != 3 {
 		t.Errorf("Analyze = %+v, want 0 uops / 3 instructions", a)
 	}
@@ -57,7 +58,7 @@ func TestThroughputOrdering(t *testing.T) {
 		t.Fatal("synthesis failed")
 	}
 	synth := res.Program
-	tn, ts := Throughput(set, net), Throughput(set, synth)
+	tn, ts := uarch.Throughput(set, net), uarch.Throughput(set, synth)
 	if ts > tn+0.5 {
 		t.Errorf("synthesized kernel throughput %.2f worse than network %.2f", ts, tn)
 	}
@@ -71,8 +72,8 @@ func TestMinMaxBeatsCmovModel(t *testing.T) {
 	// reproduce the direction: fewer instructions and no flag bottleneck.
 	cset := isa.NewCmov(3, 1)
 	mset := isa.NewMinMax(3, 1)
-	cm := Analyze(cset, sortnet.Optimal(3).CompileCmov())
-	mm := Analyze(mset, sortnet.Optimal(3).CompileMinMax())
+	cm := uarch.Analyze(cset, sortnet.Optimal(3).CompileCmov())
+	mm := uarch.Analyze(mset, sortnet.Optimal(3).CompileMinMax())
 	if mm.Throughput >= cm.Throughput {
 		t.Errorf("minmax throughput %.2f not better than cmov %.2f", mm.Throughput, cm.Throughput)
 	}
@@ -91,8 +92,8 @@ func TestSynthesizedMinMaxHasBetterDependenceStructure(t *testing.T) {
 	if res.Length != 8 {
 		t.Fatal("synthesis failed")
 	}
-	syn := Analyze(set, res.Program)
-	net := Analyze(set, sortnet.Optimal(3).CompileMinMax())
+	syn := uarch.Analyze(set, res.Program)
+	net := uarch.Analyze(set, sortnet.Optimal(3).CompileMinMax())
 	if syn.ILP < net.ILP {
 		t.Errorf("synthesized ILP %.2f below network ILP %.2f", syn.ILP, net.ILP)
 	}
@@ -103,9 +104,9 @@ func TestSynthesizedMinMaxHasBetterDependenceStructure(t *testing.T) {
 
 func TestAnalyzeEmpty(t *testing.T) {
 	set := isa.NewCmov(2, 1)
-	a := Analyze(set, nil)
+	a := uarch.Analyze(set, nil)
 	if a.Instructions != 0 || a.Throughput != 0 || a.CriticalPath != 0 {
-		t.Errorf("Analyze(nil) = %+v", a)
+		t.Errorf("uarch.Analyze(nil) = %+v", a)
 	}
 }
 
@@ -121,14 +122,14 @@ func TestProfileRankingStability(t *testing.T) {
 		t.Fatal("synthesis failed")
 	}
 	net := sortnet.Optimal(3).CompileMinMax()
-	for _, prof := range []Profile{BigCore, LittleCore} {
-		syn := ThroughputProfile(set, res.Program, prof)
-		nw := ThroughputProfile(set, net, prof)
+	for _, prof := range []uarch.Profile{uarch.BigCore, uarch.LittleCore} {
+		syn := uarch.ThroughputProfile(set, res.Program, prof)
+		nw := uarch.ThroughputProfile(set, net, prof)
 		if syn > nw+1e-9 {
 			t.Errorf("%s: synthesized %.2f slower than network %.2f", prof.Name, syn, nw)
 		}
 	}
-	if big, little := ThroughputProfile(set, net, BigCore), ThroughputProfile(set, net, LittleCore); little < big {
+	if big, little := uarch.ThroughputProfile(set, net, uarch.BigCore), uarch.ThroughputProfile(set, net, uarch.LittleCore); little < big {
 		t.Errorf("little core faster than big core: %.2f vs %.2f", little, big)
 	}
 }
@@ -138,7 +139,7 @@ func TestLittleCorePaysForMoves(t *testing.T) {
 	// the big core.
 	set := isa.NewCmov(2, 1)
 	p, _ := isa.ParseProgram("mov s1 r1; mov r1 r2; mov r2 s1", 2)
-	if ThroughputProfile(set, p, LittleCore) <= ThroughputProfile(set, p, BigCore) {
+	if uarch.ThroughputProfile(set, p, uarch.LittleCore) <= uarch.ThroughputProfile(set, p, uarch.BigCore) {
 		t.Error("moves should cost cycles on the little core")
 	}
 }
@@ -146,7 +147,7 @@ func TestLittleCorePaysForMoves(t *testing.T) {
 func TestThroughputDeterministic(t *testing.T) {
 	set := isa.NewCmov(3, 1)
 	p := sortnet.Optimal(3).CompileCmov()
-	if Throughput(set, p) != Throughput(set, p) {
+	if uarch.Throughput(set, p) != uarch.Throughput(set, p) {
 		t.Error("Throughput not deterministic")
 	}
 }

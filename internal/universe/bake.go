@@ -25,6 +25,10 @@ type Spec struct {
 	Backend       string // registry name
 	Budget        int    // MaxLen bound
 	DuplicateSafe bool   // enum only: the service rejects it elsewhere
+	// Objective selects the ranking objective (enum only — the
+	// single-solution backends reject anything but shortest, and
+	// EnumerateSpecs never emits it for them).
+	Objective enum.Objective
 }
 
 // Set instantiates the instruction set for the spec.
@@ -43,6 +47,7 @@ func (sp Spec) Key() kcache.Key {
 		opt := enum.ConfigBest()
 		opt.MaxLen = sp.Budget
 		opt.DuplicateSafe = sp.DuplicateSafe
+		opt.Objective = sp.Objective
 		return kcache.KeyFor(sp.Set(), opt)
 	}
 	return kcache.KeyForBackend(sp.Set(), sp.Backend, sp.Budget, 0, false)
@@ -52,6 +57,9 @@ func (sp Spec) String() string {
 	s := fmt.Sprintf("%s/%s n=%d m=%d maxlen=%d", sp.Backend, sp.ISA, sp.N, sp.M, sp.Budget)
 	if sp.DuplicateSafe {
 		s += " dupsafe"
+	}
+	if sp.Objective != enum.ObjectiveShortest {
+		s += " obj=" + sp.Objective.String()
 	}
 	return s
 }
@@ -76,6 +84,10 @@ type Options struct {
 	// DuplicateSafe also bakes the duplicate-safe variant of every enum
 	// spec (the service accepts the knob only for enum).
 	DuplicateSafe bool
+	// Objectives lists the ranking objectives baked for every enum spec
+	// (nil = shortest and fastest). Non-enum backends are always baked
+	// shortest-only — they reject anything else.
+	Objectives []enum.Objective
 	// Workers is the number of specs synthesized concurrently.
 	Workers int
 	// SpecTimeout bounds each synthesis; a spec that exceeds it is
@@ -106,6 +118,9 @@ func (o Options) defaults() Options {
 	}
 	if o.SpecTimeout == 0 {
 		o.SpecTimeout = 60 * time.Second
+	}
+	if len(o.Objectives) == 0 {
+		o.Objectives = []enum.Objective{enum.ObjectiveShortest, enum.ObjectiveFastest}
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -147,9 +162,17 @@ func EnumerateSpecs(opt Options) []Spec {
 					if budget < 1 {
 						continue
 					}
-					specs = append(specs, Spec{ISA: isaName, N: n, M: 1, Backend: be, Budget: budget})
-					if opt.DuplicateSafe && be == "enum" {
-						specs = append(specs, Spec{ISA: isaName, N: n, M: 1, Backend: be, Budget: budget, DuplicateSafe: true})
+					// Non-enum backends reject every objective but
+					// shortest; baking one would just record the error.
+					objectives := []enum.Objective{enum.ObjectiveShortest}
+					if be == "enum" {
+						objectives = opt.Objectives
+					}
+					for _, obj := range objectives {
+						specs = append(specs, Spec{ISA: isaName, N: n, M: 1, Backend: be, Budget: budget, Objective: obj})
+						if opt.DuplicateSafe && be == "enum" {
+							specs = append(specs, Spec{ISA: isaName, N: n, M: 1, Backend: be, Budget: budget, DuplicateSafe: true, Objective: obj})
+						}
 					}
 				}
 			}
@@ -278,6 +301,7 @@ func bakeOne(ctx context.Context, registry *backend.Registry, sp Spec, opt Optio
 	res, err := registry.Synthesize(ctx, sp.Backend, set, backend.Spec{
 		MaxLen:        sp.Budget,
 		DuplicateSafe: sp.DuplicateSafe,
+		Objective:     sp.Objective,
 	})
 	if err != nil {
 		return nil, err
@@ -289,11 +313,21 @@ func bakeOne(ctx context.Context, registry *backend.Registry, sp Spec, opt Optio
 		// byte-identical (same content ID), so replicas can compare
 		// artifacts by hash. A universe hit therefore reports search_ms 0
 		// — no search ran for this request.
+		sc := res.Solutions
+		if sc == 0 {
+			sc = 1 // single-solution run: the one program it returned
+		}
+		var objName string
+		if sp.Objective != enum.ObjectiveShortest {
+			objName = sp.Objective.String()
+		}
 		return &kcache.Entry{
 			Backend:       sp.Backend,
+			Objective:     objName,
+			Cost:          res.Cost,
 			Program:       res.Program.Format(set.N),
 			Length:        res.Length,
-			SolutionCount: 1,
+			SolutionCount: sc,
 			Expanded:      res.Stats.Nodes,
 			Generated:     res.Stats.Generated,
 		}, nil

@@ -245,9 +245,10 @@ func TestEnumerateSpecsMirrorsServiceKeys(t *testing.T) {
 		ISAs: []string{"cmov"}, MinN: 2, MaxN: 3, Slack: 1,
 		Backends: []string{"enum", "smt"}, DuplicateSafe: true,
 	})
-	// 2 n values × 2 backends × 3 budgets, plus 2×3 enum dupsafe variants.
-	if len(specs) != 18 {
-		t.Fatalf("enumerated %d specs, want 18", len(specs))
+	// smt: 2 n values × 3 budgets, shortest only. enum: the same 6
+	// instances × 2 objectives (shortest, fastest) × 2 dupsafe variants.
+	if len(specs) != 30 {
+		t.Fatalf("enumerated %d specs, want 30", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, sp := range specs {
