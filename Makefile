@@ -10,11 +10,22 @@ GO ?= go
 # budget, the generated sorting library passes its generate → vet →
 # build → differential gate, and the enum and sortgen rows of the
 # committed BENCH_*.json files are re-measured without -race as
-# throughput regression gates, and the objective gate proves re-rank
+# throughput regression gates, the objective gate proves re-rank
 # determinism across worker counts and the loud rejection of pre-v3
-# kernel stores.
+# kernel stores, and the SWAR gate proves the bit-sliced and scalar
+# execution layers byte-identical across cut modes and worker counts.
 .PHONY: check
-check: build vet race smoke conformance bake-check objective-check fuzz-smoke sortgen-check bench-compare sortgen-compare
+check: build vet race smoke conformance bake-check objective-check swar-check fuzz-smoke sortgen-check bench-compare sortgen-compare
+
+# swar-check is the SWAR execution-layer gate: the bit-sliced and the
+# scalar engines must produce byte-identical program sets, solution
+# counts, and effort counters across a cut × workers {1,2,4,8} matrix
+# (both ISAs, permutation and weak-order suites). This equivalence is
+# what keeps Options.DisableSWAR out of the kernel-cache keys. Exits
+# nonzero on any divergence; writes results/swarcheck.txt.
+.PHONY: swar-check
+swar-check:
+	$(GO) run ./cmd/experiments -table=swarcheck
 
 # objective-check is the ranking-objective gate: the fastest winner must
 # be byte-identical at workers 1/2/4/8 with model cost ≤ the shortest
@@ -55,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -race -run='^$$' -fuzz='^FuzzParseProgram$$' -fuzztime=$(FUZZTIME) ./internal/isa
 	$(GO) test -race -run='^$$' -fuzz='^FuzzCanonicalize$$' -fuzztime=$(FUZZTIME) ./internal/state
 	$(GO) test -race -run='^$$' -fuzz='^FuzzHashKey$$' -fuzztime=$(FUZZTIME) ./internal/state
+	$(GO) test -race -run='^$$' -fuzz='^FuzzSWARvsScalarStep$$' -fuzztime=$(FUZZTIME) ./internal/state
 	$(GO) test -race -run='^$$' -fuzz='^FuzzFlatTable$$' -fuzztime=$(FUZZTIME) ./internal/enum
 	$(GO) test -race -run='^$$' -fuzz='^FuzzVerifySorts$$' -fuzztime=$(FUZZTIME) ./internal/verify
 	$(GO) test -race -run='^$$' -fuzz='^FuzzSortgenVsSlicesSort$$' -fuzztime=$(FUZZTIME) ./internal/sortgen

@@ -105,7 +105,7 @@ func init() {
 			ObjectiveRows:          prevRep.ObjectiveRows,
 		}
 		var t tableWriter
-		t.row("n", "workers", "wall", "expanded", "expanded/s", "length")
+		t.row("n", "workers", "wall", "swar off", "swar x", "expanded", "expanded/s", "length")
 		for _, tc := range cases {
 			set := isa.NewCmov(tc.n, 1)
 			parKernel := ""
@@ -122,6 +122,24 @@ func init() {
 				if err != nil {
 					return fmt.Errorf("n=%d workers=%d: %w", tc.n, w, err)
 				}
+				// SWAR A/B: the same row with the bit-sliced layer off.
+				// The kernels must match byte for byte (swar-check proves
+				// the full equivalence; this is the cheap tripwire on the
+				// measured runs themselves).
+				optOff := opt
+				optOff.DisableSWAR = true
+				mOff, err := bench.MeasureSearch(set, optOff, tc.rounds)
+				if err != nil {
+					return fmt.Errorf("n=%d workers=%d swar off: %w", tc.n, w, err)
+				}
+				if mOff.Kernel != m.Kernel {
+					return fmt.Errorf("n=%d workers=%d: SWAR and scalar runs produced different kernels:\n  swar   %s\n  scalar %s",
+						tc.n, w, m.Kernel, mOff.Kernel)
+				}
+				m.SWAROffWallMS = mOff.WallMS
+				if m.WallMS > 0 {
+					m.SWARSpeedup = mOff.WallMS / m.WallMS
+				}
 				if w > 1 {
 					if parKernel == "" {
 						parKernel = m.Kernel
@@ -132,6 +150,8 @@ func init() {
 				rep.Measurements = append(rep.Measurements, m)
 				t.row(fmt.Sprint(tc.n), fmt.Sprint(w),
 					fmt.Sprintf("%.1fms", m.WallMS),
+					fmt.Sprintf("%.1fms", m.SWAROffWallMS),
+					fmt.Sprintf("%.2f", m.SWARSpeedup),
 					fmt.Sprint(m.Expanded),
 					fmt.Sprintf("%.0f", m.ExpandedPerSec),
 					fmt.Sprint(m.Length))
@@ -155,7 +175,7 @@ func init() {
 		}
 		rep.Measurements = append(rep.Measurements, pm)
 		t.row("3", fmt.Sprintf("race(%d)", len(pf.Backends())),
-			fmt.Sprintf("%.1fms", pm.WallMS),
+			fmt.Sprintf("%.1fms", pm.WallMS), "-", "-",
 			fmt.Sprint(pm.Expanded),
 			fmt.Sprintf("%.0f", pm.ExpandedPerSec),
 			fmt.Sprint(pm.Length))

@@ -67,7 +67,7 @@ func init() {
 			t.row(fmt.Sprint(n), ms(res.Elapsed), paperEnum[n], alphaRL[n], alphaS[n])
 		}
 		if !c.slow {
-			t.row("5", "(run with -slow: ~2.5 min)", paperEnum[5], alphaRL[5], alphaS[5])
+			t.row("5", "(run with -slow: ~8 s)", paperEnum[5], alphaRL[5], alphaS[5])
 		}
 		t.flush(c.w)
 		c.printf("\nAlphaDev numbers quoted from the paper (code unavailable; TPU v3/v4 cluster).\n")

@@ -135,10 +135,10 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 		// per-candidate funnel.
 		m, tab := s.m, s.tab
 		useGuide, useDist, viaErase := s.opt.UseActionGuide, s.opt.UseDistPrune, s.opt.ViabilityErase
-		var dist []uint8
-		var lutLo, lutHi []uint32
+		swar := s.swar
+		var lut *state.DistLUT
 		if useDist {
-			dist, lutLo, lutHi = tab.DistLUT()
+			lut = tab.DistLUT()
 		}
 		cutOn := s.opt.Cut != CutNone
 		budget := s.bound - (g + 1)
@@ -173,6 +173,7 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 				arena.Reset()
 				projSet := &projSets[w]
 				var buf state.State
+				var pidx []uint32
 				var local int32
 				var lgen, lpr, lcut int64
 				for fi, fe := range frontier[lo:hi] {
@@ -183,8 +184,39 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 					if useGuide {
 						guide = tab.GuideMask(fe.st)
 					}
+					// The parent's distinct projection count: children of
+					// projection-preserving instructions inherit it verbatim
+					// (state.ProjPreserving), skipping their per-assignment
+					// cut recounts.
+					fePC := 0
+					if cutOn {
+						fePC = m.PermCount(fe.st)
+					}
+					// Parent distance-table indices, computed once per
+					// frontier entry and amortized over every candidate
+					// instruction (ApplyDistSWAR's incremental index form).
+					if swar && fused {
+						if cap(pidx) < len(fe.st) {
+							pidx = make([]uint32, len(fe.st))
+						}
+						pidx = pidx[:len(fe.st)]
+						for i, a := range fe.st {
+							pidx[i] = lut.Index(a)
+						}
+					}
 					for id, in := range instrs {
 						if useGuide && !guide.Has(id) {
+							continue
+						}
+						// Pre-apply cut for projection-preserving
+						// instructions: the child inherits the parent's
+						// projection multiset, so it cannot be sorted and
+						// the §3.5 verdict is fePC's — known before the
+						// successor exists (see the sequential engine).
+						projPres := s.projPres[id]
+						if projPres && intLimit != math.MaxInt && fePC > intLimit {
+							lgen++
+							lcut++
 							continue
 						}
 						// The raw successor keeps the parent's order; the
@@ -197,17 +229,29 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 						var sorted bool
 						if fused {
 							var ok bool
-							buf, ok = m.ApplyDist(buf, fe.st, in, dist, lutLo, lutHi, budget)
+							if swar {
+								buf, sorted, ok = m.ApplyDistSWAR(buf, fe.st, pidx, in, lut, budget)
+							} else {
+								buf, ok = m.ApplyDist(buf, fe.st, in, lut, budget)
+								if ok {
+									sorted = m.AllSorted(buf)
+								}
+							}
 							lgen++
 							if !ok {
 								lpr++
 								continue
 							}
-							sorted = m.AllSorted(buf)
 						} else {
-							buf = m.ApplyRaw(buf, fe.st, in)
-							lgen++
-							sorted = m.AllSorted(buf)
+							if swar {
+								buf = m.ApplySWAR(buf, fe.st, in)
+								lgen++
+								sorted = m.AllSortedSWAR(buf)
+							} else {
+								buf = m.ApplyRaw(buf, fe.st, in)
+								lgen++
+								sorted = m.AllSorted(buf)
+							}
 							if !sorted {
 								// Dead end at the bound; the fused branch
 								// prunes these through the dist check.
@@ -215,20 +259,33 @@ func runParallel(ctx context.Context, set *isa.Set, opt Options) *Result {
 									lpr++
 									continue
 								}
-								if viaErase && !m.AllViable(buf) {
-									lpr++
-									continue
+								if viaErase {
+									viable := false
+									if swar {
+										viable = m.AllViableSWAR(buf)
+									} else {
+										viable = m.AllViable(buf)
+									}
+									if !viable {
+										lpr++
+										continue
+									}
 								}
 							}
 						}
 						var pc int32
-						if !sorted && intLimit != math.MaxInt && m.PermCountExceedsSet(buf, intLimit, projSet) {
+						if !sorted && intLimit != math.MaxInt && !projPres &&
+							m.PermCountExceedsSet(buf, intLimit, projSet) {
 							lcut++
 							continue
 						}
 						state.Canonicalize(&buf)
 						if !sorted && cutOn {
-							pc = int32(m.PermCount(buf))
+							if projPres {
+								pc = int32(fePC)
+							} else {
+								pc = int32(m.PermCount(buf))
+							}
 							if float64(pc) > limit {
 								lcut++
 								continue

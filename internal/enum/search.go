@@ -117,6 +117,20 @@ type searcher struct {
 	buf      state.State
 	done     bool // single-solution mode: stop at the first solution
 
+	// Hot-loop hoists: the distance LUT is fetched once per run (not per
+	// candidate), and swar selects the bit-sliced execution layer
+	// (DESIGN.md §15) over the scalar per-Asg oracle path.
+	lut  *state.DistLUT
+	pidx []uint32 // parent distance-table indices for ApplyDistSWAR
+	swar bool
+
+	// Cut bookkeeping hoists: projPres[id] marks instructions that
+	// cannot change any assignment's projection (state.ProjPreserving),
+	// whose children inherit the parent's distinct projection count
+	// parentPC verbatim — no per-assignment recount needed.
+	projPres []bool
+	parentPC int
+
 	// The caller's enumeration request, before newSearcher forced
 	// AllSolutions for an objective run: finish restores the requested
 	// Programs surface after the ranking stage.
@@ -204,7 +218,19 @@ func newSearcher(ctx context.Context, set *isa.Set, opt Options) *searcher {
 	}
 	if opt.UseDistPrune || opt.UseActionGuide || opt.Heuristic == HeurDistMax {
 		s.tab = tables.For(m)
+		s.lut = s.tab.DistLUT()
 	}
+	s.swar = !opt.DisableSWAR
+	instrs := set.Instrs()
+	s.projPres = make([]bool, len(instrs))
+	for id, in := range instrs {
+		s.projPres[id] = m.ProjPreserving(in)
+	}
+	// The apply buffer can never need more room than the initial state
+	// (successors keep their parent's length and canonicalization only
+	// shrinks), so one up-front allocation removes the per-candidate
+	// capacity check from the fused generation loop.
+	s.buf = make(state.State, 0, len(m.Initial()))
 	s.bestPerm = make([]int32, s.bound+2)
 	for i := range s.bestPerm {
 		s.bestPerm[i] = math.MaxInt32
@@ -288,17 +314,80 @@ func (s *searcher) search() {
 		if useGuide {
 			guide = s.tab.GuideMask(st)
 		}
+		// The cut reference bestPerm[g] can only move when depth-g+1
+		// children are recorded, so the limit is invariant across one
+		// parent's expansion and hoisted out of the candidate funnel. The
+		// parent's distance-table indices are likewise computed once here
+		// and amortized over every candidate instruction (ApplyDistSWAR's
+		// incremental index form).
+		limit, intLimit := s.cutLimit(g)
+		if s.opt.Cut != CutNone {
+			s.parentPC = s.m.PermCount(st)
+		}
+		if s.swar && s.opt.UseDistPrune && s.bound-(g+1) >= 0 {
+			s.fillPidx(st)
+		}
 		for id, in := range instrs {
 			if useGuide && !guide.Has(id) {
 				continue
 			}
-			s.expandChild(it.id, g, it.cost, st, uint16(id), in)
+			s.expandChild(it.id, g, it.cost, st, uint16(id), in, limit, intLimit)
 			if s.done {
 				return
 			}
 		}
 	}
 	s.res.Exhausted = true
+}
+
+// cutLimit computes the §3.5 cut threshold for the children of a parent
+// at depth g: the exact float limit and its floor for the integer
+// exceeds-test. intLimit is MaxInt (and limit +Inf) when no cut applies —
+// either the cut is off or no depth-g reference exists yet.
+func (s *searcher) cutLimit(g int) (limit float64, intLimit int) {
+	limit, intLimit = math.Inf(1), math.MaxInt
+	if s.opt.Cut == CutNone {
+		return limit, intLimit
+	}
+	if ref := s.bestPerm[g]; ref != math.MaxInt32 {
+		if s.opt.Cut == CutFactor {
+			limit = s.opt.CutK * float64(ref)
+		} else {
+			limit = float64(ref) + s.opt.CutK
+		}
+		intLimit = int(math.Floor(limit))
+	}
+	return limit, intLimit
+}
+
+// allSorted and allViable dispatch the batched goal and viability checks
+// to the SWAR or scalar implementation; both pairs are defined to agree
+// on every input.
+func (s *searcher) allSorted(st state.State) bool {
+	if s.swar {
+		return s.m.AllSortedSWAR(st)
+	}
+	return s.m.AllSorted(st)
+}
+
+func (s *searcher) allViable(st state.State) bool {
+	if s.swar {
+		return s.m.AllViableSWAR(st)
+	}
+	return s.m.AllViable(st)
+}
+
+// fillPidx caches the distance-table index of every parent assignment in
+// s.pidx, the base values ApplyDistSWAR's incremental index deltas start
+// from.
+func (s *searcher) fillPidx(st state.State) {
+	if cap(s.pidx) < len(st) {
+		s.pidx = make([]uint32, len(st))
+	}
+	s.pidx = s.pidx[:len(st)]
+	for i, a := range st {
+		s.pidx[i] = s.lut.Index(a)
+	}
 }
 
 // stopped reports whether the search context is done and records the
@@ -319,35 +408,60 @@ func (s *searcher) stopped() bool {
 // expandChild applies in to the parent state and routes the successor
 // through the viability, cut, and deduplication pipeline. parentCost is
 // the parent's accumulated instruction weight (maintained only in
-// cost-ordered runs; 0 otherwise).
-func (s *searcher) expandChild(parentID int32, g int, parentCost int32, st state.State, instrID uint16, in isa.Instr) {
+// cost-ordered runs; 0 otherwise); limit and intLimit are the hoisted
+// per-parent cut thresholds from cutLimit.
+func (s *searcher) expandChild(parentID int32, g int, parentCost int32, st state.State, instrID uint16, in isa.Instr, limit float64, intLimit int) {
 	// The raw successor keeps the parent's order; the prune predicates
 	// and the cut's exceeds-test are order-insensitive, so the
 	// canonicalizing sort is deferred until a candidate survives all of
 	// them. With dist-pruning on, the prune is fused into the apply
-	// itself and aborts at the first over-budget assignment. The budget
-	// check doubles as the depth guard: bound ≤ MaxDepth, so pruning at
-	// budget < 0 also keeps g within its uint8 storage.
+	// itself and aborts at the first over-budget assignment; the SWAR
+	// layer additionally folds the goal check into the same pass (the OR
+	// of successor distances is zero exactly for solution states). The
+	// budget check doubles as the depth guard: bound ≤ MaxDepth, so
+	// pruning at budget < 0 also keeps g within its uint8 storage.
 	cg := g + 1
 	budget := s.bound - cg
+	// Pre-apply cut for projection-preserving instructions: the child's
+	// projection multiset is exactly the parent's, so it cannot be sorted
+	// (the parent is not) and its distinct projection count is parentPC —
+	// the §3.5 verdict is known before the successor exists, and the
+	// whole apply+prune pass is skipped. Generated still counts the
+	// candidate; the discard is booked as a cut (the same candidates die
+	// either way, so the search tree is untouched).
+	projPres := s.projPres[instrID]
+	if projPres && intLimit != math.MaxInt && s.parentPC > intLimit {
+		s.res.Generated++
+		s.res.CutCount++
+		return
+	}
 	var child state.State
 	var sorted bool
 	if s.opt.UseDistPrune && budget >= 0 {
-		dist, lutLo, lutHi := s.tab.DistLUT()
 		var ok bool
-		child, ok = s.m.ApplyDist(s.buf, st, in, dist, lutLo, lutHi, budget)
+		if s.swar {
+			child, sorted, ok = s.m.ApplyDistSWAR(s.buf, st, s.pidx, in, s.lut, budget)
+		} else {
+			child, ok = s.m.ApplyDist(s.buf, st, in, s.lut, budget)
+			if ok {
+				sorted = s.m.AllSorted(child)
+			}
+		}
 		s.buf = child // keep the grown buffer
 		s.res.Generated++
 		if !ok {
 			s.res.Pruned++
 			return
 		}
-		sorted = s.m.AllSorted(child)
 	} else {
-		child = s.m.ApplyRaw(s.buf, st, in)
+		if s.swar {
+			child = s.m.ApplySWAR(s.buf, st, in)
+		} else {
+			child = s.m.ApplyRaw(s.buf, st, in)
+		}
 		s.buf = child // keep the grown buffer
 		s.res.Generated++
-		sorted = s.m.AllSorted(child)
+		sorted = s.allSorted(child)
 		if !sorted {
 			// A non-sorted state at the bound is a dead end: any
 			// completion needs at least one more instruction. (The fused
@@ -357,31 +471,30 @@ func (s *searcher) expandChild(parentID int32, g int, parentCost int32, st state
 				s.res.Pruned++
 				return
 			}
-			if s.opt.ViabilityErase && !s.m.AllViable(child) {
+			if s.opt.ViabilityErase && !s.allViable(child) {
 				s.res.Pruned++
 				return
 			}
 		}
 	}
+	// Projection-preserving instructions hand the child the parent's
+	// distinct projection count outright; the pre-canonicalize
+	// exceeds-test already ran before the apply, and the
+	// post-canonicalize recount reduces to reusing parentPC.
 	var pc int
 	havePC := false
-	limit := math.Inf(1)
-	if !sorted && s.opt.Cut != CutNone {
-		if ref := s.bestPerm[g]; ref != math.MaxInt32 {
-			if s.opt.Cut == CutFactor {
-				limit = s.opt.CutK * float64(ref)
-			} else {
-				limit = float64(ref) + s.opt.CutK
-			}
-			if s.m.PermCountExceedsSet(child, int(math.Floor(limit)), &s.projSet) {
-				s.res.CutCount++
-				return
-			}
-		}
+	if !sorted && intLimit != math.MaxInt && !projPres &&
+		s.m.PermCountExceedsSet(child, intLimit, &s.projSet) {
+		s.res.CutCount++
+		return
 	}
 	state.Canonicalize(&child)
 	if !sorted && s.opt.Cut != CutNone {
-		pc = s.m.PermCount(child)
+		if projPres {
+			pc = s.parentPC
+		} else {
+			pc = s.m.PermCount(child)
+		}
 		havePC = true
 		if float64(pc) > limit {
 			s.res.CutCount++

@@ -81,7 +81,10 @@ const KeyVersion = 3
 //     unfinished result);
 //   - Workers: the parallel engine's sequential merge preserves the
 //     sequential engine's dedup and path-DAG semantics, so the artifact
-//     is the same.
+//     is the same;
+//   - DisableSWAR: the SWAR and scalar execution layers are defined (and
+//     gate-checked by swar-check) to produce byte-identical solution
+//     sets and counters, so the toggle cannot influence the artifact.
 //
 // Normalizations keep distinct spellings of the same search identical:
 // a zero Weight means 1, CutK is meaningless when the cut is off, an

@@ -1,20 +1,45 @@
 package state
 
+import "sortsynth/internal/isa"
+
 const (
 	projSetBits  = 8
 	projSetSlots = 1 << projSetBits
 )
 
+// ProjPreserving reports whether in can never change the
+// projection-and-tag field of any assignment: cmp writes only the flag
+// bits, and any op targeting a scratch register writes entirely below
+// the projection field. A successor produced by such an instruction has
+// exactly its parent's multiset of projections, so its distinct
+// projection count — PermCount on the canonical state, the §3.5 cut's
+// quantity — is the parent's, and the engines skip the per-assignment
+// recount for these candidates.
+func (m *Machine) ProjPreserving(in isa.Instr) bool {
+	return in.Op == isa.Cmp || m.shift[in.Dst]+4 <= m.permShift
+}
+
+// projDirectBits is the widest projection-and-tag field served by the
+// direct-indexed stamp table (64 KB of uint8 stamps). The permutation
+// machines up to n=4 and the weak-order machine at n=3 fit; wider
+// machines (n=5) fall back to the hashed probe table.
+const projDirectBits = 16
+
 // ProjSet is reusable scratch for PermCountExceedsSet: an epoch-stamped
-// open-addressing set of permutation projections. Stamping makes clearing
-// free (bump the epoch instead of zeroing the table), and 256 slots keep
-// the load factor under 25% for the at-most-64 projections the cut test
-// tracks, so probes are near-constant. The zero value is ready for use;
-// a ProjSet must not be shared between goroutines.
+// set of permutation projections. Stamping makes clearing free (bump the
+// epoch instead of zeroing the table). Machines whose projection field
+// fits projDirectBits use a direct-indexed stamp byte per possible
+// projection — one load, no hashing, no probe chain; wider machines use
+// the open-addressing table, whose 256 slots keep the load factor under
+// 25% for the at-most-64 projections the cut test tracks. The zero value
+// is ready for use; a ProjSet must not be shared between goroutines.
 type ProjSet struct {
 	stamp []uint32
 	proj  []Asg
 	epoch uint32
+
+	direct      []uint16 // 1<<projDirectBits stamps, indexed by projection
+	directEpoch uint16
 }
 
 // PermCountExceedsSet is PermCountExceeds with caller-provided scratch:
@@ -22,11 +47,36 @@ type ProjSet struct {
 // projections, accepting a raw (non-canonical) state and exiting as soon
 // as the count passes limit. The linear-scan variant pays O(count) per
 // assignment re-comparing every projection seen so far; the stamped set
-// pays a near-constant probe, which matters because this test guards
-// canonicalization in the innermost loop of the search. Results are
-// identical to PermCountExceeds on every input.
+// pays a near-constant probe (a single direct-indexed load on machines
+// narrow enough for the direct table), which matters because this test
+// guards canonicalization in the innermost loop of the search. Results
+// are identical to PermCountExceeds on every input.
 func (m *Machine) PermCountExceedsSet(s State, limit int, ps *ProjSet) bool {
 	if limit >= len(s) || limit >= 64 {
+		return false
+	}
+	if m.projBits <= projDirectBits {
+		if ps.direct == nil {
+			ps.direct = make([]uint16, 1<<projDirectBits)
+		}
+		ps.directEpoch++
+		if ps.directEpoch == 0 { // wrapped: stale stamps could alias, clear once
+			clear(ps.direct)
+			ps.directEpoch = 1
+		}
+		epoch := ps.directEpoch
+		tab := ps.direct
+		cnt := 0
+		for _, a := range s {
+			st := &tab[a>>m.permShift]
+			if *st != epoch {
+				if cnt == limit {
+					return true
+				}
+				*st = epoch
+				cnt++
+			}
+		}
 		return false
 	}
 	if ps.stamp == nil {

@@ -76,6 +76,17 @@ type Machine struct {
 	goals     []Asg  // per tag: goal projection (tag bits included)
 	needs     []uint // per tag: bitmask of values the goal requires
 	initial   []Asg  // canonical initial state
+
+	// SWAR lane constants (swar.go): the single goal and the
+	// projection-field mask replicated across both 32-bit lanes.
+	swarUniform   bool
+	swarGoalW     uint64
+	swarProjMaskW uint64
+
+	// projBits is the width of the projection-and-tag field (PackedBits
+	// minus the flag/scratch low bits): PermCountExceedsSet picks its
+	// direct-indexed fast path when this fits projDirectBits.
+	projBits int
 }
 
 // NewMachine builds the execution machine for the paper's permutation
@@ -140,6 +151,7 @@ func NewMachineSuite(set *isa.Set, suite Suite) *Machine {
 		}
 	}
 	Canonicalize((*State)(&m.initial))
+	m.initSWAR()
 	return m
 }
 
@@ -455,27 +467,70 @@ func (m *Machine) PermCount(s State) int {
 	return count
 }
 
+// DistLUT is the per-assignment distance table together with its
+// byte-wise index decomposition, built by the tables package. The table
+// index of a packed assignment is linear over its disjoint bit fields,
+// so it splits into three byte lookups:
+//
+//	index(a) = B0[a&0xFF] + B1[a>>8&0xFF] + B2[a>>16]
+//
+// B0 and B1 are 256 entries each and B2 covers the packed bits above 16
+// (64 entries for the n=4 cmov machine), so the whole decomposition
+// (~2.5 KB) plus the distance table (12.5 KB at n=4) stays L1-resident.
+// The previous 16/16 split's low table was 256 KB — every lookup in the
+// search's innermost loop paid an L2 round trip.
+// The index is also linear over whole packed fields, which yields the
+// incremental form the SWAR fused kernel exploits: an instruction
+// changes only its destination register's nibble (or, for cmp, only the
+// flag bits), so
+//
+//	index(child) = index(parent) + (new−old)·RegW[dst]
+//
+// in wraparound uint32 arithmetic — one multiply-add per lane instead of
+// re-deriving the full decomposition per successor assignment.
+type DistLUT struct {
+	Dist []uint8
+	B0   []uint32 // index contribution of bits 0..7
+	B1   []uint32 // index contribution of bits 8..15
+	B2   []uint32 // index contribution of bits 16..PackedBits-1
+
+	RegW  [8]uint32 // index weight of register r's nibble value
+	FlagW uint32    // index weight of the two flag bits
+}
+
+// Index returns the distance-table index of packed assignment a.
+func (l *DistLUT) Index(a Asg) uint32 {
+	return l.B0[a&0xFF] + l.B1[a>>8&0xFF] + l.B2[a>>16]
+}
+
+// Lookup returns the sorting distance of packed assignment a.
+func (l *DistLUT) Lookup(a Asg) uint8 {
+	return l.Dist[l.Index(a)]
+}
+
 // ApplyDist fuses ApplyRaw with the distance-budget prune: it executes
 // in on every assignment of s and, as each successor assignment is
-// produced, looks its sorting distance up in dist (indexed by
-// lutLo[a&0xFFFF] + lutHi[a>>16], the bit-decomposition the tables
-// package precomputes). The moment an assignment's distance exceeds
-// budget the whole candidate is dead, so ApplyDist returns ok=false
-// without touching the remaining assignments — for the majority of
-// generated candidates this skips roughly half the apply work and the
-// entire re-scan a separate DistExceeds pass would do. budget must be
-// nonnegative and below the table's dead markers (the search's depth
-// budget always is); dead assignments then fail the same comparison.
+// produced, looks its sorting distance up in lut. The moment an
+// assignment's distance exceeds budget the whole candidate is dead, so
+// ApplyDist returns ok=false without touching the remaining assignments
+// — for the majority of generated candidates this skips roughly half
+// the apply work and the entire re-scan a separate DistExceeds pass
+// would do. budget must be nonnegative and below the table's dead
+// markers (the search's depth budget always is); dead assignments then
+// fail the same comparison.
 //
 // On ok=true the result is exactly ApplyRaw's (raw order, duplicates
 // kept) and MaxDist(result) ≤ budget. A sorted assignment has distance
 // zero, so solution states always pass.
-func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutLo, lutHi []uint32, budget int) (State, bool) {
+func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, lut *DistLUT, budget int) (State, bool) {
 	if cap(dst) < len(s) {
 		dst = make(State, len(s))
 	} else {
 		dst = dst[:len(s)]
 	}
+	dist, b2 := lut.Dist, lut.B2
+	b0 := (*[256]uint32)(lut.B0)
+	b1 := (*[256]uint32)(lut.B1)
 	b := uint8(budget)
 	shD, shS := m.shift[in.Dst], m.shift[in.Src]
 	switch in.Op {
@@ -483,7 +538,7 @@ func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutL
 		for i, a := range s {
 			v := (a >> shS) & 0xF
 			a = a&^(0xF<<shD) | v<<shD
-			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+			if dist[b0[a&0xFF]+b1[a>>8&0xFF]+b2[a>>16]] > b {
 				return dst, false
 			}
 			dst[i] = a
@@ -498,7 +553,7 @@ func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutL
 			} else if va > vb {
 				a |= flagGT
 			}
-			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+			if dist[b0[a&0xFF]+b1[a>>8&0xFF]+b2[a>>16]] > b {
 				return dst, false
 			}
 			dst[i] = a
@@ -509,7 +564,7 @@ func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutL
 				v := (a >> shS) & 0xF
 				a = a&^(0xF<<shD) | v<<shD
 			}
-			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+			if dist[b0[a&0xFF]+b1[a>>8&0xFF]+b2[a>>16]] > b {
 				return dst, false
 			}
 			dst[i] = a
@@ -520,7 +575,7 @@ func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutL
 				v := (a >> shS) & 0xF
 				a = a&^(0xF<<shD) | v<<shD
 			}
-			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+			if dist[b0[a&0xFF]+b1[a>>8&0xFF]+b2[a>>16]] > b {
 				return dst, false
 			}
 			dst[i] = a
@@ -530,7 +585,7 @@ func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutL
 			if vb := (a >> shS) & 0xF; vb < (a>>shD)&0xF {
 				a = a&^(0xF<<shD) | vb<<shD
 			}
-			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+			if dist[b0[a&0xFF]+b1[a>>8&0xFF]+b2[a>>16]] > b {
 				return dst, false
 			}
 			dst[i] = a
@@ -540,7 +595,7 @@ func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutL
 			if vb := (a >> shS) & 0xF; vb > (a>>shD)&0xF {
 				a = a&^(0xF<<shD) | vb<<shD
 			}
-			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+			if dist[b0[a&0xFF]+b1[a>>8&0xFF]+b2[a>>16]] > b {
 				return dst, false
 			}
 			dst[i] = a
@@ -548,7 +603,7 @@ func (m *Machine) ApplyDist(dst State, s State, in isa.Instr, dist []uint8, lutL
 	default:
 		for i, a := range s {
 			a = m.Step(a, in)
-			if dist[lutLo[a&0xFFFF]+lutHi[a>>16]] > b {
+			if dist[b0[a&0xFF]+b1[a>>8&0xFF]+b2[a>>16]] > b {
 				return dst, false
 			}
 			dst[i] = a

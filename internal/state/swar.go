@@ -1,0 +1,329 @@
+// SWAR bit-sliced state execution (DESIGN.md §15).
+//
+// A packed assignment occupies at most 30 bits of an Asg (two flag bits,
+// up to seven register nibbles, the goal tag), so two assignments fit one
+// 64-bit word in two 32-bit lanes. The functions below evaluate one
+// candidate instruction against a whole state two assignments at a time
+// with branchless nibble-parallel arithmetic: register values are pulled
+// to the lane base with a shift-and-mask (tag and flag bits never enter
+// the lane arithmetic — the 0xF extraction mask strips them), nibble
+// comparisons use the classic SWAR borrow trick (set bit 4 above the
+// minuend, subtract, read the borrow out of bit 4), and conditional moves
+// become XOR-delta writes under a condition mask expanded from one lane
+// bit to a full nibble. The results are bit-for-bit identical to the
+// per-Asg Machine.Step path for every input, which the differential fuzz
+// target FuzzSWARvsScalarStep and the swar-check engine gate both pin.
+package state
+
+import (
+	"sortsynth/internal/isa"
+)
+
+// Lane-replicated constants for the 2×32-bit SWAR word layout.
+const (
+	laneRep1 uint64 = 0x0000_0001_0000_0001 // bit 0 of each lane
+	laneRepF uint64 = laneRep1 * 0xF        // low nibble of each lane
+	laneRepH uint64 = laneRep1 * 0x10       // borrow guard above the nibble
+	laneRep3 uint64 = laneRep1 * 3          // both flag bits of each lane
+)
+
+// laneLess returns bit 0 of each 32-bit lane set iff x < y in that lane,
+// where x and y hold one 4-bit value per lane at the lane base. The
+// borrow trick: x|0x10 is at least 16, y at most 15, so the per-lane
+// difference stays positive (no borrow ever crosses a lane boundary) and
+// bit 4 of the difference reads 1 exactly when x ≥ y.
+func laneLess(x, y uint64) uint64 {
+	return (((x|laneRepH)-y)>>4)&laneRep1 ^ laneRep1
+}
+
+// laneWord packs two consecutive assignments into one SWAR word.
+func laneWord(a0, a1 Asg) uint64 { return uint64(a0) | uint64(a1)<<32 }
+
+// ApplySWAR is ApplyRaw evaluated two assignments per word: identical
+// output (raw order, duplicates kept) for every input, with the
+// per-assignment compare/select branches replaced by branchless lane
+// arithmetic. An odd trailing assignment is stepped scalar.
+func (m *Machine) ApplySWAR(dst State, s State, in isa.Instr) State {
+	if cap(dst) < len(s) {
+		dst = make(State, len(s))
+	} else {
+		dst = dst[:len(s)]
+	}
+	shD, shS := m.shift[in.Dst], m.shift[in.Src]
+	k := len(s) &^ 1
+	switch in.Op {
+	case isa.Mov:
+		for i := 0; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			w ^= ((w>>shS ^ w>>shD) & laneRepF) << shD
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Cmp:
+		for i := 0; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			y := (w >> shS) & laneRepF
+			w = w&^laneRep3 | laneLess(x, y) | laneLess(y, x)<<1
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Cmovl:
+		for i := 0; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			cond := w & laneRep1
+			w ^= ((w>>shS ^ w>>shD) & laneRepF & (cond * 0xF)) << shD
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Cmovg:
+		for i := 0; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			cond := (w >> 1) & laneRep1
+			w ^= ((w>>shS ^ w>>shD) & laneRepF & (cond * 0xF)) << shD
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Min:
+		for i := 0; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			y := (w >> shS) & laneRepF
+			w ^= ((x ^ y) & (laneLess(y, x) * 0xF)) << shD
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Max:
+		for i := 0; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			y := (w >> shS) & laneRepF
+			w ^= ((x ^ y) & (laneLess(x, y) * 0xF)) << shD
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	default:
+		for i, a := range s {
+			dst[i] = m.Step(a, in)
+		}
+		return dst
+	}
+	if k < len(s) {
+		dst[k] = m.Step(s[k], in)
+	}
+	return dst
+}
+
+// ApplyDistSWAR fuses ApplySWAR with the §3.5 distance-budget prune and
+// the solution test: it evaluates in on every assignment of s two lanes
+// per word, looks each successor's sorting distance up in lut, and
+// aborts with ok=false the moment either lane of a word exceeds budget.
+// Because the distance table assigns 0 exactly to the sorted
+// assignments, the OR of all successor distances doubles as the batched
+// goal check: on ok=true, sorted reports AllSorted of the result with no
+// second pass.
+//
+// pidx carries the parents' precomputed table indices (pidx[i] =
+// lut.Index(s[i])); the caller computes it once per expanded state and
+// amortizes it over every candidate instruction. Each successor's index
+// is then the incremental form of the linear index map — old and new
+// destination nibbles (or flag fields, for cmp) priced by the field's
+// weight in wraparound uint32 arithmetic — so the hot loop performs one
+// multiply-add and a single table load per lane instead of the full
+// byte decomposition. The result and the ok verdict are exactly
+// ApplyDist's; the scalar engine path remains the differential oracle
+// for both.
+func (m *Machine) ApplyDistSWAR(dst State, s State, pidx []uint32, in isa.Instr, lut *DistLUT, budget int) (_ State, sorted, ok bool) {
+	if cap(dst) < len(s) {
+		dst = make(State, len(s))
+	} else {
+		dst = dst[:len(s)]
+	}
+	dist := lut.Dist
+	b := uint8(budget)
+	var acc uint8 // OR of successor distances; 0 ⟺ all sorted
+	shD, shS := m.shift[in.Dst], m.shift[in.Src]
+	wD, wF := lut.RegW[in.Dst], lut.FlagW
+	i := 0
+	switch in.Op {
+	case isa.Mov:
+		for ; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			y := (w >> shS) & laneRepF
+			w ^= (x ^ y) << shD
+			d0 := dist[pidx[i]+(uint32(y)-uint32(x))*wD]
+			d1 := dist[pidx[i+1]+(uint32(y>>32)-uint32(x>>32))*wD]
+			if d0 > b || d1 > b {
+				return dst, false, false
+			}
+			acc |= d0 | d1
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Cmp:
+		for ; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			y := (w >> shS) & laneRepF
+			nw := w&^laneRep3 | laneLess(x, y) | laneLess(y, x)<<1
+			d0 := dist[pidx[i]+(uint32(nw&3)-uint32(w&3))*wF]
+			d1 := dist[pidx[i+1]+(uint32(nw>>32&3)-uint32(w>>32&3))*wF]
+			w = nw
+			if d0 > b || d1 > b {
+				return dst, false, false
+			}
+			acc |= d0 | d1
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Cmovl:
+		for ; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			c := w & laneRep1
+			w ^= ((w>>shS ^ w>>shD) & laneRepF & (c * 0xF)) << shD
+			nx := (w >> shD) & laneRepF
+			d0 := dist[pidx[i]+(uint32(nx)-uint32(x))*wD]
+			d1 := dist[pidx[i+1]+(uint32(nx>>32)-uint32(x>>32))*wD]
+			if d0 > b || d1 > b {
+				return dst, false, false
+			}
+			acc |= d0 | d1
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Cmovg:
+		for ; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			c := (w >> 1) & laneRep1
+			w ^= ((w>>shS ^ w>>shD) & laneRepF & (c * 0xF)) << shD
+			nx := (w >> shD) & laneRepF
+			d0 := dist[pidx[i]+(uint32(nx)-uint32(x))*wD]
+			d1 := dist[pidx[i+1]+(uint32(nx>>32)-uint32(x>>32))*wD]
+			if d0 > b || d1 > b {
+				return dst, false, false
+			}
+			acc |= d0 | d1
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Min:
+		for ; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			y := (w >> shS) & laneRepF
+			w ^= ((x ^ y) & (laneLess(y, x) * 0xF)) << shD
+			nx := (w >> shD) & laneRepF
+			d0 := dist[pidx[i]+(uint32(nx)-uint32(x))*wD]
+			d1 := dist[pidx[i+1]+(uint32(nx>>32)-uint32(x>>32))*wD]
+			if d0 > b || d1 > b {
+				return dst, false, false
+			}
+			acc |= d0 | d1
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	case isa.Max:
+		for ; i+1 < len(s); i += 2 {
+			w := laneWord(s[i], s[i+1])
+			x := (w >> shD) & laneRepF
+			y := (w >> shS) & laneRepF
+			w ^= ((x ^ y) & (laneLess(x, y) * 0xF)) << shD
+			nx := (w >> shD) & laneRepF
+			d0 := dist[pidx[i]+(uint32(nx)-uint32(x))*wD]
+			d1 := dist[pidx[i+1]+(uint32(nx>>32)-uint32(x>>32))*wD]
+			if d0 > b || d1 > b {
+				return dst, false, false
+			}
+			acc |= d0 | d1
+			dst[i], dst[i+1] = Asg(w), Asg(w>>32)
+		}
+	default:
+		for ; i < len(s); i++ {
+			a := m.Step(s[i], in)
+			d := lut.Lookup(a)
+			if d > b {
+				return dst, false, false
+			}
+			acc |= d
+			dst[i] = a
+		}
+		return dst, acc == 0, true
+	}
+	if i < len(s) {
+		a := m.Step(s[i], in)
+		d := lut.Lookup(a)
+		if d > b {
+			return dst, false, false
+		}
+		acc |= d
+		dst[i] = a
+	}
+	return dst, acc == 0, true
+}
+
+// SortedLanes returns bit 0 of each lane set iff that lane's assignment
+// is sorted, for single-goal machines (the permutation suite): a lane is
+// sorted exactly when its projection-and-tag field equals the goal.
+// Multi-tag machines (weak orders) need a per-lane goal lookup and use
+// the scalar Sorted path instead; swarUniform reports which applies.
+func (m *Machine) SortedLanes(w uint64) uint64 {
+	diff := (w ^ m.swarGoalW) & m.swarProjMaskW
+	// Collapse each lane's 32-bit difference to its lane base bit.
+	diff |= diff >> 16
+	diff |= diff >> 8
+	diff |= diff >> 4
+	diff |= diff >> 2
+	diff |= diff >> 1
+	return diff&laneRep1 ^ laneRep1
+}
+
+// AllSortedSWAR is AllSorted evaluated two assignments per word on
+// single-goal machines, falling back to the scalar loop for multi-tag
+// suites. The answer is identical to AllSorted for every input.
+func (m *Machine) AllSortedSWAR(s State) bool {
+	if !m.swarUniform {
+		return m.AllSorted(s)
+	}
+	var acc uint64
+	k := len(s) &^ 1
+	for i := 0; i+1 < len(s); i += 2 {
+		acc |= (laneWord(s[i], s[i+1]) ^ m.swarGoalW) & m.swarProjMaskW
+	}
+	if k < len(s) {
+		acc |= (uint64(s[k]) ^ m.swarGoalW) & (m.swarProjMaskW & 0xFFFFFFFF)
+	}
+	return acc == 0
+}
+
+// AllViableSWAR is AllViable with the loop body evaluated per lane out of
+// one 64-bit load: viability needs a per-value presence bitmask (a
+// variable shift per register value), which SWAR lane arithmetic cannot
+// express, so the check itself stays scalar per lane. Answer identical
+// to AllViable.
+func (m *Machine) AllViableSWAR(s State) bool {
+	regs := m.Set.Regs()
+	for i := 0; i+1 < len(s); i += 2 {
+		w := laneWord(s[i], s[i+1])
+		var seen0, seen1 uint
+		for r := 0; r < regs; r++ {
+			v := w >> m.shift[r]
+			seen0 |= 1 << (v & 0xF)
+			seen1 |= 1 << (v >> 32 & 0xF)
+		}
+		want0 := m.needs[Asg(w)>>m.tagShift]
+		want1 := m.needs[Asg(w>>32)>>m.tagShift]
+		if seen0&want0 != want0 || seen1&want1 != want1 {
+			return false
+		}
+	}
+	if k := len(s) &^ 1; k < len(s) {
+		return m.Viable(s[k])
+	}
+	return true
+}
+
+// initSWAR precomputes the lane-replicated goal and projection masks
+// (and the projection-field width the direct-indexed cut check keys on).
+// Called from NewMachineSuite once the goal table is final.
+func (m *Machine) initSWAR() {
+	m.projBits = m.PackedBits() - int(m.permShift)
+	m.swarUniform = m.numTags == 1
+	if m.swarUniform {
+		g := uint64(m.goals[0]) << m.permShift
+		m.swarGoalW = g | g<<32
+	}
+	pm := uint64(0xFFFFFFFF) << m.permShift & 0xFFFFFFFF
+	m.swarProjMaskW = pm | pm<<32
+}

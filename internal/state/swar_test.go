@@ -1,0 +1,92 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortsynth/internal/isa"
+)
+
+// swarTestMachines covers both ISAs, both suites, and register counts up
+// to the packed limit, so every shift layout the SWAR lanes can see is
+// exercised.
+func swarTestMachines() []*Machine {
+	return []*Machine{
+		NewMachine(isa.NewCmov(2, 1)),
+		NewMachine(isa.NewCmov(3, 1)),
+		NewMachine(isa.NewCmov(4, 1)),
+		NewMachine(isa.NewCmov(5, 2)),
+		NewMachine(isa.NewMinMax(3, 2)),
+		NewMachine(isa.NewMinMax(4, 1)),
+		NewMachineSuite(isa.NewCmov(3, 1), SuiteWeakOrders),
+		NewMachineSuite(isa.NewMinMax(3, 1), SuiteWeakOrders),
+	}
+}
+
+// randState draws a state of random packed assignments confined to the
+// machine's packed bits, with tags clamped to the goal table.
+func randState(m *Machine, rng *rand.Rand, n int) State {
+	s := make(State, n)
+	mask := Asg(1)<<uint(m.PackedBits()) - 1
+	for i := range s {
+		a := Asg(rng.Uint32()) & mask
+		a = m.WithTag(a, int(a>>m.tagShift)%m.numTags)
+		s[i] = a
+	}
+	return s
+}
+
+// TestApplySWARMatchesStep pins the SWAR contract: for every instruction
+// of every machine and arbitrary (even non-canonical, odd-length) states,
+// ApplySWAR equals the per-Asg Step loop bit for bit.
+func TestApplySWARMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range swarTestMachines() {
+		for _, n := range []int{0, 1, 2, 3, 7, 24, 31} {
+			s := randState(m, rng, n)
+			for _, in := range m.Set.Instrs() {
+				want := make(State, len(s))
+				for i, a := range s {
+					want[i] = m.Step(a, in)
+				}
+				got := m.ApplySWAR(nil, s, in)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v %s len=%d asg[%d]=%08x: swar %08x, step %08x",
+							m.Set, in.Format(m.Set.N), n, i, s[i], got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplySWARMatchesApplyRaw checks the engine-facing pair on real
+// search states reached by random programs from the initial state.
+func TestApplySWARMatchesApplyRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range swarTestMachines() {
+		instrs := m.Set.Instrs()
+		s := m.Initial().Clone()
+		for step := 0; step < 40; step++ {
+			in := instrs[rng.Intn(len(instrs))]
+			want := m.ApplyRaw(nil, s, in)
+			got := m.ApplySWAR(nil, s, in)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v %s: swar[%d]=%08x raw=%08x", m.Set, in.Format(m.Set.N), i, got[i], want[i])
+				}
+			}
+			if m.AllSortedSWAR(want) != m.AllSorted(want) {
+				t.Fatalf("%v: AllSortedSWAR diverges on %v", m.Set, want)
+			}
+			if m.AllViableSWAR(want) != m.AllViable(want) {
+				t.Fatalf("%v: AllViableSWAR diverges on %v", m.Set, want)
+			}
+			s = m.Apply(s[:0:cap(s)], append(State(nil), s...), in)
+			if len(s) == 0 {
+				break
+			}
+		}
+	}
+}

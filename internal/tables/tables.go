@@ -57,11 +57,14 @@ type Table struct {
 	first []Mask
 
 	// index(a) is linear over the bits of a (each packed field contributes
-	// weight(bit)·bitvalue), so it splits into two precomputed lookups —
-	// the per-register decomposition loop is far too hot for the search's
-	// per-candidate MaxDist and GuideMask calls.
-	lutLo []uint32 // index contribution of bits 0..15
-	lutHi []uint32 // index contribution of bits 16..PackedBits-1
+	// weight(bit)·bitvalue), so it splits into precomputed per-byte
+	// lookups — the per-register decomposition loop is far too hot for
+	// the search's per-candidate MaxDist and GuideMask calls. The
+	// decomposition lives in a state.DistLUT (two 256-entry byte tables
+	// plus the high remainder, ~2.5 KB total) so the search's fused
+	// apply+prune kernels index it straight out of L1; lut.Dist aliases
+	// t.dist once the fixpoint has run.
+	lut state.DistLUT
 }
 
 var (
@@ -86,7 +89,7 @@ func For(m *state.Machine) *Table {
 // index maps a packed assignment to its compact table index via the
 // bit-decomposition lookup tables.
 func (t *Table) index(a state.Asg) uint32 {
-	return t.lutLo[a&0xFFFF] + t.lutHi[a>>16]
+	return t.lut.B0[a&0xFF] + t.lut.B1[a>>8&0xFF] + t.lut.B2[a>>16]
 }
 
 // slowIndex is the reference index computation: decompose the packed
@@ -101,23 +104,34 @@ func (t *Table) slowIndex(a state.Asg) uint32 {
 	return idx
 }
 
-// buildLUT tabulates the two index halves. slowIndex is linear over
-// disjoint bit fields with slowIndex(0) = 0, so the weight of bit b is
-// slowIndex(1<<b) and each half is a subset-sum table over its bits.
+// buildLUT tabulates the per-byte index decomposition. slowIndex is
+// linear over disjoint bit fields with slowIndex(0) = 0, so the weight
+// of bit b is slowIndex(1<<b) and each byte table is a subset-sum table
+// over its bits. Bytes beyond PackedBits contribute only the zero entry
+// of their (size-1 or garbage-free) tables, so indexing with any valid
+// packed assignment stays in range.
 func (t *Table) buildLUT() {
 	bits := t.m.PackedBits()
-	lo := min(bits, 16)
-	t.lutLo = make([]uint32, 1<<16)
-	for x := 1; x < 1<<lo; x++ {
-		t.lutLo[x] = t.lutLo[x&(x-1)] + t.slowIndex(state.Asg(x&-x))
+	// B0 and B1 are always full 256-entry tables (the consumers convert
+	// them to *[256]uint32 for bounds-check-free indexing); entries for
+	// bytes beyond PackedBits stay zero and are never reached by a valid
+	// packed assignment.
+	bytTab := func(shift int) []uint32 {
+		width := min(max(bits-shift, 0), 8)
+		tab := make([]uint32, 256)
+		for x := 1; x < 1<<width; x++ {
+			tab[x] = tab[x&(x-1)] + t.slowIndex(state.Asg(x&-x)<<shift)
+		}
+		return tab
 	}
-	hiSize := 1
-	if bits > 16 {
-		hiSize = 1 << (bits - 16)
-	}
-	t.lutHi = make([]uint32, hiSize)
-	for x := 1; x < hiSize; x++ {
-		t.lutHi[x] = t.lutHi[x&(x-1)] + t.slowIndex(state.Asg(x&-x)<<16)
+	t.lut.B0 = bytTab(0)
+	t.lut.B1 = bytTab(8)
+	// The high remainder keeps its full width (at most PackedBits-16
+	// bits, 14 for the largest supported machine).
+	hiWidth := max(bits-16, 0)
+	t.lut.B2 = make([]uint32, 1<<hiWidth)
+	for x := 1; x < len(t.lut.B2); x++ {
+		t.lut.B2[x] = t.lut.B2[x&(x-1)] + t.slowIndex(state.Asg(x&-x)<<16)
 	}
 }
 
@@ -131,10 +145,15 @@ func build(m *state.Machine) *Table {
 	}
 	t.base = t.npow[regs]
 	t.buildLUT()
+	for i := 0; i < regs; i++ {
+		t.lut.RegW[i] = t.npow[i]
+	}
+	t.lut.FlagW = t.base
 	// Flag codes 0..2 used (3 allocated for indexing simplicity), one
 	// block per goal tag.
 	size := int(t.base) * 4 * m.NumTags()
 	t.dist = make([]uint8, size)
+	t.lut.Dist = t.dist
 	t.first = make([]Mask, size)
 
 	// Enumerate every assignment by odometer over the register values,
@@ -262,10 +281,12 @@ func (t *Table) MaxDist(s state.State) int {
 	return max
 }
 
-// DistLUT exposes the distance table and the index-decomposition lookups
-// for state.ApplyDist, the search's fused apply+prune kernel.
-func (t *Table) DistLUT() (dist []uint8, lutLo, lutHi []uint32) {
-	return t.dist, t.lutLo, t.lutHi
+// DistLUT exposes the distance table and its byte-wise index
+// decomposition for state.ApplyDist and state.ApplyDistSWAR, the
+// search's fused apply+prune kernels. The returned value aliases the
+// table's storage and must be treated as read-only.
+func (t *Table) DistLUT() *state.DistLUT {
+	return &t.lut
 }
 
 // DistExceeds reports whether any assignment of s is dead or needs more
@@ -275,7 +296,7 @@ func (t *Table) DistLUT() (dist []uint8, lutLo, lutHi []uint32) {
 // dead markers fall out of the same comparison.
 func (t *Table) DistExceeds(s state.State, budget int) bool {
 	for _, a := range s {
-		if int(t.dist[t.lutLo[a&0xFFFF]+t.lutHi[a>>16]]) > budget {
+		if int(t.dist[t.index(a)]) > budget {
 			return true
 		}
 	}
