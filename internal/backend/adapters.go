@@ -22,6 +22,15 @@ func fixedLen(name string, spec Spec) (int, error) {
 	return spec.MaxLen, nil
 }
 
+// optimalityPreserving reports whether an enum configuration guarantees
+// the first solution found is minimal: an admissible, unweighted
+// heuristic and no non-optimality-preserving pruning (§3.2 action
+// guide, §3.5 cut).
+func optimalityPreserving(o enum.Options) bool {
+	admissible := o.Heuristic == enum.HeurNone || o.Heuristic == enum.HeurDistMax
+	return admissible && o.Weight <= 1 && o.Cut == enum.CutNone && !o.UseActionGuide
+}
+
 // Enum adapts the §3 enumerative Dijkstra/A* engine.
 type Enum struct{ Opt enum.Options }
 
@@ -33,9 +42,10 @@ func NewEnum(opt enum.Options) *Enum { return &Enum{Opt: opt} }
 func (b *Enum) Name() string { return "enum" }
 
 // Synthesize implements Backend. Stats: Nodes = expanded states,
-// Generated = produced successors. Optimal is asserted when only
-// optimality-preserving pruning was active (no §3.5 cut, no action
-// guide), so the found length is certified minimal.
+// Generated = produced successors. Optimal is asserted only for
+// optimality-preserving configurations (admissible unweighted
+// heuristic, no §3.5 cut, no action guide), where the found length is
+// certified minimal by the search order itself.
 func (b *Enum) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
 	opt := b.Opt
 	if spec.MaxLen > 0 {
@@ -48,6 +58,30 @@ func (b *Enum) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result
 	if r.Err != nil {
 		return nil, r.Err
 	}
+	// The weak-order suite defeats first-found minimality: the
+	// permutation-count heuristic is inadmissible there, and with a
+	// slack budget (MaxLen > L*) the first goal popped can be one
+	// instruction long (ConfigBest on cmov n=3 weakorders finds 12 at
+	// MaxLen 12, 11 at MaxLen 11). The permutation suite does not
+	// exhibit this at any published size — the conformance harness
+	// holds that line — so only duplicate-safe runs pay the probe-down:
+	// re-search below each find until a tighter budget comes up empty,
+	// accumulating effort counters across probes.
+	if r.Program != nil && spec.DuplicateSafe && !optimalityPreserving(opt) {
+		for r.Length > 1 && ctx.Err() == nil {
+			probe := opt
+			probe.MaxLen = r.Length - 1
+			pr := enum.RunContext(ctx, set, probe)
+			pr.Expanded += r.Expanded
+			pr.Generated += r.Generated
+			pr.Elapsed += r.Elapsed
+			if pr.Err != nil || pr.Program == nil {
+				r.Expanded, r.Generated, r.Elapsed = pr.Expanded, pr.Generated, pr.Elapsed
+				break
+			}
+			r = pr
+		}
+	}
 	res := &Result{
 		Backend: b.Name(),
 		Length:  opt.MaxLen,
@@ -58,7 +92,7 @@ func (b *Enum) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result
 		res.Status = StatusFound
 		res.Program = r.Program
 		res.Length = r.Length
-		res.Optimal = opt.Cut == enum.CutNone && !opt.UseActionGuide
+		res.Optimal = optimalityPreserving(opt)
 		res.Solutions = r.SolutionCount
 		res.Cost = r.Cost
 	case r.Cancelled:

@@ -77,6 +77,11 @@ const (
 	// internal error). Used in Portfolio race tables; direct calls
 	// surface the error itself.
 	StatusError
+	// StatusSkipped: a staggered Portfolio race ended (a verified winner
+	// arrived, or the context died) before this member's launch slot, so
+	// it never ran. Only ever appears in race tables — a skipped member
+	// claims nothing and never becomes an aggregate verdict.
+	StatusSkipped
 )
 
 func (s Status) String() string {
@@ -93,6 +98,8 @@ func (s Status) String() string {
 		return "timed-out"
 	case StatusError:
 		return "error"
+	case StatusSkipped:
+		return "skipped"
 	}
 	return "status?"
 }
@@ -151,6 +158,49 @@ type Result struct {
 	// whose result this is, and the per-backend outcome table.
 	Winner string
 	Race   []RaceEntry
+
+	// Sched reports staggered-dispatch accounting when the Portfolio ran
+	// under a Scheduler; nil for plain races and every other backend.
+	Sched *SchedStats
+}
+
+// SchedStats is a staggered Portfolio race's dispatch accounting: how
+// the tuned schedule paid off on this request. The serving layer
+// aggregates these into the /metrics scheduler counters.
+type SchedStats struct {
+	// FirstPickWin reports that the predicted-best member (the
+	// schedule's first entry) produced the verified winner.
+	FirstPickWin bool
+	// FallbackStarts counts members beyond the first pick that actually
+	// launched (because their stagger slot, deadline pressure, or an
+	// earlier member's failure triggered them).
+	FallbackStarts int
+	// FallbackWin reports that a launched fallback — not the first
+	// pick — produced the verified winner.
+	FallbackWin bool
+	// SavedLaunches counts members the race finished without ever
+	// launching: the CPU a plain race-everything dispatch would have
+	// burned and thrown away.
+	SavedLaunches int
+}
+
+// Schedule is one spec's staggered dispatch plan: Portfolio member
+// indices in predicted-best-first order, and the delay between
+// successive launches. Members absent from Order never launch (their
+// race entries read skipped) — a Scheduler that wants every member as a
+// last-resort fallback must list them all.
+type Schedule struct {
+	Order   []int
+	Stagger time.Duration
+}
+
+// Scheduler plans staggered dispatch for a Portfolio. Plan returns
+// (schedule, true) to stagger the race for this spec, or ok=false to
+// fall back to the plain race-everything dispatch. Implementations must
+// be safe for concurrent use; the tuned-table scheduler
+// (internal/tuned) is the canonical one.
+type Scheduler interface {
+	Plan(set *isa.Set, spec Spec) (Schedule, bool)
 }
 
 // Backend is one synthesis engine behind the common vocabulary.

@@ -206,3 +206,27 @@ func TestPortfolioSmoke(t *testing.T) {
 		t.Fatalf("winner fails on %v", ce)
 	}
 }
+
+// TestEnumDupSlackBudgetOptimal is the regression pin for the
+// weak-order probe-down: ConfigBest's inadmissible permutation-count
+// heuristic used to return a length-12 kernel for cmov n=3
+// duplicate-safe specs whenever the budget had slack (MaxLen 12 or 13),
+// one instruction over the certified optimum of 11. The adapter now
+// probes below every first find on duplicate-safe specs until a
+// tighter budget refutes.
+func TestEnumDupSlackBudgetOptimal(t *testing.T) {
+	b, err := Default().Get("enum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := isa.NewCmov(3, 1)
+	for _, budget := range []int{11, 12, 13} {
+		res, err := Run(context.Background(), b, set, Spec{MaxLen: budget, DuplicateSafe: true})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if res.Status != StatusFound || res.Length != 11 {
+			t.Fatalf("budget %d: %s length %d, want found length 11", budget, res.Status, res.Length)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"context"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -11,13 +12,28 @@ import (
 // Portfolio races several backends concurrently under one context and
 // returns the first centrally verified kernel, cancelling the losers.
 //
+// Two dispatch modes share those semantics:
+//
+//   - Plain race (the default): every member launches immediately. N
+//     engines burn CPU and N−1 results are thrown away — robust, but
+//     wasteful under load.
+//   - Staggered (WithScheduler): a Scheduler ranks the members per spec
+//     and the predicted-best one launches alone; each fallback launches
+//     only when its stagger slot elapses, when deadline pressure makes
+//     waiting unaffordable, or when every running member has already
+//     failed. A verified winner cancels the running losers and the
+//     not-yet-launched fallbacks never start at all (their race entries
+//     read skipped, counted as SchedStats.SavedLaunches).
+//
 // Cancellation protocol: every racer runs under a child context that is
 // cancelled the moment a verified winner arrives (or the caller's
 // context ends). Synthesize then waits for every racer goroutine to
 // observe the cancellation and return before it itself returns, so a
 // finished portfolio never leaks goroutines or background CPU work.
 type Portfolio struct {
-	backends []Backend
+	backends  []Backend
+	scheduler Scheduler // nil = plain race-everything dispatch
+	clock     Clock     // nil = real time; swapped by scheduler tests
 }
 
 // NewPortfolio builds a portfolio over the given backends (at least
@@ -27,6 +43,29 @@ func NewPortfolio(bs ...Backend) *Portfolio {
 		panic("backend: NewPortfolio needs at least one backend")
 	}
 	return &Portfolio{backends: bs}
+}
+
+// WithScheduler returns a copy of p that dispatches through s. A nil s
+// returns a copy that races everything — the degrade path for a
+// missing or corrupt tuned table.
+func (p *Portfolio) WithScheduler(s Scheduler) *Portfolio {
+	cp := *p
+	cp.scheduler = s
+	return &cp
+}
+
+// withClock returns a copy of p on the given clock (tests only).
+func (p *Portfolio) withClock(c Clock) *Portfolio {
+	cp := *p
+	cp.clock = c
+	return &cp
+}
+
+func (p *Portfolio) clockOrReal() Clock {
+	if p.clock != nil {
+		return p.clock
+	}
+	return realClock{}
 }
 
 // Name implements Backend.
@@ -41,15 +80,47 @@ func (p *Portfolio) Backends() []string {
 	return names
 }
 
-// Synthesize implements Backend: it races all member backends, each
-// through Run (so every candidate winner is verified before it can stop
-// the race), and reports the per-backend outcomes in Result.Race.
+// memberSeed derives the seed member name receives from the spec's base
+// seed: a pure function of (base, name), independent of dispatch mode,
+// launch order, and race timing. Before this pinning, every member got
+// the base seed verbatim, so two randomized members shared one seed
+// stream and a schedule that reordered members changed nothing — but
+// the moment per-race derivation appears anywhere it must be keyed by
+// member identity, not race position, or `seed=K` staggered and racing
+// runs diverge. The regression test holds this invariant.
+func memberSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return base ^ int64(h.Sum64()&0x7fffffffffffffff)
+}
+
+// memberSpec is the spec member i races with: identical to the caller's
+// spec except for the pinned per-member seed. Deterministic members
+// ignore Seed entirely, so the derivation only ever matters where it
+// should — the randomized members.
+func (p *Portfolio) memberSpec(spec Spec, i int) Spec {
+	spec.Seed = memberSeed(spec.Seed, p.backends[i].Name())
+	return spec
+}
+
+// outcome is one racer's report back to the dispatch loop.
+type outcome struct {
+	idx int
+	res *Result
+	err error
+}
+
+// Synthesize implements Backend: it dispatches the member backends —
+// staggered when a Scheduler planned this spec, racing everything
+// otherwise — each through Run (so every candidate winner is verified
+// before it can stop the race), and reports the per-backend outcomes in
+// Result.Race.
 //
 // With no winner, the aggregate status is the strongest verdict any
 // racer reached: a sound refutation (StatusNoProgram) beats a spent
 // budget (StatusExhausted), which beats a timeout, which beats
-// cancellation (see aggregateStatus). If every racer failed with an
-// error, the first error is returned.
+// cancellation (see aggregateStatus). If every launched racer failed
+// with an error, the first error is returned.
 func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
 	// The race is heterogeneous: most members are single-solution
 	// engines, so a non-shortest objective would degenerate into "race
@@ -57,22 +128,42 @@ func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*R
 	if err := requireShortest(p.Name(), spec); err != nil {
 		return nil, err
 	}
+	if p.scheduler != nil {
+		if sched, ok := p.scheduler.Plan(set, spec); ok && len(sched.Order) > 0 && p.validOrder(sched.Order) {
+			return p.synthesizeStaggered(ctx, set, spec, sched)
+		}
+	}
+	return p.synthesizeRace(ctx, set, spec)
+}
+
+// validOrder rejects schedules that name out-of-range or duplicate
+// member indices — a malformed plan degrades to the plain race rather
+// than panicking or double-launching a member.
+func (p *Portfolio) validOrder(order []int) bool {
+	seen := make([]bool, len(p.backends))
+	for _, idx := range order {
+		if idx < 0 || idx >= len(p.backends) || seen[idx] {
+			return false
+		}
+		seen[idx] = true
+	}
+	return true
+}
+
+// synthesizeRace is the historical dispatch: every member launches at
+// once and the first verified winner cancels the rest.
+func (p *Portfolio) synthesizeRace(ctx context.Context, set *isa.Set, spec Spec) (*Result, error) {
 	start := time.Now()
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type outcome struct {
-		idx int
-		res *Result
-		err error
-	}
 	results := make(chan outcome, len(p.backends))
 	var wg sync.WaitGroup
 	for i, b := range p.backends {
 		wg.Add(1)
 		go func(i int, b Backend) {
 			defer wg.Done()
-			res, err := Run(raceCtx, b, set, spec)
+			res, err := Run(raceCtx, b, set, p.memberSpec(spec, i))
 			results <- outcome{idx: i, res: res, err: err}
 		}(i, b)
 	}
@@ -101,9 +192,150 @@ func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*R
 	}
 	wg.Wait()
 
+	if errCount == len(p.backends) {
+		return nil, firstErr
+	}
+	return p.finish(ctx, spec, race, winner, time.Since(start), nil), nil
+}
+
+// synthesizeStaggered is the tuned dispatch: sched.Order[0] launches
+// immediately, and each later member waits for its stagger slot. Three
+// things accelerate a pending fallback:
+//
+//   - deadline pressure: with a caller deadline of budget T, no launch
+//     slot is later than T/2 — waiting past that would leave a
+//     fallback less time than the first pick already had;
+//   - a dead field: when every launched member has finished without a
+//     verified win, the next fallback launches immediately (there is
+//     nothing left to wait for);
+//   - nothing decelerates one: slots are fixed at plan time, so the
+//     dispatch order is a pure function of (schedule, deadline) and the
+//     fake-clock tests can replay it exactly.
+//
+// A verified winner cancels the launched losers and permanently parks
+// the pending fallbacks: they never start, their race entries read
+// StatusSkipped, and the count lands in SchedStats.SavedLaunches.
+func (p *Portfolio) synthesizeStaggered(ctx context.Context, set *isa.Set, spec Spec, sched Schedule) (*Result, error) {
+	clock := p.clockOrReal()
+	start := clock.Now()
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Launch slots, clamped by deadline pressure.
+	slots := make([]time.Duration, len(sched.Order))
+	var pressure time.Duration // 0 = no deadline
+	if dl, ok := ctx.Deadline(); ok {
+		pressure = dl.Sub(start) / 2
+	}
+	for i := range sched.Order {
+		d := time.Duration(i) * sched.Stagger
+		if pressure > 0 && d > pressure {
+			d = pressure
+		}
+		slots[i] = d
+	}
+
+	results := make(chan outcome, len(sched.Order))
+	var wg sync.WaitGroup
+	sstats := &SchedStats{}
+	running := 0
+	launch := func(pos int) {
+		idx := sched.Order[pos]
+		if pos > 0 {
+			sstats.FallbackStarts++
+		}
+		running++
+		wg.Add(1)
+		go func(idx int, b Backend) {
+			defer wg.Done()
+			res, err := Run(raceCtx, b, set, p.memberSpec(spec, idx))
+			results <- outcome{idx: idx, res: res, err: err}
+		}(idx, p.backends[idx])
+	}
+
+	race := make([]RaceEntry, len(p.backends))
+	var winner *Result
+	winnerIdx := -1
+	var firstErr error
+	errCount := 0
+	next := 0 // next position in sched.Order to launch
+	for {
+		// Launch everything due. With nothing running, the next pending
+		// fallback is due immediately: every launched member already
+		// failed, so there is nothing left to stagger behind.
+		for winner == nil && next < len(sched.Order) && raceCtx.Err() == nil {
+			if running > 0 && clock.Now().Before(start.Add(slots[next])) {
+				break
+			}
+			launch(next)
+			next++
+		}
+		if running == 0 {
+			break
+		}
+		var timerC <-chan time.Time
+		var timer Timer
+		if winner == nil && next < len(sched.Order) && raceCtx.Err() == nil {
+			timer = clock.NewTimer(start.Add(slots[next]).Sub(clock.Now()))
+			timerC = timer.C()
+		}
+		select {
+		case o := <-results:
+			running--
+			name := p.backends[o.idx].Name()
+			switch {
+			case o.err != nil:
+				race[o.idx] = RaceEntry{Backend: name, Status: StatusError, Err: o.err.Error()}
+				errCount++
+				if firstErr == nil {
+					firstErr = o.err
+				}
+			default:
+				race[o.idx] = RaceEntry{Backend: name, Status: o.res.Status, Stats: o.res.Stats}
+				if o.res.Status == StatusFound && winner == nil {
+					winner = o.res
+					winnerIdx = o.idx
+					cancel() // stop the losers; pending fallbacks never launch
+				}
+			}
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+	wg.Wait()
+
+	// Members that never launched: the schedule's parked fallbacks plus
+	// anything the schedule never listed.
+	launched := 0
+	for i := range race {
+		if race[i].Backend == "" {
+			race[i] = RaceEntry{Backend: p.backends[i].Name(), Status: StatusSkipped}
+		} else {
+			launched++
+		}
+	}
+	sstats.SavedLaunches = len(p.backends) - launched
+	if winner != nil {
+		if winnerIdx == sched.Order[0] {
+			sstats.FirstPickWin = true
+		} else {
+			sstats.FallbackWin = true
+		}
+	}
+
+	if launched > 0 && errCount == launched {
+		return nil, firstErr
+	}
+	return p.finish(ctx, spec, race, winner, clock.Now().Sub(start), sstats), nil
+}
+
+// finish assembles the portfolio Result shared by both dispatch modes.
+func (p *Portfolio) finish(ctx context.Context, spec Spec, race []RaceEntry, winner *Result, elapsed time.Duration, sstats *SchedStats) *Result {
 	// The portfolio's own Stats aggregate the racers' work: total nodes
 	// across every engine that ran, under the race's wall clock.
-	stats := Stats{Elapsed: time.Since(start)}
+	stats := Stats{Elapsed: elapsed}
 	for _, e := range race {
 		stats.Nodes += e.Stats.Nodes
 		stats.Generated += e.Stats.Generated
@@ -113,6 +345,7 @@ func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*R
 		Length:  spec.MaxLen,
 		Race:    race,
 		Stats:   stats,
+		Sched:   sstats,
 	}
 	if winner != nil {
 		res.Status = StatusFound
@@ -120,13 +353,10 @@ func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*R
 		res.Length = winner.Length
 		res.Optimal = winner.Optimal
 		res.Winner = winner.Backend
-		return res, nil
-	}
-	if errCount == len(p.backends) {
-		return nil, firstErr
+		return res
 	}
 	res.Status = aggregateStatus(ctx, race)
-	return res, nil
+	return res
 }
 
 // aggregateStatus picks the no-winner verdict in the documented
@@ -136,7 +366,8 @@ func (p *Portfolio) Synthesize(ctx context.Context, set *isa.Set, spec Spec) (*R
 // particular, a racer's definitive verdict is never downgraded just
 // because the race's context ended afterwards, and a race in which
 // every backend timed out reports StatusTimedOut even when the caller's
-// context carried no deadline of its own.
+// context carried no deadline of its own. Skipped members claim
+// nothing: a staggered race's verdict rests on the members that ran.
 func aggregateStatus(ctx context.Context, race []RaceEntry) Status {
 	hasExhausted, hasTimedOut := false, false
 	for _, e := range race {

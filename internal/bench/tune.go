@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/isa"
+)
+
+// CandidateTiming is one autotune sweep outcome: how one backend fared
+// on one spec class, best-of-rounds. Unlike MeasureBackend, a losing
+// outcome (timeout, exhaustion, refusal, verification failure) is data
+// the sweep wants to record — the tuned ranking pushes such candidates
+// to the back — so failures come back as OK=false with a Note instead
+// of an error.
+type CandidateTiming struct {
+	Backend string
+	WallMS  float64
+	Length  int
+	Kernel  string
+	Rounds  int
+	OK      bool
+	Note    string
+}
+
+// TimeCandidate measures one backend on one spec, best-of-rounds. A
+// failing candidate is not retried: its single round already cost up to
+// the full timeout, and the tuned table only needs to know it lost.
+func TimeCandidate(ctx context.Context, b backend.Backend, set *isa.Set, spec backend.Spec, timeout time.Duration, rounds int) CandidateTiming {
+	if rounds < 1 {
+		rounds = 1
+	}
+	ct := CandidateTiming{Backend: b.Name()}
+	for r := 0; r < rounds; r++ {
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		start := time.Now()
+		res, err := backend.Run(rctx, b, set, spec)
+		wall := time.Since(start)
+		cancel()
+		if err != nil {
+			return CandidateTiming{Backend: b.Name(), WallMS: ms(wall), Rounds: r + 1, Note: err.Error()}
+		}
+		if res.Status != backend.StatusFound {
+			return CandidateTiming{Backend: b.Name(), WallMS: ms(wall), Rounds: r + 1, Note: res.Status.String()}
+		}
+		if !ct.OK || ms(res.Stats.Elapsed) < ct.WallMS {
+			ct.WallMS = ms(res.Stats.Elapsed)
+			ct.Length = res.Length
+			ct.Kernel = res.Program.FormatInline(set.N)
+			ct.OK = true
+		}
+		ct.Rounds = r + 1
+	}
+	return ct
+}
+
+// CapacityItem is one request of a capacity workload.
+type CapacityItem struct {
+	Set  *isa.Set
+	Spec backend.Spec
+}
+
+// CapacityAnswer records what one request returned, for cross-mode
+// divergence checks.
+type CapacityAnswer struct {
+	Winner string
+	Length int
+	Kernel string
+}
+
+// CapacityMeasurement reports a dispatch mode's serving capacity over a
+// workload: requests answered, wall clock, and engine time — the sum of
+// per-member race elapsed for portfolio results (what a fleet actually
+// pays in cores), plain Stats.Elapsed otherwise. SpecsPerSecCore is the
+// tunecompare gate's headline number: requests per second of engine
+// time. Launches and Skipped count portfolio race entries that ran vs
+// were parked by staggered dispatch.
+type CapacityMeasurement struct {
+	Specs           int
+	WallMS          float64
+	EngineMS        float64
+	SpecsPerSecCore float64
+	Launches        int
+	Skipped         int
+	Answers         []CapacityAnswer
+}
+
+// MeasureCapacity drives the workload through b sequentially (the
+// metric is per-core efficiency, so overlapping requests would only
+// confound it) and errors on any request that does not end in a
+// verified kernel — a capacity number over wrong or missing answers
+// would be meaningless.
+func MeasureCapacity(ctx context.Context, b backend.Backend, items []CapacityItem, timeout time.Duration) (CapacityMeasurement, error) {
+	var cm CapacityMeasurement
+	start := time.Now()
+	for i, it := range items {
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		res, err := backend.Run(rctx, b, it.Set, it.Spec)
+		cancel()
+		if err != nil {
+			return cm, fmt.Errorf("capacity item %d (%v): %w", i, it.Set, err)
+		}
+		if res.Status != backend.StatusFound {
+			return cm, fmt.Errorf("capacity item %d (%v): %s without a kernel", i, it.Set, res.Status)
+		}
+		cm.Specs++
+		if len(res.Race) > 0 {
+			for _, e := range res.Race {
+				cm.EngineMS += ms(e.Stats.Elapsed)
+				if e.Status == backend.StatusSkipped {
+					cm.Skipped++
+				} else {
+					cm.Launches++
+				}
+			}
+		} else {
+			cm.EngineMS += ms(res.Stats.Elapsed)
+			cm.Launches++
+		}
+		cm.Answers = append(cm.Answers, CapacityAnswer{
+			Winner: res.Winner,
+			Length: res.Length,
+			Kernel: res.Program.FormatInline(it.Set.N),
+		})
+	}
+	cm.WallMS = ms(time.Since(start))
+	if cm.EngineMS > 0 {
+		cm.SpecsPerSecCore = float64(cm.Specs) / (cm.EngineMS / 1000)
+	}
+	return cm, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -127,7 +127,9 @@ func (o Options) resolved() Options {
 // suite only, so running them on duplicate-safe specs would manufacture
 // IncorrectError "divergences" that are really just an unsupported
 // capability.
-var dupCapable = map[string]bool{"enum": true, "smt": true, "portfolio": true, "universe": true}
+var dupCapable = map[string]bool{
+	"enum": true, "smt": true, "portfolio": true, staggeredName: true, "universe": true,
+}
 
 // Run executes the conformance harness. The returned Report carries
 // every divergence found; err is reserved for harness failures (a
@@ -136,6 +138,14 @@ var dupCapable = map[string]bool{"enum": true, "smt": true, "portfolio": true, "
 func Run(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.resolved()
 	start := time.Now()
+
+	// The staggered portfolio rides along as a synthetic judge target
+	// whenever the registry has a portfolio to wrap: tuned dispatch is
+	// differential-tested against the same enum ground truth, plus the
+	// byte-identity cross-check against the plain portfolio.
+	if sb := staggeredExtra(opt.Registry, opt.MaxN, opt.BackendTimeout); sb != nil {
+		opt.Extra = append(opt.Extra, sb)
+	}
 
 	rep := &Report{
 		Seed:     opt.Seed,

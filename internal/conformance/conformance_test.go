@@ -168,7 +168,7 @@ func TestJudgeBackendRules(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			divs, _ := judgeBackend(context.Background(), tc.sp, "scripted", scripted(tc.res))
+			divs, _, _ := judgeBackend(context.Background(), tc.sp, "scripted", scripted(tc.res))
 			if tc.wantKind == "" {
 				if len(divs) != 0 {
 					t.Fatalf("unexpected divergences: %v", divs)
@@ -224,7 +224,7 @@ func TestObjectiveSpecClass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	divs, st := judgeBackend(ctx, sp, "enum", eb)
+	divs, st, _ := judgeBackend(ctx, sp, "enum", eb)
 	if len(divs) != 0 || st != "found" {
 		t.Fatalf("enum on a fastest spec: status %q, divergences %v", st, divs)
 	}
@@ -233,14 +233,14 @@ func TestObjectiveSpecClass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	divs, st = judgeBackend(ctx, sp, "stoke", sb)
+	divs, st, _ = judgeBackend(ctx, sp, "stoke", sb)
 	if len(divs) != 0 || st != "unsupported-objective" {
 		t.Fatalf("stoke on a fastest spec: status %q, divergences %v, want a clean unsupported-objective", st, divs)
 	}
 
 	// The same refusal on a shortest spec would be a genuine backend bug.
 	sp.obj = enum.ObjectiveShortest
-	if divs, _ = judgeBackend(ctx, sp, "stoke", sb); len(divs) != 0 {
+	if divs, _, _ = judgeBackend(ctx, sp, "stoke", sb); len(divs) != 0 {
 		t.Fatalf("stoke on a shortest spec diverged: %v", divs)
 	}
 }

@@ -1,0 +1,96 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/isa"
+	"sortsynth/internal/tuned"
+)
+
+// staggeredName labels the tuned-dispatch portfolio in reports; it is a
+// synthetic judge target, never a registry backend.
+const staggeredName = "portfolio-staggered"
+
+// renamedBackend gives a wrapped backend a distinct report identity so
+// the plain portfolio and the staggered one can share a status matrix.
+type renamedBackend struct {
+	name string
+	b    backend.Backend
+}
+
+func (r *renamedBackend) Name() string { return r.name }
+func (r *renamedBackend) Synthesize(ctx context.Context, set *isa.Set, spec backend.Spec) (*backend.Result, error) {
+	return r.b.Synthesize(ctx, set, spec)
+}
+
+// staggeredExtra builds the staggered-portfolio judge target from the
+// registry's portfolio: the same members, the same central
+// verification, dispatched through a synthetic tuned table that ranks
+// enum first for every generated spec class. Differential-judging it
+// against the same enum ground truth as everything else is the
+// integration proof that tuned dispatch changes scheduling, never
+// answers. Returns nil when the registry has no (*backend.Portfolio)
+// portfolio to wrap.
+func staggeredExtra(reg *backend.Registry, maxN int, timeout time.Duration) backend.Backend {
+	pb, err := reg.Get("portfolio")
+	if err != nil {
+		return nil
+	}
+	pf, ok := pb.(*backend.Portfolio)
+	if !ok {
+		return nil
+	}
+	sched := tuned.NewScheduler(syntheticTable(maxN, timeout), pf.Backends())
+	return &renamedBackend{name: staggeredName, b: pf.WithScheduler(sched)}
+}
+
+// syntheticTable covers every spec class the generator can roll (both
+// ISAs, n up to maxN, both duplicate-safety settings; only shortest —
+// the portfolio rejects ranking objectives before dispatch) with the
+// same plan: enum first, a stagger of a quarter of the per-backend
+// timeout, everyone else as appended fallbacks.
+func syntheticTable(maxN int, timeout time.Duration) *tuned.Table {
+	staggerMS := float64(timeout/4) / float64(time.Millisecond)
+	entries := map[string]tuned.Plan{}
+	for _, isaName := range []string{"cmov", "minmax"} {
+		for n := 2; n <= maxN; n++ {
+			for _, dup := range []bool{false, true} {
+				c := tuned.Class{ISA: isaName, N: n, DuplicateSafe: dup}
+				entries[c.Key()] = tuned.Plan{
+					Ranked:    []tuned.Candidate{{Backend: "enum", WallMS: 1, OK: true}},
+					StaggerMS: staggerMS,
+				}
+			}
+		}
+	}
+	return &tuned.Table{Entries: entries}
+}
+
+// crossCheckStaggered compares the staggered portfolio's answer with
+// the plain portfolio's on one judged spec. Race timing may hand the
+// two modes different winners — that is scheduling, not correctness —
+// but whenever the same member won both races, its pinned per-member
+// seed makes the synthesis deterministic and the programs must be
+// byte-identical.
+func crossCheckStaggered(sp spec, plain, staggered *backend.Result) []Divergence {
+	if plain == nil || staggered == nil ||
+		plain.Status != backend.StatusFound || staggered.Status != backend.StatusFound ||
+		plain.Winner != staggered.Winner {
+		return nil
+	}
+	n := sp.set().N
+	if plain.Program.Format(n) != staggered.Program.Format(n) {
+		return []Divergence{{
+			Check:   "differential",
+			Kind:    "staggered-answer-divergence",
+			Backend: staggeredName,
+			Spec:    specLabel(sp),
+			Detail: fmt.Sprintf("same winner %q, different programs:\nplain:\n%s\nstaggered:\n%s",
+				plain.Winner, plain.Program.Format(n), staggered.Program.Format(n)),
+		}}
+	}
+	return nil
+}

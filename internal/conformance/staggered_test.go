@@ -1,0 +1,83 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/isa"
+)
+
+// TestStaggeredPortfolioJudged runs a small conformance roll and checks
+// the staggered portfolio was actually judged: present in the status
+// matrix, clean of divergences, and answering specs.
+func TestStaggeredPortfolioJudged(t *testing.T) {
+	rep, err := Run(context.Background(), Options{
+		Seed:            7,
+		Specs:           24,
+		MaxN:            2,
+		BackendTimeout:  2 * time.Second,
+		SkipMetamorphic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("divergences: %+v", rep.Divergences)
+	}
+	sts, ok := rep.Statuses[staggeredName]
+	if !ok {
+		t.Fatalf("status matrix %v has no %s row", rep.Statuses, staggeredName)
+	}
+	total := 0
+	for _, c := range sts {
+		total += c
+	}
+	if total == 0 || sts["found"] == 0 {
+		t.Fatalf("%s judged %d specs with %d finds, want > 0 of each (%v)",
+			staggeredName, total, sts["found"], sts)
+	}
+	found := false
+	for _, name := range rep.Backends {
+		if name == staggeredName {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report backends %v missing %s", rep.Backends, staggeredName)
+	}
+}
+
+// TestCrossCheckStaggered pins the byte-identity rule directly: same
+// winner + different program is a divergence; different winners or
+// non-found outcomes claim nothing.
+func TestCrossCheckStaggered(t *testing.T) {
+	sp := spec{kind: isa.KindCmov, n: 2, m: 1, opt: 4, budget: 4, timeout: time.Second}
+	set := sp.set()
+	prog := correctN2(t, set)
+	altered := prog.Clone()
+	altered[0], altered[1] = altered[1], altered[0] // same length, different bytes
+
+	found := func(winner string, p isa.Program) *backend.Result {
+		return &backend.Result{Status: backend.StatusFound, Program: p, Length: len(p), Winner: winner}
+	}
+
+	if divs := crossCheckStaggered(sp, found("enum", prog), found("enum", prog)); len(divs) != 0 {
+		t.Fatalf("identical answers diverged: %v", divs)
+	}
+	divs := crossCheckStaggered(sp, found("enum", prog), found("enum", altered))
+	if len(divs) != 1 || divs[0].Kind != "staggered-answer-divergence" {
+		t.Fatalf("divs = %v, want one staggered-answer-divergence", divs)
+	}
+	if divs := crossCheckStaggered(sp, found("enum", prog), found("stoke", altered)); len(divs) != 0 {
+		t.Fatalf("different winners must claim nothing, got %v", divs)
+	}
+	if divs := crossCheckStaggered(sp, nil, found("enum", prog)); len(divs) != 0 {
+		t.Fatalf("missing plain result must claim nothing, got %v", divs)
+	}
+	notFound := &backend.Result{Status: backend.StatusExhausted}
+	if divs := crossCheckStaggered(sp, notFound, found("enum", prog)); len(divs) != 0 {
+		t.Fatalf("non-found plain result must claim nothing, got %v", divs)
+	}
+}

@@ -224,8 +224,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"coalesced":      m.coalesced.Load(),
 			"nodes_expanded": m.nodesExpanded.Load(),
 		},
-		"backends": m.backendsSnapshot(),
-		"latency":  latency,
+		"scheduler": s.schedulerMetrics(),
+		"backends":  m.backendsSnapshot(),
+		"latency":   latency,
 	})
 }
 

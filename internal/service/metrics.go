@@ -81,6 +81,14 @@ type metrics struct {
 	// universe.Stats and are merged into the /metrics payload).
 	universeNegatives atomic.Int64
 
+	// Staggered-portfolio scheduler outcomes (see backend.SchedStats);
+	// tunedLoadErrors counts dispatch tables rejected at mount time.
+	firstPickWins          atomic.Int64
+	fallbackStarts         atomic.Int64
+	fallbacksWon           atomic.Int64
+	staggeredSavedLaunches atomic.Int64
+	tunedLoadErrors        atomic.Int64
+
 	searchesStarted   atomic.Int64
 	searchesCompleted atomic.Int64
 	searchesCancelled atomic.Int64

@@ -506,6 +506,16 @@ func (s *Server) runBackend(ctx context.Context, key kcache.Key, set *isa.Set, b
 	}
 	bc.latency.observe(res.Stats.Elapsed)
 	s.metrics.nodesExpanded.Add(res.Stats.Nodes)
+	if sc := res.Sched; sc != nil {
+		if sc.FirstPickWin {
+			s.metrics.firstPickWins.Add(1)
+		}
+		if sc.FallbackWin {
+			s.metrics.fallbacksWon.Add(1)
+		}
+		s.metrics.fallbackStarts.Add(int64(sc.FallbackStarts))
+		s.metrics.staggeredSavedLaunches.Add(int64(sc.SavedLaunches))
+	}
 
 	switch res.Status {
 	case backend.StatusFound:

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"log"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/tuned"
+)
+
+// tunedState is the mounted dispatch table's serving-side handle: the
+// scheduler (for the plan-miss counter) and the class count surfaced by
+// /metrics.
+type tunedState struct {
+	scheduler *tuned.Scheduler
+	classes   int
+	path      string
+}
+
+// mountTuned loads the autotuned dispatch table and swaps the server's
+// portfolio for a staggered one scheduled by it. Every failure mode —
+// missing file, truncation, corruption, version skew, invalid content —
+// degrades to the plain race-everything portfolio the server already
+// has, with one warning line and a counted load error: a bad table must
+// never take serving down or change an answer. The table is
+// deliberately absent from every cache key (it decides which engine
+// answers first, never what the answer is), so tuned and untuned
+// replicas stay cache-compatible.
+func (s *Server) mountTuned(path string) {
+	tab, err := tuned.Load(path)
+	if err != nil {
+		s.metrics.tunedLoadErrors.Add(1)
+		log.Printf("tuned: %v — serving with the race-everything portfolio", err)
+		return
+	}
+	// Replace must not touch the process-global Default registry: build
+	// a fresh lineup and reconfigure only this server's portfolio slot.
+	reg := backend.NewDefault()
+	pb, err := reg.Get("portfolio")
+	if err != nil {
+		s.metrics.tunedLoadErrors.Add(1)
+		log.Printf("tuned: no portfolio backend to schedule: %v", err)
+		return
+	}
+	pf, ok := pb.(*backend.Portfolio)
+	if !ok {
+		s.metrics.tunedLoadErrors.Add(1)
+		log.Printf("tuned: portfolio backend is %T, cannot schedule it", pb)
+		return
+	}
+	sched := tuned.NewScheduler(tab, pf.Backends())
+	reg.Replace(pf.WithScheduler(sched))
+	s.registry = reg
+	s.tuned = &tunedState{scheduler: sched, classes: len(tab.Entries), path: path}
+	log.Printf("tuned: mounted %s (%d classes)", path, len(tab.Entries))
+}
+
+// schedulerMetrics assembles the /metrics "scheduler" section.
+func (s *Server) schedulerMetrics() map[string]any {
+	m := s.metrics
+	out := map[string]any{
+		"tuned_mounted":            s.tuned != nil,
+		"tuned_load_errors":        m.tunedLoadErrors.Load(),
+		"first_pick_wins":          m.firstPickWins.Load(),
+		"fallback_starts":          m.fallbackStarts.Load(),
+		"fallbacks_won":            m.fallbacksWon.Load(),
+		"staggered_saved_launches": m.staggeredSavedLaunches.Load(),
+	}
+	if s.tuned != nil {
+		out["tuned_classes"] = s.tuned.classes
+		out["plan_misses"] = s.tuned.scheduler.Misses()
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sortsynth/internal/tuned"
+)
+
+// writeTunedTable persists a minimal valid dispatch table covering the
+// cmov n=2 shortest class: enum first with a stagger so generous that
+// the fallbacks never launch in a healthy run.
+func writeTunedTable(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	tab := &tuned.Table{
+		Entries: map[string]tuned.Plan{
+			tuned.Class{ISA: "cmov", N: 2}.Key(): {
+				Ranked: []tuned.Candidate{
+					{Backend: "enum", WallMS: 0.5, Rounds: 3, OK: true},
+					{Backend: "smt", WallMS: 2.0, Rounds: 3, OK: true},
+					{Backend: "stoke", WallMS: 9.0, Rounds: 3, OK: true},
+				},
+				StaggerMS: 60_000,
+			},
+		},
+	}
+	if err := tuned.Write(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func schedMetrics(t *testing.T, url string) map[string]any {
+	t.Helper()
+	var m struct {
+		Scheduler map[string]any `json:"scheduler"`
+	}
+	resp := getJSON(t, url+"/metrics", &m)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if m.Scheduler == nil {
+		t.Fatal("/metrics has no scheduler section")
+	}
+	return m.Scheduler
+}
+
+// TestTunedMountStaggersThePortfolio mounts a real table and drives a
+// portfolio request through it: the predicted-best engine (enum) wins
+// inside its solo window, both fallbacks are parked, the answer is
+// byte-identical to a direct enum synthesis, and the scheduler counters
+// say exactly that.
+func TestTunedMountStaggersThePortfolio(t *testing.T) {
+	s, err := New(Config{CacheDir: t.TempDir(), TunedPath: writeTunedTable(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer func() { ts.Close(); s.Close() }()
+
+	sched := schedMetrics(t, ts.URL)
+	if sched["tuned_mounted"] != true {
+		t.Fatalf("scheduler = %v, want tuned_mounted=true", sched)
+	}
+	if got := sched["tuned_classes"].(float64); got != 1 {
+		t.Fatalf("tuned_classes = %v, want 1", got)
+	}
+
+	viaPortfolio := synthesize(t, ts.URL, `{"isa":"cmov","n":2,"backend":"portfolio"}`)
+	if viaPortfolio.Cached || viaPortfolio.Length != 4 {
+		t.Fatalf("portfolio response %+v, want fresh length-4 kernel", viaPortfolio)
+	}
+	viaEnum := synthesize(t, ts.URL, `{"isa":"cmov","n":2}`)
+	if viaPortfolio.Kernel != viaEnum.Kernel {
+		t.Fatalf("staggered portfolio kernel diverges from enum:\n%s\nvs\n%s",
+			viaPortfolio.Kernel, viaEnum.Kernel)
+	}
+
+	sched = schedMetrics(t, ts.URL)
+	if got := sched["first_pick_wins"].(float64); got != 1 {
+		t.Fatalf("first_pick_wins = %v, want 1 (scheduler %v)", got, sched)
+	}
+	if got := sched["staggered_saved_launches"].(float64); got != 2 {
+		t.Fatalf("staggered_saved_launches = %v, want 2 (scheduler %v)", got, sched)
+	}
+	if got := sched["fallback_starts"].(float64); got != 0 {
+		t.Fatalf("fallback_starts = %v, want 0 (scheduler %v)", got, sched)
+	}
+	if got := sched["fallbacks_won"].(float64); got != 0 {
+		t.Fatalf("fallbacks_won = %v, want 0 (scheduler %v)", got, sched)
+	}
+	// An n=3 request has no tuned class: the portfolio races everything
+	// and the miss is counted.
+	if res := synthesize(t, ts.URL, `{"isa":"cmov","n":3,"backend":"portfolio"}`); res.Length != 11 {
+		t.Fatalf("untuned-class portfolio response %+v, want length 11", res)
+	}
+	sched = schedMetrics(t, ts.URL)
+	if got := sched["plan_misses"].(float64); got != 1 {
+		t.Fatalf("plan_misses = %v, want 1 (scheduler %v)", got, sched)
+	}
+}
+
+// TestTunedBadTableDegradesToRacing holds the failure posture: a
+// corrupt, truncated, version-skewed, or missing table must leave the
+// server fully functional on the plain racing portfolio, with the load
+// error counted and tuned_mounted=false.
+func TestTunedBadTableDegradesToRacing(t *testing.T) {
+	good, err := os.ReadFile(writeTunedTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkCases := map[string]func(dir string) string{
+		"corrupt": func(dir string) string {
+			p := filepath.Join(dir, "tuned.json")
+			raw := []byte(string(good))
+			raw[len(raw)/2] ^= 0x20 // flip one bit mid-table
+			os.WriteFile(p, raw, 0o644)
+			return p
+		},
+		"truncated": func(dir string) string {
+			p := filepath.Join(dir, "tuned.json")
+			os.WriteFile(p, good[:len(good)/3], 0o644)
+			return p
+		},
+		"missing": func(dir string) string {
+			return filepath.Join(dir, "does-not-exist.json")
+		},
+	}
+	for name, mk := range mkCases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := New(Config{CacheDir: t.TempDir(), TunedPath: mk(dir)})
+			if err != nil {
+				t.Fatalf("New must degrade, not fail: %v", err)
+			}
+			ts := httptest.NewServer(s)
+			defer func() { ts.Close(); s.Close() }()
+
+			sched := schedMetrics(t, ts.URL)
+			if sched["tuned_mounted"] != false {
+				t.Fatalf("scheduler = %v, want tuned_mounted=false", sched)
+			}
+			if got := sched["tuned_load_errors"].(float64); got != 1 {
+				t.Fatalf("tuned_load_errors = %v, want 1", got)
+			}
+			// The racing portfolio still answers correctly.
+			if res := synthesize(t, ts.URL, `{"isa":"cmov","n":2,"backend":"portfolio"}`); res.Length != 4 {
+				t.Fatalf("degraded portfolio response %+v, want length 4", res)
+			}
+			sched = schedMetrics(t, ts.URL)
+			if got := sched["staggered_saved_launches"].(float64); got != 0 {
+				t.Fatalf("degraded server reported staggered stats: %v", sched)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package tuned
+
+import (
+	"sync/atomic"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/isa"
+)
+
+// ClassFor maps a concrete synthesis request onto its dispatch class.
+// The class key is built from the same strings the engines themselves
+// report (isa.Kind.String, enum.Objective.String), so an autotuned
+// table and a live request can never disagree on naming.
+func ClassFor(set *isa.Set, spec backend.Spec) Class {
+	return Class{
+		ISA:           set.Kind.String(),
+		N:             set.N,
+		DuplicateSafe: spec.DuplicateSafe,
+		Objective:     spec.Objective.String(),
+	}
+}
+
+// Scheduler adapts a tuned Table to backend.Scheduler for a specific
+// Portfolio member list. Construct one per portfolio with NewScheduler;
+// it is immutable after construction and safe for concurrent use (the
+// miss counter is atomic).
+type Scheduler struct {
+	table *Table
+	// rank maps member name → portfolio index, fixed at construction.
+	rank    map[string]int
+	members []string
+	misses  atomic.Int64
+}
+
+// NewScheduler binds table to a portfolio whose members (in race order)
+// are named members — pass Portfolio.Backends(). A nil table yields a
+// scheduler that never plans, i.e. the race-everything degrade path.
+func NewScheduler(table *Table, members []string) *Scheduler {
+	rank := make(map[string]int, len(members))
+	for i, name := range members {
+		rank[name] = i
+	}
+	return &Scheduler{table: table, rank: rank, members: members}
+}
+
+// Misses reports how many Plan calls found no tuned entry (and so fell
+// back to the plain race). Serving surfaces this in /metrics.
+func (s *Scheduler) Misses() int64 { return s.misses.Load() }
+
+// Plan implements backend.Scheduler: look the spec's class up in the
+// table and translate the ranked backend names into member indices.
+// Members the plan never mentions are appended after the ranked ones as
+// last-resort fallbacks — a tuned table reorders and delays engines,
+// it never silently drops one. Unknown backend names in the plan are
+// ignored (a table tuned against a different portfolio build still
+// schedules the members that exist).
+func (s *Scheduler) Plan(set *isa.Set, spec backend.Spec) (backend.Schedule, bool) {
+	if s == nil || s.table == nil {
+		return backend.Schedule{}, false
+	}
+	plan, ok := s.table.Pick(ClassFor(set, spec))
+	if !ok {
+		s.misses.Add(1)
+		return backend.Schedule{}, false
+	}
+	order := make([]int, 0, len(s.members))
+	used := make([]bool, len(s.members))
+	for _, cand := range plan.Ranked {
+		idx, known := s.rank[cand.Backend]
+		if !known || used[idx] {
+			continue
+		}
+		used[idx] = true
+		order = append(order, idx)
+	}
+	if len(order) == 0 {
+		// Every ranked name is foreign to this portfolio: scheduling by
+		// this plan would be guesswork, so race everything instead.
+		s.misses.Add(1)
+		return backend.Schedule{}, false
+	}
+	for idx := range s.members {
+		if !used[idx] {
+			order = append(order, idx)
+		}
+	}
+	return backend.Schedule{Order: order, Stagger: plan.Stagger()}, true
+}

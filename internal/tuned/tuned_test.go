@@ -1,0 +1,265 @@
+package tuned
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sortsynth/internal/backend"
+	"sortsynth/internal/enum"
+	"sortsynth/internal/isa"
+)
+
+// sampleTable is a small but fully realistic two-class table.
+func sampleTable() *Table {
+	return &Table{
+		Entries: map[string]Plan{
+			Class{ISA: "cmov", N: 3}.Key(): {
+				Ranked: []Candidate{
+					{Backend: "enum", WallMS: 1.2, Rounds: 3, OK: true},
+					{Backend: "plan", WallMS: 4.5, Rounds: 3, OK: true},
+					{Backend: "smt", Rounds: 3, OK: false, Note: "timed-out"},
+				},
+				StaggerMS: 2.4,
+			},
+			Class{ISA: "minmax", N: 2, DuplicateSafe: true}.Key(): {
+				Ranked:    []Candidate{{Backend: "enum", WallMS: 0.3, Rounds: 3, OK: true}},
+				StaggerMS: 0.6,
+			},
+		},
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	if err := Write(path, sampleTable()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Version != FormatVersion {
+		t.Fatalf("version = %d, want %d", got.Version, FormatVersion)
+	}
+	plan, ok := got.Pick(Class{ISA: "cmov", N: 3})
+	if !ok {
+		t.Fatal("Pick(cmov n=3) missed")
+	}
+	if len(plan.Ranked) != 3 || plan.Ranked[0].Backend != "enum" {
+		t.Fatalf("plan = %+v, want enum first of 3", plan.Ranked)
+	}
+	if plan.Stagger() != 2400*time.Microsecond {
+		t.Fatalf("stagger = %v, want 2.4ms", plan.Stagger())
+	}
+	// The "" objective and "shortest" objective are the same class.
+	if _, ok := got.Pick(Class{ISA: "cmov", N: 3, Objective: "shortest"}); !ok {
+		t.Fatal(`Pick with explicit "shortest" missed the "" entry`)
+	}
+	if _, ok := got.Pick(Class{ISA: "cmov", N: 9}); ok {
+		t.Fatal("Pick(cmov n=9) hit an entry that was never tuned")
+	}
+}
+
+func TestLoadRejectsVersionSkew(t *testing.T) {
+	tab := sampleTable()
+	if err := tab.Seal(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	tab.Version = FormatVersion + 1
+	// Reseal the checksum so version skew — not corruption — is what the
+	// loader sees first... except Seal pins Version, so patch by hand.
+	raw := mustJSON(t, tab)
+	raw = []byte(strings.Replace(string(raw), `"version": 1`, `"version": 2`, 1))
+	_, err := Parse(raw)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *VersionError", err)
+	}
+	if ve.Got != FormatVersion+1 {
+		t.Fatalf("VersionError.Got = %d, want %d", ve.Got, FormatVersion+1)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuned.json")
+	if err := Write(path, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bit-flip", func(t *testing.T) {
+		flipped := strings.Replace(string(raw), `"wall_ms": 1.2`, `"wall_ms": 1.3`, 1)
+		if flipped == string(raw) {
+			t.Fatal("test setup: substitution missed")
+		}
+		_, err := Parse([]byte(flipped))
+		var ce *ChecksumError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *ChecksumError", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Parse(raw[:len(raw)/2]); err == nil {
+			t.Fatal("truncated table parsed")
+		}
+	})
+	t.Run("missing-checksum", func(t *testing.T) {
+		tab := sampleTable()
+		tab.Version = FormatVersion
+		_, err := Parse(mustJSON(t, tab))
+		var ce *ChecksumError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *ChecksumError", err)
+		}
+	})
+}
+
+func TestLoadRejectsInvalidTables(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Table)
+	}{
+		{"no-entries", func(t *Table) { t.Entries = nil }},
+		{"empty-ranking", func(t *Table) {
+			t.Entries["bad"] = Plan{StaggerMS: 1}
+		}},
+		{"negative-stagger", func(t *Table) {
+			t.Entries["bad"] = Plan{Ranked: []Candidate{{Backend: "enum"}}, StaggerMS: -1}
+		}},
+		{"nameless-candidate", func(t *Table) {
+			t.Entries["bad"] = Plan{Ranked: []Candidate{{WallMS: 1}}}
+		}},
+		{"negative-wall", func(t *Table) {
+			t.Entries["bad"] = Plan{Ranked: []Candidate{{Backend: "enum", WallMS: -1}}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := sampleTable()
+			tc.mutate(tab)
+			if err := tab.Seal(time.Now()); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Parse(mustJSON(t, tab))
+			var ie *InvalidError
+			if !errors.As(err, &ie) {
+				t.Fatalf("err = %v, want *InvalidError", err)
+			}
+		})
+	}
+}
+
+func TestClassKey(t *testing.T) {
+	cases := []struct {
+		class Class
+		want  string
+	}{
+		{Class{ISA: "cmov", N: 3}, "cmov/n=3/dup=false/obj=shortest"},
+		{Class{ISA: "minmax", N: 4, DuplicateSafe: true, Objective: "fastest"},
+			"minmax/n=4/dup=true/obj=fastest"},
+		{Class{ISA: "cmov", N: 2, Objective: "shortest"}, "cmov/n=2/dup=false/obj=shortest"},
+	}
+	for _, tc := range cases {
+		if got := tc.class.Key(); got != tc.want {
+			t.Errorf("Key(%+v) = %q, want %q", tc.class, got, tc.want)
+		}
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	set := isa.NewCmov(3, 2)
+	got := ClassFor(set, backend.Spec{DuplicateSafe: true, Objective: enum.ObjectiveShortest})
+	want := Class{ISA: "cmov", N: 3, DuplicateSafe: true, Objective: "shortest"}
+	if got != want {
+		t.Fatalf("ClassFor = %+v, want %+v", got, want)
+	}
+}
+
+func TestSchedulerPlan(t *testing.T) {
+	members := []string{"enum", "smt", "cp", "plan"}
+	set := isa.NewCmov(3, 2)
+
+	t.Run("ranked-then-unmentioned", func(t *testing.T) {
+		s := NewScheduler(sampleTable(), members)
+		sched, ok := s.Plan(set, backend.Spec{})
+		if !ok {
+			t.Fatal("Plan missed a tuned class")
+		}
+		// Table ranks enum, plan, smt; cp is unmentioned and must trail.
+		want := []int{0, 3, 1, 2}
+		if len(sched.Order) != len(want) {
+			t.Fatalf("order = %v, want %v", sched.Order, want)
+		}
+		for i := range want {
+			if sched.Order[i] != want[i] {
+				t.Fatalf("order = %v, want %v", sched.Order, want)
+			}
+		}
+		if sched.Stagger != 2400*time.Microsecond {
+			t.Fatalf("stagger = %v, want 2.4ms", sched.Stagger)
+		}
+		if s.Misses() != 0 {
+			t.Fatalf("misses = %d, want 0", s.Misses())
+		}
+	})
+	t.Run("untuned-class-misses", func(t *testing.T) {
+		s := NewScheduler(sampleTable(), members)
+		set5 := isa.NewCmov(5, 3)
+		if _, ok := s.Plan(set5, backend.Spec{}); ok {
+			t.Fatal("Plan hit an untuned class")
+		}
+		if s.Misses() != 1 {
+			t.Fatalf("misses = %d, want 1", s.Misses())
+		}
+	})
+	t.Run("foreign-names-ignored", func(t *testing.T) {
+		tab := sampleTable()
+		plan := tab.Entries[Class{ISA: "cmov", N: 3}.Key()]
+		plan.Ranked = append([]Candidate{{Backend: "ghost", OK: true}}, plan.Ranked...)
+		tab.Entries[Class{ISA: "cmov", N: 3}.Key()] = plan
+		s := NewScheduler(tab, members)
+		sched, ok := s.Plan(set, backend.Spec{})
+		if !ok {
+			t.Fatal("Plan missed")
+		}
+		if sched.Order[0] != 0 {
+			t.Fatalf("order = %v, want enum (0) first after ghost is dropped", sched.Order)
+		}
+	})
+	t.Run("all-foreign-degrades", func(t *testing.T) {
+		tab := sampleTable()
+		tab.Entries[Class{ISA: "cmov", N: 3}.Key()] = Plan{
+			Ranked: []Candidate{{Backend: "ghost"}}, StaggerMS: 1,
+		}
+		s := NewScheduler(tab, members)
+		if _, ok := s.Plan(set, backend.Spec{}); ok {
+			t.Fatal("Plan scheduled from an all-foreign ranking")
+		}
+		if s.Misses() != 1 {
+			t.Fatalf("misses = %d, want 1", s.Misses())
+		}
+	})
+	t.Run("nil-table-never-plans", func(t *testing.T) {
+		s := NewScheduler(nil, members)
+		if _, ok := s.Plan(set, backend.Spec{}); ok {
+			t.Fatal("nil-table scheduler planned")
+		}
+	})
+}
+
+func mustJSON(t *testing.T, tab *Table) []byte {
+	t.Helper()
+	raw, err := json.MarshalIndent(tab, "", "\t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
